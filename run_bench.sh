@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+dune exec bench/main.exe > /root/repo/bench_output.txt 2>&1
+echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
+touch /root/repo/.bench_done

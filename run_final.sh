@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+dune runtest --force --no-buffer > /root/repo/test_output.txt 2>&1
+echo "TESTS_EXIT=$?" >> /root/repo/test_output.txt
+dune exec bench/main.exe > /root/repo/bench_output.txt 2>&1
+echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
+touch /root/repo/.final_done
