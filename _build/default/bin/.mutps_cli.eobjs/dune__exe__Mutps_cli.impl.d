@@ -1,0 +1,1 @@
+bin/mutps_cli.ml: Arg Cmd Cmdliner Harness List Mutps_experiments Mutps_kvs Mutps_workload Printf Registry Term

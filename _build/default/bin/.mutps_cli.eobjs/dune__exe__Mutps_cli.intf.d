@@ -1,0 +1,1 @@
+bin/mutps_cli.mli:

@@ -1,0 +1,1 @@
+bin/probe.ml: Backend Config List Mutps Mutps_kvs Mutps_mem Mutps_net Mutps_sim Mutps_workload Printf

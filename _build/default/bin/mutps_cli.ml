@@ -1,0 +1,139 @@
+(* mutps-cli: run the paper's experiments or an ad-hoc server measurement
+   from the command line. *)
+
+open Cmdliner
+open Mutps_experiments
+
+let scale_term =
+  let keyspace =
+    let doc = "Pre-populated keys (paper: 10M)." in
+    Arg.(value & opt int Harness.default_scale.Harness.keyspace
+         & info [ "keyspace" ] ~doc)
+  in
+  let cores =
+    let doc = "Worker cores (paper: 28)." in
+    Arg.(value & opt int Harness.default_scale.Harness.cores & info [ "cores" ] ~doc)
+  in
+  let clients =
+    let doc = "Closed-loop client threads." in
+    Arg.(value & opt int Harness.default_scale.Harness.clients & info [ "clients" ] ~doc)
+  in
+  let window =
+    let doc = "Outstanding requests per client." in
+    Arg.(value & opt int Harness.default_scale.Harness.window & info [ "window" ] ~doc)
+  in
+  let measure_ms =
+    let doc = "Measured simulated milliseconds." in
+    Arg.(value & opt float 10.0 & info [ "measure-ms" ] ~doc)
+  in
+  let combine keyspace cores clients window measure_ms =
+    {
+      Harness.keyspace;
+      cores;
+      clients;
+      window;
+      warmup = int_of_float (0.4 *. measure_ms *. 2_500_000.0);
+      measure = int_of_float (measure_ms *. 2_500_000.0);
+    }
+  in
+  Term.(const combine $ keyspace $ cores $ clients $ window $ measure_ms)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-8s %s\n" e.Registry.name e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let names =
+    let doc = "Experiments to run (see $(b,list)); 'all' runs everything." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run scale names =
+    let names =
+      if List.mem "all" names then Registry.names () else names
+    in
+    List.iter
+      (fun name ->
+        match Registry.find name with
+        | Some e -> e.Registry.run scale
+        | None ->
+          Printf.eprintf "unknown experiment %S (try 'list')\n%!" name;
+          exit 1)
+      names
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Reproduce one or more of the paper's tables/figures")
+    Term.(const run $ scale_term $ names)
+
+(* --- serve: one ad-hoc measurement --- *)
+
+let serve_cmd =
+  let system =
+    let sys_conv =
+      Arg.enum
+        [ ("mutps", Harness.Mutps); ("basekv", Harness.Basekv);
+          ("erpckv", Harness.Erpckv) ]
+    in
+    Arg.(value & opt sys_conv Harness.Mutps & info [ "system" ] ~doc:"System to run.")
+  in
+  let index =
+    let index_conv =
+      Arg.enum [ ("tree", Mutps_kvs.Config.Tree); ("hash", Mutps_kvs.Config.Hash) ]
+    in
+    Arg.(value & opt index_conv Mutps_kvs.Config.Tree & info [ "index" ] ~doc:"Index structure.")
+  in
+  let value_size =
+    Arg.(value & opt int 64 & info [ "value-size" ] ~doc:"Value bytes.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99 & info [ "theta" ] ~doc:"Zipfian theta (0 = uniform).")
+  in
+  let get_ratio =
+    Arg.(value & opt float 0.5 & info [ "get-ratio" ] ~doc:"Fraction of gets.")
+  in
+  let dlb =
+    Arg.(value & flag & info [ "dlb" ] ~doc:"Offload the CR-MR queue to a DLB-style hardware queue (uTPS only).")
+  in
+  let run scale system index value_size theta get_ratio dlb =
+    let spec =
+      {
+        Mutps_workload.Opgen.name = "custom";
+        keyspace = scale.Harness.keyspace;
+        key_dist =
+          (if theta < 0.01 then Mutps_workload.Opgen.Uniform
+           else Mutps_workload.Opgen.Zipfian theta);
+        size_dist = Mutps_workload.Opgen.Fixed value_size;
+        mix = { Mutps_workload.Opgen.get = get_ratio; put = 1.0 -. get_ratio; scan = 0.0 };
+        scan_len = 1;
+      }
+    in
+    let tweak c = { c with Mutps_kvs.Config.dlb } in
+    let m = Harness.measure ~index ~tweak system scale spec in
+    Printf.printf
+      "%s (%s index): %.2f Mops, P50 %.2f us, P99 %.2f us, %d ops, CR hit rate %.1f%%\n"
+      (Harness.system_name system)
+      (match index with Mutps_kvs.Config.Tree -> "tree" | Mutps_kvs.Config.Hash -> "hash")
+      m.Harness.mops m.Harness.p50_us m.Harness.p99_us m.Harness.completed
+      (100.0 *. m.Harness.cr_hit_rate)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run one system under a custom workload and print its measurement")
+    Term.(
+      const run $ scale_term $ system $ index $ value_size $ theta
+      $ get_ratio $ dlb)
+
+let () =
+  let info =
+    Cmd.info "mutps-cli" ~version:"1.0.0"
+      ~doc:"uTPS reproduction: simulated in-memory KVS experiments"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd ]))

@@ -1,0 +1,76 @@
+(* probe: diagnostic sweep of μTPS configurations on one workload.
+
+   For each (ncr, mr_ways, hot) setting it reports throughput, CR hit
+   rate, per-layer LLC miss rates, per-layer busy cycles, latencies and
+   CR-MR batch fill — the raw signals behind the auto-tuner's decisions.
+
+     dune exec bin/probe.exe *)
+
+open Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Stats = Mutps_sim.Stats
+module Client = Mutps_net.Client
+module Ycsb = Mutps_workload.Ycsb
+module Hier = Mutps_mem.Hierarchy
+
+let keyspace = 200_000
+let cores = 12
+
+let run ?(ways = 12) ~ncr ~hot () =
+  let config = Config.default ~cores ~index:Config.Tree ~capacity:keyspace () in
+  let config =
+    {
+      config with
+      Config.refresh_cycles = 5_000_000;
+      geometry = Some (Config.scaled_geometry ~cores ~keyspace);
+      hot_k = max 64 hot;
+    }
+  in
+  let kv = Mutps.create ~ncr config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size:64;
+  Mutps.start kv;
+  Mutps.set_mr_ways kv ways;
+  if hot = 0 then Mutps.set_hot_target kv 0;
+  let b = Mutps.backend kv in
+  let spec = Ycsb.b ~keyspace ~value_size:64 () in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 64; window = 4; spec; seed = 7;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:10_000_000;
+  Client.reset_stats clients;
+  Hier.reset_stats b.Backend.hier;
+  let h0 = Mutps.cr_hits kv in
+  let t0 = Engine.now b.Backend.engine in
+  Engine.run b.Backend.engine ~until:(t0 + 20_000_000);
+  let ops = Client.completed clients in
+  let cr_core = Hier.core_stats b.Backend.hier ~core:0 in
+  let mr_core = Hier.core_stats b.Backend.hier ~core:(cores - 1) in
+  let hist = Client.latency clients in
+  Printf.printf
+    "ncr=%-2d ways=%-2d hot=%-5d  %6.2f Mops  crhit=%3.0f%%  CR-miss=%2.0f%% MR-miss=%2.0f%%  p50=%5.1fus p99=%5.1fus\n%!"
+    ncr ways hot
+    (Stats.mops ~ops ~cycles:20_000_000 ~ghz:2.5)
+    (100.0 *. float_of_int (Mutps.cr_hits kv - h0) /. float_of_int (max ops 1))
+    (100.0 *. Hier.llc_miss_rate cr_core)
+    (100.0 *. Hier.llc_miss_rate mr_core)
+    (float_of_int (Stats.Hist.percentile hist 50.0) /. 2500.0)
+    (float_of_int (Stats.Hist.percentile hist 99.0) /. 2500.0);
+  let crb, mrb, mrops, mrscans = Mutps.layer_stats kv in
+  Printf.printf "    cr_busy/op=%.0f mr_busy/fwd=%.0f batch_fill=%.1f\n%!"
+    (float_of_int crb /. float_of_int (max ops 1))
+    (float_of_int mrb /. float_of_int (max mrops 1))
+    (float_of_int mrops /. float_of_int (max mrscans 1))
+
+let () =
+  print_endline
+    "uTPS configuration sweep (YCSB-B, 64B values, 200K keys, 12 cores)";
+  List.iter
+    (fun (ncr, ways, hot) -> run ~ways ~ncr ~hot ())
+    [
+      (3, 12, 1000); (6, 12, 1000); (8, 12, 1000);
+      (8, 6, 1000); (8, 2, 1000);
+      (4, 12, 0); (6, 12, 0);
+    ]

@@ -1,0 +1,1 @@
+examples/compare_systems.ml: Backend Basekv Config Erpckv List Mutps Mutps_kvs Mutps_net Mutps_sim Mutps_workload Printf

@@ -1,0 +1,1 @@
+examples/dynamic_tuning.ml: Autotuner Backend Config Mutps Mutps_kvs Mutps_net Mutps_sim Mutps_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Config Mutps Mutps_kvs Mutps_net Mutps_sim Mutps_workload Printf

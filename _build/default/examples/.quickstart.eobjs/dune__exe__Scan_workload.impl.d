@@ -1,0 +1,1 @@
+examples/scan_workload.ml: Backend Config List Mutps Mutps_kvs Mutps_net Mutps_sim Mutps_workload Printf

@@ -1,0 +1,1 @@
+examples/skewed_cache.ml: Backend Config Mutps Mutps_kvs Mutps_net Mutps_sim Mutps_workload Printf

@@ -1,0 +1,1 @@
+examples/skewed_cache.mli:

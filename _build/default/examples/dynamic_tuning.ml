@@ -1,0 +1,63 @@
+(* The Figure 14 scenario as a runnable example: the workload's value size
+   collapses from 512 B to 8 B mid-run; the auto-tuner notices the
+   throughput shift, searches thread/cache/way settings, and applies a
+   better configuration while the system keeps serving.
+
+     dune exec examples/dynamic_tuning.exe *)
+
+open Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Client = Mutps_net.Client
+module Ycsb = Mutps_workload.Ycsb
+
+let ms = 2_500_000
+
+let () =
+  let keyspace = 100_000 in
+  let config = Config.default ~cores:8 ~index:Config.Tree ~capacity:keyspace () in
+  let config = { config with Config.refresh_cycles = 2 * ms } in
+  let kv = Mutps.create ~ncr:2 config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size:512;
+  Mutps.start kv;
+  let tuner =
+    Autotuner.create
+      ~params:
+        {
+          Autotuner.window = 2 * ms;
+          settle = ms / 2;
+          cache_step = 256;
+          cache_points = 3;
+          auto_threshold = 0.30;
+        }
+      kv
+  in
+  Autotuner.spawn tuner;
+  let backend = Mutps.backend kv in
+  let clients =
+    Client.start ~engine:backend.Backend.engine ~link:backend.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 48; window = 4;
+        spec = Ycsb.a ~keyspace ~value_size:512 (); seed = 5;
+        dispatch = Client.uniform_dispatch }
+  in
+  Printf.printf "%-6s %-8s %-5s %-5s %-5s %s\n" "ms" "Mops" "ncr" "hot" "ways" "";
+  let last = ref 0 in
+  for step = 1 to 60 do
+    if step = 16 then begin
+      Printf.printf "--- value size drops 512B -> 8B ---\n";
+      Client.set_spec clients (Ycsb.a ~keyspace ~value_size:8 ())
+    end;
+    Engine.run backend.Backend.engine ~until:(step * ms);
+    let ops = Client.completed clients in
+    if step mod 2 = 0 then
+      Printf.printf "%-6d %-8.2f %-5d %-5d %-5d %s\n" step
+        (Mutps_sim.Stats.mops ~ops:(ops - !last) ~cycles:(2 * ms) ~ghz:2.5)
+        (Mutps.ncr kv) (Mutps.hot_target kv) (Mutps.mr_ways kv)
+        (if Autotuner.tuning tuner then "(tuning)" else "");
+    if step mod 2 = 0 then last := ops
+  done;
+  Printf.printf "\ntuner passes completed: %d\n" (Autotuner.tunes_completed tuner);
+  match Autotuner.last_applied tuner with
+  | Some (ncr, hot, ways) ->
+    Printf.printf "applied: ncr=%d hot=%d mr_ways=%d\n" ncr hot ways
+  | None -> print_endline "tuner still searching (run longer for a full pass)"

@@ -1,0 +1,50 @@
+(* Quickstart: build a μTPS-H server on the simulated machine, drive it
+   with YCSB-B clients, print throughput and latency.
+
+     dune exec examples/quickstart.exe *)
+
+open Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Stats = Mutps_sim.Stats
+module Client = Mutps_net.Client
+module Ycsb = Mutps_workload.Ycsb
+
+let () =
+  let keyspace = 100_000 in
+  (* a μTPS server with a cuckoo-hash index on 8 worker cores *)
+  let config = Config.default ~cores:8 ~index:Config.Hash ~capacity:keyspace () in
+  let config = { config with Config.refresh_cycles = 5_000_000 } in
+  let kv = Mutps.create config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size:64;
+  Mutps.start kv;
+
+  (* closed-loop clients running YCSB-B (95% get / 5% put, Zipfian) *)
+  let backend = Mutps.backend kv in
+  let spec = Ycsb.b ~keyspace ~value_size:64 () in
+  let clients =
+    Client.start ~engine:backend.Backend.engine ~link:backend.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 32; window = 4; spec; seed = 1;
+        dispatch = Client.uniform_dispatch }
+  in
+
+  (* 4 ms warmup, 10 ms measured *)
+  Engine.run backend.Backend.engine ~until:10_000_000;
+  Client.reset_stats clients;
+  let t0 = Engine.now backend.Backend.engine in
+  Engine.run backend.Backend.engine ~until:(t0 + 25_000_000);
+
+  let ops = Client.completed clients in
+  let hist = Client.latency clients in
+  Printf.printf "uTPS-H, YCSB-B, 64B values, %d keys\n" keyspace;
+  Printf.printf "  throughput : %.2f Mops\n"
+    (Stats.mops ~ops ~cycles:25_000_000 ~ghz:2.5);
+  Printf.printf "  P50 latency: %.2f us\n"
+    (float_of_int (Stats.Hist.percentile hist 50.0) /. 2500.0);
+  Printf.printf "  P99 latency: %.2f us\n"
+    (float_of_int (Stats.Hist.percentile hist 99.0) /. 2500.0);
+  Printf.printf "  CR-layer hits: %d of %d ops (%.0f%%)\n" (Mutps.cr_hits kv)
+    ops
+    (100.0 *. float_of_int (Mutps.cr_hits kv) /. float_of_int (max ops 1));
+  Printf.printf "  split: %d CR / %d MR threads, hot set %d items\n"
+    (Mutps.ncr kv) (Mutps.nmr kv) (Mutps.hot_size kv)

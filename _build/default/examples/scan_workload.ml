@@ -1,0 +1,51 @@
+(* Range queries on μTPS-T: cooperative scans where the cache-resident
+   layer copies the hot entries it already holds and the memory-resident
+   layer walks the B+tree for the rest (§4).
+
+     dune exec examples/scan_workload.exe *)
+
+open Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Stats = Mutps_sim.Stats
+module Client = Mutps_net.Client
+module Ycsb = Mutps_workload.Ycsb
+
+let measure name kv spec =
+  let backend = Mutps.backend kv in
+  let clients =
+    Client.start ~engine:backend.Backend.engine ~link:backend.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 24; window = 2; spec; seed = 2;
+        dispatch = Client.uniform_dispatch }
+  in
+  let t0 = Engine.now backend.Backend.engine in
+  Engine.run backend.Backend.engine ~until:(t0 + 10_000_000);
+  Client.reset_stats clients;
+  let t1 = Engine.now backend.Backend.engine in
+  Engine.run backend.Backend.engine ~until:(t1 + 25_000_000);
+  let ops = Client.completed clients in
+  let hist = Client.latency clients in
+  Printf.printf "%-22s %8.3f Mops   P50 %6.1f us   P99 %6.1f us\n" name
+    (Stats.mops ~ops ~cycles:25_000_000 ~ghz:2.5)
+    (float_of_int (Stats.Hist.percentile hist 50.0) /. 2500.0)
+    (float_of_int (Stats.Hist.percentile hist 99.0) /. 2500.0)
+
+let () =
+  let keyspace = 100_000 in
+  Printf.printf "uTPS-T range queries over %d keys (8B values)\n\n" keyspace;
+  List.iter
+    (fun (name, spec) ->
+      let config =
+        Config.default ~cores:8 ~index:Config.Tree ~capacity:keyspace ()
+      in
+      let config = { config with Config.refresh_cycles = 5_000_000 } in
+      let kv = Mutps.create config in
+      Backend.populate (Mutps.backend kv) ~keyspace ~value_size:8;
+      Mutps.start kv;
+      measure name kv spec)
+    [
+      ("YCSB-E (95% scan)", Ycsb.e ~keyspace ~scan_len:50 ~value_size:8 ());
+      ("scan-only, range 50", Ycsb.scan_only ~keyspace ~scan_len:50 ~value_size:8 ());
+      ("scan-only, range 10", Ycsb.scan_only ~keyspace ~scan_len:10 ~value_size:8 ());
+      ("point gets (YCSB-C)", Ycsb.c ~keyspace ~value_size:8 ());
+    ]

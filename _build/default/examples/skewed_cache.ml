@@ -1,0 +1,55 @@
+(* Hot-set adaptation: run a Zipfian workload whose hotspot shifts halfway
+   through, and watch the cache-resident layer re-learn the hot keys —
+   the §2.2.1 motivation scenario.
+
+     dune exec examples/skewed_cache.exe *)
+
+open Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Client = Mutps_net.Client
+module Opgen = Mutps_workload.Opgen
+module Ycsb = Mutps_workload.Ycsb
+
+let window = 5_000_000 (* 2 ms *)
+
+let () =
+  let keyspace = 100_000 in
+  let config = Config.default ~cores:8 ~index:Config.Tree ~capacity:keyspace () in
+  let config =
+    { config with Config.refresh_cycles = window; hot_k = 1024; sample_every = 4 }
+  in
+  let kv = Mutps.create config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size:64;
+  Mutps.start kv;
+  let backend = Mutps.backend kv in
+
+  (* phase 1: Zipfian over ranks 0.. (hotspot at the "low" scrambled keys) *)
+  let spec1 = Ycsb.b ~keyspace ~value_size:64 () in
+  (* phase 2: same skew, different hotspot — shift the key space by XOR *)
+  let spec2 = { spec1 with Opgen.name = "shifted"; keyspace = keyspace / 2 } in
+  let clients =
+    Client.start ~engine:backend.Backend.engine ~link:backend.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 32; window = 4; spec = spec1; seed = 5;
+        dispatch = Client.uniform_dispatch }
+  in
+  Printf.printf "%-6s %-10s %-10s %-10s\n" "ms" "Mops" "CR-hit%" "hot-size";
+  let last_ops = ref 0 and last_hits = ref 0 in
+  for step = 1 to 20 do
+    if step = 11 then begin
+      Printf.printf "--- hotspot shifts ---\n";
+      Client.set_spec clients spec2
+    end;
+    Engine.run backend.Backend.engine ~until:(step * window);
+    let ops = Client.completed clients and hits = Mutps.cr_hits kv in
+    let d_ops = ops - !last_ops and d_hits = hits - !last_hits in
+    last_ops := ops;
+    last_hits := hits;
+    Printf.printf "%-6d %-10.2f %-10.1f %-10d\n" (step * 2)
+      (Mutps_sim.Stats.mops ~ops:d_ops ~cycles:window ~ghz:2.5)
+      (100.0 *. float_of_int d_hits /. float_of_int (max d_ops 1))
+      (Mutps.hot_size kv)
+  done;
+  Printf.printf
+    "\nThe CR-hit rate dips right after the shift and recovers once the\n\
+     manager thread republishes the hot set (epoch-switched, no downtime).\n"

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Harness List Mutps_kvs Mutps_workload Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Harness List Mutps_kvs Mutps_net Mutps_sim Mutps_workload Option Printf Table

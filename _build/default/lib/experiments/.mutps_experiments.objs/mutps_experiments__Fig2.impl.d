@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Float Harness Int64 List Mutps_index Mutps_kvs Mutps_mem Mutps_net Mutps_queue Mutps_sim Mutps_store Mutps_workload Printf Table

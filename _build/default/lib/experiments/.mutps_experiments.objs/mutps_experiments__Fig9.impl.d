@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Float Harness List Mutps_kvs Mutps_workload Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Fun List Mutps_kvs Mutps_mem Mutps_net Mutps_sim Mutps_workload Printf Sys

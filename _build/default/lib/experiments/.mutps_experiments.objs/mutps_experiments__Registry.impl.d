@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Fig10 Fig11 Fig12 Fig13 Fig14 Fig2 Fig7 Fig8 Fig9 Harness List Table1

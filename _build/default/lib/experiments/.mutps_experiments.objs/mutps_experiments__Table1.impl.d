@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Harness List Mutps_queue Mutps_workload Printf Table

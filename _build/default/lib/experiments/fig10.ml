@@ -1,0 +1,42 @@
+(** Figure 10 — throughput vs P50/P99 latency as the client count grows
+    (YCSB-A, 8 B items, both indexes). *)
+
+module Ycsb = Mutps_workload.Ycsb
+module Kvs = Mutps_kvs
+
+let client_counts = [ 2; 8; 24; 64 ]
+
+let run_half scale index =
+  let index_name =
+    match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
+  in
+  Harness.section
+    (Printf.sprintf "Figure 10 (%s index): throughput vs latency" index_name);
+  let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:8 () in
+  let table =
+    Table.create
+      [
+        "clients"; "system"; "Mops"; "P50 (us)"; "P99 (us)";
+      ]
+  in
+  List.iter
+    (fun clients ->
+      let s = { scale with Harness.clients; window = 1 } in
+      List.iter
+        (fun (sys : Harness.system) ->
+          let m = Harness.measure ~index sys s spec in
+          Table.add_row table
+            [
+              string_of_int clients;
+              Harness.system_name sys;
+              Table.cell_f m.Harness.mops;
+              Table.cell_f m.Harness.p50_us;
+              Table.cell_f m.Harness.p99_us;
+            ])
+        [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ])
+    client_counts;
+  Table.print table
+
+let run scale =
+  run_half scale Kvs.Config.Tree;
+  run_half scale Kvs.Config.Hash

@@ -1,0 +1,47 @@
+(** Figure 11 — scalability with worker threads (YCSB-A; 8 B and 256 B
+    items; both indexes). *)
+
+module Ycsb = Mutps_workload.Ycsb
+module Kvs = Mutps_kvs
+
+let run_cell scale ~index ~size =
+  let scale =
+    { scale with
+      Harness.warmup = scale.Harness.warmup / 2;
+      measure = scale.Harness.measure * 3 / 5 }
+  in
+  let index_name =
+    match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
+  in
+  Harness.section
+    (Printf.sprintf "Figure 11 (%s index, %dB items): scalability" index_name size);
+  let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:size () in
+  let table = Table.create [ "threads"; "uTPS"; "BaseKV"; "eRPC-KV" ] in
+  let points =
+    List.filter (fun n -> n <= scale.Harness.cores) [ 2; 4; 8; 12; 16; 20; 24; 28 ]
+  in
+  List.iter
+    (fun threads ->
+      let s = { scale with Harness.cores = threads } in
+      let m = Harness.measure ~index Harness.Mutps s spec in
+      let b = Harness.measure ~index Harness.Basekv s spec in
+      let e = Harness.measure ~index Harness.Erpckv s spec in
+      Table.add_row table
+        [
+          string_of_int threads;
+          Table.cell_f m.Harness.mops;
+          Table.cell_f b.Harness.mops;
+          Table.cell_f e.Harness.mops;
+        ])
+    points;
+  Table.print table
+
+let run scale =
+  List.iter
+    (fun (index, size) -> run_cell scale ~index ~size)
+    [
+      (Kvs.Config.Tree, 8);
+      (Kvs.Config.Tree, 256);
+      (Kvs.Config.Hash, 8);
+      (Kvs.Config.Hash, 256);
+    ]

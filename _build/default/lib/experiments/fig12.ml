@@ -1,0 +1,42 @@
+(** Figure 12 — effect of the CR-MR batch size (YCSB-A, 8 B items): the
+    batch size sets how many requests cross the CR-MR queue per slot and
+    how many index operations are prefetch-overlapped together. *)
+
+module Ycsb = Mutps_workload.Ycsb
+module Kvs = Mutps_kvs
+
+let batch_sizes = [ 1; 2; 4; 8; 12; 16; 20 ]
+
+let run scale =
+  let scale =
+    { scale with
+      Harness.warmup = scale.Harness.warmup / 2;
+      measure = scale.Harness.measure * 3 / 5 }
+  in
+  Harness.section "Figure 12: effects of batching (YCSB-A, 8B items)";
+  let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:8 () in
+  let table = Table.create [ "batch"; "uTPS-T"; "uTPS-H" ] in
+  let results =
+    List.map
+      (fun batch ->
+        let tweak c = { c with Kvs.Config.batch } in
+        let t = Harness.measure ~index:Kvs.Config.Tree ~tweak Harness.Mutps scale spec in
+        let h = Harness.measure ~index:Kvs.Config.Hash ~tweak Harness.Mutps scale spec in
+        Table.add_row table
+          [
+            string_of_int batch;
+            Table.cell_f t.Harness.mops;
+            Table.cell_f h.Harness.mops;
+          ];
+        (batch, t.Harness.mops, h.Harness.mops))
+      batch_sizes
+  in
+  Table.print table;
+  (match results with
+  | (_, t1, h1) :: _ ->
+    let tb = List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0.0 results in
+    let hb = List.fold_left (fun acc (_, _, h) -> Float.max acc h) 0.0 results in
+    Printf.printf "best-vs-batch1: uTPS-T +%.1f%%  uTPS-H +%.1f%%\n%!"
+      (100.0 *. ((tb /. Float.max t1 1e-9) -. 1.0))
+      (100.0 *. ((hb /. Float.max h1 1e-9) -. 1.0))
+  | [] -> ())

@@ -1,0 +1,115 @@
+(** Figure 13 — auto-tuner behaviour: (a) worker-thread ratio given to the
+    MR layer and (b) LLC ways reused by the MR layer, across keyspace ×
+    item size × skew; (c) cached share of the hot set across skews and
+    indexes.  Each cell runs the real {!Mutps_kvs.Autotuner} to
+    convergence. *)
+
+module Engine = Mutps_sim.Engine
+module Opgen = Mutps_workload.Opgen
+module Ycsb = Mutps_workload.Ycsb
+module Client = Mutps_net.Client
+module Kvs = Mutps_kvs
+
+let tuner_params =
+  {
+    Kvs.Autotuner.window = 2_000_000;
+    settle = 400_000;
+    cache_step = 333;
+    cache_points = 4;
+    auto_threshold = infinity;
+  }
+
+(* Run μTPS under [spec] with the real auto-tuner until one pass
+   completes; return the applied (ncr, hot, ways). *)
+let tuned_config (scale : Harness.scale) ?(index = Kvs.Config.Tree) spec =
+  let built = Harness.build ~index Harness.Mutps scale spec in
+  let kv = Option.get built.Harness.kv_mutps in
+  let tuner = Kvs.Autotuner.create ~params:tuner_params kv in
+  Kvs.Autotuner.spawn tuner;
+  let _clients = Harness.start_clients built scale spec in
+  Engine.run built.Harness.engine ~until:scale.Harness.warmup;
+  Kvs.Autotuner.trigger tuner;
+  let guard = ref 0 in
+  while Kvs.Autotuner.tunes_completed tuner < 1 && !guard < 600 do
+    Engine.run built.Harness.engine
+      ~until:(Engine.now built.Harness.engine + 5_000_000);
+    incr guard
+  done;
+  match Kvs.Autotuner.last_applied tuner with
+  | Some cfg -> cfg
+  | None -> (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
+
+let run_13ab scale =
+  Harness.section
+    "Figure 13a/13b: tuner-chosen MR thread ratio and MR LLC-way ratio";
+  let table =
+    Table.create
+      [ "keyspace"; "size"; "dist"; "MR threads %"; "MR ways %"; "hot items" ]
+  in
+  let cores = scale.Harness.cores in
+  List.iter
+    (fun keyspace ->
+      List.iter
+        (fun size ->
+          List.iter
+            (fun (dist_name, skewed) ->
+              let s = { scale with Harness.keyspace } in
+              let spec =
+                if skewed then Ycsb.a ~keyspace ~value_size:size ()
+                else
+                  { (Ycsb.a ~keyspace ~value_size:size ()) with
+                    Opgen.key_dist = Opgen.Uniform }
+              in
+              let ncr, hot, ways = tuned_config s spec in
+              Table.add_row table
+                [
+                  string_of_int keyspace;
+                  string_of_int size;
+                  dist_name;
+                  Printf.sprintf "%.0f%%"
+                    (100.0 *. float_of_int (cores - ncr) /. float_of_int cores);
+                  Printf.sprintf "%.0f%%" (100.0 *. float_of_int ways /. 12.0);
+                  string_of_int hot;
+                ];
+              Printf.printf ".%!")
+            [ ("zipfian", true); ("uniform", false) ])
+        [ 8; 1024 ])
+    [ scale.Harness.keyspace / 4; scale.Harness.keyspace ];
+  print_newline ();
+  Table.print table
+
+let run_13c scale =
+  Harness.section "Figure 13c: cached share of the hot set vs skew";
+  let table = Table.create [ "index"; "zipf theta"; "cached/hot-set %" ] in
+  List.iter
+    (fun index ->
+      List.iter
+        (fun theta ->
+          let keyspace = scale.Harness.keyspace in
+          let spec =
+            { (Ycsb.a ~keyspace ~value_size:64 ()) with
+              Opgen.key_dist = Opgen.Zipfian theta }
+          in
+          let _, hot, _ = tuned_config scale ~index spec in
+          let max_hot =
+            min
+              (tuner_params.Kvs.Autotuner.cache_step
+              * (tuner_params.Kvs.Autotuner.cache_points - 1))
+              (max 64 (scale.Harness.keyspace / 200))
+          in
+          Table.add_row table
+            [
+              (match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash");
+              Printf.sprintf "%.2f" theta;
+              Printf.sprintf "%.0f%%"
+                (100.0 *. float_of_int hot /. float_of_int (max max_hot 1));
+            ];
+          Printf.printf ".%!")
+        [ 0.60; 0.80; 0.99 ])
+    [ Kvs.Config.Tree; Kvs.Config.Hash ];
+  print_newline ();
+  Table.print table
+
+let run scale =
+  run_13ab scale;
+  run_13c scale

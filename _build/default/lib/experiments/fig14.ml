@@ -1,0 +1,87 @@
+(** Figure 14 — reacting to a dynamic workload: value size drops from
+    512 B to 8 B mid-run; the auto-tuner detects the throughput shift,
+    re-explores the configuration, and applies a better one with no
+    downtime.  Prints the throughput timeline plus the tuner's settings
+    over time. *)
+
+module Engine = Mutps_sim.Engine
+module Stats = Mutps_sim.Stats
+module Ycsb = Mutps_workload.Ycsb
+module Client = Mutps_net.Client
+module Kvs = Mutps_kvs
+
+let tuner_params =
+  {
+    Kvs.Autotuner.window = 2_500_000;
+    settle = 500_000;
+    cache_step = 512;
+    cache_points = 3;
+    auto_threshold = 0.30;
+  }
+
+let run scale =
+  Harness.section
+    "Figure 14: dynamic workload (value size 512B -> 8B), auto-tuner reacting";
+  let keyspace = scale.Harness.keyspace in
+  let spec_big = Ycsb.a ~keyspace ~value_size:512 () in
+  let spec_small = Ycsb.a ~keyspace ~value_size:8 () in
+  let built = Harness.build Harness.Mutps scale spec_big in
+  let kv = Option.get built.Harness.kv_mutps in
+  let tuner = Kvs.Autotuner.create ~params:tuner_params kv in
+  Kvs.Autotuner.spawn tuner;
+  let clients = Harness.start_clients built scale spec_big in
+  let engine = built.Harness.engine in
+  (* timeline: sample throughput every millisecond of simulated time *)
+  let ms = 2_500_000 in
+  let switch_at = 40 * ms in
+  let total = 140 * ms in
+  let samples = ref [] in
+  let last_completed = ref 0 in
+  let t = ref 0 in
+  while !t < total do
+    t := !t + ms;
+    if !t = switch_at then Client.set_spec clients spec_small;
+    Engine.run engine ~until:!t;
+    let c = Client.completed clients in
+    samples := (!t / ms, c - !last_completed) :: !samples;
+    last_completed := c
+  done;
+  let table =
+    Table.create [ "ms"; "Mops"; "ncr"; "hot target"; "mr ways"; "tuning?" ]
+  in
+  (* replay settings history against the sample timeline *)
+  let events = Kvs.Autotuner.events tuner in
+  List.iter
+    (fun (ms_i, ops) ->
+      let at = ms_i * ms in
+      let setting =
+        List.fold_left
+          (fun acc (e : Kvs.Autotuner.event) ->
+            if e.Kvs.Autotuner.at <= at then Some e else acc)
+          None events
+      in
+      let ncr, hot, ways =
+        match setting with
+        | Some e -> (e.Kvs.Autotuner.ncr, e.Kvs.Autotuner.hot, e.Kvs.Autotuner.ways)
+        | None -> (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
+      in
+      if ms_i mod 4 = 0 then
+        Table.add_row table
+          [
+            string_of_int ms_i;
+            Table.cell_f (Stats.mops ~ops ~cycles:ms ~ghz:2.5);
+            string_of_int ncr;
+            string_of_int hot;
+            string_of_int ways;
+            (if ms_i * ms > switch_at && Kvs.Autotuner.tunes_completed tuner = 0
+             then "yes" else "");
+          ])
+    (List.rev !samples);
+  Table.print table;
+  Printf.printf "workload switch at %d ms; tuner passes completed: %d\n%!"
+    (switch_at / ms)
+    (Kvs.Autotuner.tunes_completed tuner);
+  match Kvs.Autotuner.last_applied tuner with
+  | Some (ncr, hot, ways) ->
+    Printf.printf "final config: ncr=%d hot=%d mr_ways=%d\n%!" ncr hot ways
+  | None -> Printf.printf "tuner did not complete a pass\n%!"

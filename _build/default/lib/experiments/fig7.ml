@@ -1,0 +1,76 @@
+(** Figure 7 — overall YCSB throughput grid: operation mixes × item sizes
+    × index structures × systems.  Passive baselines (RaceHash for the
+    hash half, Sherman for the tree half) come from the analytic NIC model
+    in {!Mutps_kvs.Passive}. *)
+
+module Ycsb = Mutps_workload.Ycsb
+module Opgen = Mutps_workload.Opgen
+module Kvs = Mutps_kvs
+
+let mixes (scale : Harness.scale) size =
+  let keyspace = scale.Harness.keyspace in
+  [
+    ("YCSB-A", Ycsb.a ~keyspace ~value_size:size ());
+    ("YCSB-B", Ycsb.b ~keyspace ~value_size:size ());
+    ("YCSB-C", Ycsb.c ~keyspace ~value_size:size ());
+    ("PUT-S", Ycsb.put_only ~keyspace ~value_size:size ());
+    ("GET-U", Ycsb.get_only_uniform ~keyspace ~value_size:size ());
+    ("PUT-U", Ycsb.put_only_uniform ~keyspace ~value_size:size ());
+  ]
+
+let item_sizes = [ 8; 64; 256; 1024 ]
+
+let passive_for index =
+  match index with
+  | Kvs.Config.Hash -> Kvs.Passive.Racehash
+  | Kvs.Config.Tree -> Kvs.Passive.Sherman
+
+let run_half scale index =
+  (* the grid has 48 cells x 3 systems: shorten each cell's windows *)
+  let scale =
+    { scale with
+      Harness.warmup = scale.Harness.warmup / 2;
+      measure = scale.Harness.measure * 3 / 5 }
+  in
+  let index_name =
+    match index with Kvs.Config.Tree -> "MassTree-analog (uTPS-T)" | Kvs.Config.Hash -> "libcuckoo-analog (uTPS-H)"
+  in
+  Harness.section (Printf.sprintf "Figure 7 (%s)" index_name);
+  let passive_name = Kvs.Passive.name (passive_for index) in
+  let table =
+    Table.create
+      [ "mix"; "size"; "uTPS"; "BaseKV"; "eRPC-KV"; passive_name; "uTPS/BaseKV" ]
+  in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (mix_name, spec) ->
+          let m_mutps = Harness.measure ~index Harness.Mutps scale spec in
+          let m_base = Harness.measure ~index Harness.Basekv scale spec in
+          let m_erpc = Harness.measure ~index Harness.Erpckv scale spec in
+          let passive =
+            (* passive systems do not support scans; YCSB has none here *)
+            (Kvs.Passive.evaluate (passive_for index) ~spec
+               ~clients:(scale.Harness.clients * scale.Harness.window))
+              .Kvs.Passive.throughput_mops
+          in
+          Table.add_row table
+            [
+              mix_name;
+              string_of_int size;
+              Table.cell_f m_mutps.Harness.mops;
+              Table.cell_f m_base.Harness.mops;
+              Table.cell_f m_erpc.Harness.mops;
+              Table.cell_f passive;
+              Printf.sprintf "%.2fx"
+                (m_mutps.Harness.mops /. Float.max m_base.Harness.mops 1e-9);
+            ];
+          Printf.printf ".%!")
+        (mixes scale size))
+    item_sizes;
+  print_newline ();
+  Table.print table
+
+let run scale =
+  run_half scale Kvs.Config.Tree;
+  run_half scale Kvs.Config.Hash

@@ -1,0 +1,55 @@
+(** Figure 8 — (a) scan throughput (YCSB-E and scan-only, range 50, 8 B
+    items, tree index); (b)(c) Meta ETC pool at 10/50/90% get ratios. *)
+
+module Ycsb = Mutps_workload.Ycsb
+module Etc = Mutps_workload.Etc
+module Kvs = Mutps_kvs
+
+let run_8a scale =
+  Harness.section "Figure 8a: scan throughput (range 50, 8B items, tree)";
+  let keyspace = scale.Harness.keyspace in
+  let table = Table.create [ "workload"; "uTPS-T"; "BaseKV"; "eRPC-KV" ] in
+  List.iter
+    (fun (name, spec) ->
+      let m = Harness.measure Harness.Mutps scale spec in
+      let b = Harness.measure Harness.Basekv scale spec in
+      let e = Harness.measure Harness.Erpckv scale spec in
+      Table.add_row table
+        [
+          name;
+          Table.cell_f m.Harness.mops;
+          Table.cell_f b.Harness.mops;
+          Table.cell_f e.Harness.mops;
+        ])
+    [
+      ("YCSB-E", Ycsb.e ~keyspace ~scan_len:50 ~value_size:8 ());
+      ("scan-only", Ycsb.scan_only ~keyspace ~scan_len:50 ~value_size:8 ());
+    ];
+  Table.print table
+
+let run_8bc scale =
+  Harness.section "Figure 8b-c: Meta ETC pool";
+  let keyspace = scale.Harness.keyspace in
+  let table =
+    Table.create [ "get ratio"; "uTPS-T"; "BaseKV"; "eRPC-KV"; "uTPS/BaseKV" ]
+  in
+  List.iter
+    (fun ratio ->
+      let spec = Etc.spec ~keyspace ~get_ratio:ratio () in
+      let m = Harness.measure Harness.Mutps scale spec in
+      let b = Harness.measure Harness.Basekv scale spec in
+      let e = Harness.measure Harness.Erpckv scale spec in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. ratio);
+          Table.cell_f m.Harness.mops;
+          Table.cell_f b.Harness.mops;
+          Table.cell_f e.Harness.mops;
+          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max b.Harness.mops 1e-9);
+        ])
+    [ 0.1; 0.5; 0.9 ];
+  Table.print table
+
+let run scale =
+  run_8a scale;
+  run_8bc scale

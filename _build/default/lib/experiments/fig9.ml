@@ -1,0 +1,28 @@
+(** Figure 9 — throughput on the three Twitter cache traces of Table 1. *)
+
+module Twitter = Mutps_workload.Twitter
+module Kvs = Mutps_kvs
+
+let run scale =
+  Harness.section "Figure 9: Twitter traces";
+  let table =
+    Table.create
+      [ "trace"; "uTPS-T"; "BaseKV"; "eRPC-KV"; "uTPS/BaseKV"; "uTPS/eRPC" ]
+  in
+  List.iter
+    (fun cluster ->
+      let spec = Twitter.spec ~keyspace:scale.Harness.keyspace cluster in
+      let m = Harness.measure Harness.Mutps scale spec in
+      let b = Harness.measure Harness.Basekv scale spec in
+      let e = Harness.measure Harness.Erpckv scale spec in
+      Table.add_row table
+        [
+          Twitter.name cluster;
+          Table.cell_f m.Harness.mops;
+          Table.cell_f b.Harness.mops;
+          Table.cell_f e.Harness.mops;
+          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max b.Harness.mops 1e-9);
+          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max e.Harness.mops 1e-9);
+        ])
+    Twitter.all;
+  Table.print table

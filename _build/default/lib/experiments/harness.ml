@@ -1,0 +1,244 @@
+(** Shared experiment harness: build a system, pre-populate, drive it with
+    closed-loop clients, measure after a warm-up window.
+
+    μTPS datapoints run a short "trisection-lite" calibration (three
+    candidate thread splits, picking the best over a quarter-length probe)
+    standing in for a full auto-tuner pass on every grid cell; Figures 13
+    and 14 exercise the real {!Mutps_kvs.Autotuner}. *)
+
+module Engine = Mutps_sim.Engine
+module Stats = Mutps_sim.Stats
+module Opgen = Mutps_workload.Opgen
+module Client = Mutps_net.Client
+module Kvs = Mutps_kvs
+
+type scale = {
+  keyspace : int;
+  cores : int;
+  clients : int;
+  window : int;
+  warmup : int;  (** cycles before stats reset *)
+  measure : int;  (** measured cycles *)
+}
+
+(* Default scale: 200K-item store (vs the paper's 10M — same
+   LLC-overflowing regime, tractable wall time), 12 worker cores, 256
+   outstanding requests (saturating), 4 ms warmup + 10 ms measured. *)
+let default_scale =
+  {
+    keyspace = 200_000;
+    cores = 12;
+    clients = 64;
+    window = 4;
+    warmup = 10_000_000;
+    measure = 25_000_000;
+  }
+
+let scale_from_env () =
+  match Sys.getenv_opt "MUTPS_BENCH_SCALE" with
+  | None -> default_scale
+  | Some s ->
+    let f = float_of_string s in
+    let scaled v = max 1 (int_of_float (float_of_int v *. f)) in
+    {
+      default_scale with
+      keyspace = scaled default_scale.keyspace;
+      warmup = scaled default_scale.warmup;
+      measure = scaled default_scale.measure;
+      (* saturation needs outstanding depth even at small scale *)
+      clients = max 48 (scaled default_scale.clients);
+    }
+
+type system = Mutps | Basekv | Erpckv
+
+let system_name = function
+  | Mutps -> "uTPS"
+  | Basekv -> "BaseKV"
+  | Erpckv -> "eRPC-KV"
+
+type measurement = {
+  mops : float;
+  p50_us : float;
+  p99_us : float;
+  completed : int;
+  cr_hit_rate : float;  (** μTPS only; 0 otherwise *)
+}
+
+let ghz config = config.Kvs.Config.costs.Mutps_mem.Costs.ghz
+
+let populate_size (spec : Opgen.spec) =
+  let m = int_of_float (Opgen.mean_value_size spec) in
+  max 8 m
+
+let mk_config ?(index = Kvs.Config.Tree) ?(tweak = Fun.id) (scale : scale) =
+  let c = Kvs.Config.default ~cores:scale.cores ~index ~capacity:scale.keyspace () in
+  tweak
+    {
+      c with
+      (* refresh the hot set every simulated 2 ms so warmup suffices *)
+      Kvs.Config.refresh_cycles = 5_000_000;
+      (* keep the paper's footprint-to-LLC pressure at reduced keyspace *)
+      geometry =
+        Some (Kvs.Config.scaled_geometry ~cores:scale.cores ~keyspace:scale.keyspace);
+      (* hot set sized like the paper's 10K of 10M: same Zipfian coverage *)
+      hot_k = max 64 (scale.keyspace / 200);
+    }
+
+type built = {
+  engine : Engine.t;
+  link : Mutps_net.Link.t;
+  transport : Mutps_net.Transport.t;
+  dispatch : Opgen.op -> int;
+  kv_mutps : Kvs.Mutps.t option;
+  backend : Kvs.Backend.t;
+}
+
+let build ?index ?ncr ?tweak system (scale : scale) (spec : Opgen.spec) =
+  let config = mk_config ?index ?tweak scale in
+  let vsize = populate_size spec in
+  match system with
+  | Basekv ->
+    let kv = Kvs.Basekv.create config in
+    Kvs.Backend.populate
+      ~size_of:(Opgen.size_for_key spec)
+      (Kvs.Basekv.backend kv) ~keyspace:scale.keyspace ~value_size:vsize;
+    Kvs.Basekv.start kv;
+    let b = Kvs.Basekv.backend kv in
+    {
+      engine = b.Kvs.Backend.engine;
+      link = b.Kvs.Backend.link;
+      transport = Kvs.Basekv.transport kv;
+      dispatch = Client.uniform_dispatch;
+      kv_mutps = None;
+      backend = b;
+    }
+  | Erpckv ->
+    let kv = Kvs.Erpckv.create config in
+    Kvs.Backend.populate
+      ~size_of:(Opgen.size_for_key spec)
+      (Kvs.Erpckv.backend kv) ~keyspace:scale.keyspace ~value_size:vsize;
+    Kvs.Erpckv.start kv;
+    let b = Kvs.Erpckv.backend kv in
+    {
+      engine = b.Kvs.Backend.engine;
+      link = b.Kvs.Backend.link;
+      transport = Kvs.Erpckv.transport kv;
+      dispatch = Kvs.Erpckv.dispatch kv;
+      kv_mutps = None;
+      backend = b;
+    }
+  | Mutps ->
+    let kv = Kvs.Mutps.create ?ncr config in
+    Kvs.Backend.populate
+      ~size_of:(Opgen.size_for_key spec)
+      (Kvs.Mutps.backend kv) ~keyspace:scale.keyspace ~value_size:vsize;
+    Kvs.Mutps.start kv;
+    let b = Kvs.Mutps.backend kv in
+    {
+      engine = b.Kvs.Backend.engine;
+      link = b.Kvs.Backend.link;
+      transport = Kvs.Mutps.transport kv;
+      dispatch = Client.uniform_dispatch;
+      kv_mutps = Some kv;
+      backend = b;
+    }
+
+let start_clients built (scale : scale) spec =
+  Client.start ~engine:built.engine ~link:built.link ~transport:built.transport
+    {
+      Client.clients = scale.clients;
+      window = scale.window;
+      spec;
+      seed = 7;
+      dispatch = built.dispatch;
+    }
+
+(* Probe candidate CR/MR splits over short windows and keep the best — the
+   grid-cell stand-in for a full auto-tuner pass. *)
+let calibrate_split built (scale : scale) clients =
+  match built.kv_mutps with
+  | None -> ()
+  | Some kv ->
+    let cores = scale.cores in
+    let frac num den = max 1 (min (cores - 1) (num * cores / den)) in
+    let candidates =
+      List.sort_uniq compare
+        [ frac 1 4; frac 3 8; frac 1 2; frac 2 3; frac 3 4 ]
+    in
+    let probe = max 2_500_000 (scale.measure / 6) in
+    let best = ref (-1) and best_rate = ref (-1) in
+    List.iter
+      (fun ncr ->
+        Kvs.Mutps.set_split kv ~ncr;
+        (* settle, then probe *)
+        Engine.run built.engine ~until:(Engine.now built.engine + (probe / 2));
+        let c0 = Client.completed clients in
+        Engine.run built.engine ~until:(Engine.now built.engine + probe);
+        let rate = Client.completed clients - c0 in
+        if rate > !best_rate then begin
+          best_rate := rate;
+          best := ncr
+        end)
+      candidates;
+    Kvs.Mutps.set_split kv ~ncr:!best;
+    Engine.run built.engine ~until:(Engine.now built.engine + (probe / 2));
+    (* probe the cache-resize axis too: under write-heavy skew, serving hot
+       puts at the CR layer can concentrate lock contention, and the tuner's
+       answer is to shrink the hot set (Â§3.5 cache resizing / Figure 13c) *)
+    let hot_default = Kvs.Mutps.hot_target kv in
+    let measure_hot hot =
+      Kvs.Mutps.set_hot_target kv hot;
+      Kvs.Mutps.refresh_now kv;
+      Engine.run built.engine ~until:(Engine.now built.engine + (probe / 2));
+      let c0 = Client.completed clients in
+      Engine.run built.engine ~until:(Engine.now built.engine + probe);
+      Client.completed clients - c0
+    in
+    let with_default = measure_hot hot_default in
+    let with_zero = measure_hot 0 in
+    if with_default >= with_zero then begin
+      Kvs.Mutps.set_hot_target kv hot_default;
+      Kvs.Mutps.refresh_now kv;
+      (* wait until the republished hot set is live again *)
+      let guard = ref 0 in
+      while Kvs.Mutps.hot_size kv = 0 && !guard < 40 do
+        Engine.run built.engine ~until:(Engine.now built.engine + (probe / 8));
+        incr guard
+      done
+    end
+
+let measure ?index ?ncr ?tweak ?(calibrate = true) ?customize system scale spec =
+  let built = build ?index ?ncr ?tweak system scale spec in
+  (match customize with Some f -> f built | None -> ());
+  let clients = start_clients built scale spec in
+  Engine.run built.engine ~until:scale.warmup;
+  if system = Mutps && calibrate then calibrate_split built scale clients;
+  (match built.kv_mutps with
+  | Some kv -> Kvs.Mutps.refresh_now kv
+  | None -> ());
+  let t0 = Engine.now built.engine in
+  Client.reset_stats clients;
+  let hits0 =
+    match built.kv_mutps with Some kv -> Kvs.Mutps.cr_hits kv | None -> 0
+  in
+  Engine.run built.engine ~until:(t0 + scale.measure);
+  let completed = Client.completed clients in
+  let hist = Client.latency clients in
+  let g = ghz (mk_config scale) in
+  let cycles_to_us c = float_of_int c /. g /. 1000.0 in
+  let cr_hit_rate =
+    match built.kv_mutps with
+    | Some kv when completed > 0 ->
+      float_of_int (Kvs.Mutps.cr_hits kv - hits0) /. float_of_int completed
+    | _ -> 0.0
+  in
+  {
+    mops = Stats.mops ~ops:completed ~cycles:scale.measure ~ghz:g;
+    p50_us = cycles_to_us (Stats.Hist.percentile hist 50.0);
+    p99_us = cycles_to_us (Stats.Hist.percentile hist 99.0);
+    completed;
+    cr_hit_rate;
+  }
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title

@@ -1,0 +1,12 @@
+(** Experiment registry: every table and figure of the paper's evaluation,
+    runnable by name. *)
+
+type entry = {
+  name : string;
+  description : string;
+  run : Harness.scale -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,35 @@
+(** Aligned-column table printing for experiment output. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let cell_f f = Printf.sprintf "%.2f" f
+let cell_i = string_of_int
+
+let print ?(out = stdout) t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        output_string out (Printf.sprintf "%-*s  " w cell))
+      row;
+    output_string out "\n"
+  in
+  print_row t.header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush out

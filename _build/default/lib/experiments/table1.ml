@@ -1,0 +1,40 @@
+(** Table 1 — characteristics of the selected Twitter traces, as published
+    and as measured from our generators (200 K sampled operations each). *)
+
+module Opgen = Mutps_workload.Opgen
+module Twitter = Mutps_workload.Twitter
+module Request = Mutps_queue.Request
+
+let run (_scale : Harness.scale) =
+  Harness.section "Table 1: Twitter trace characteristics (spec vs generated)";
+  let table =
+    Table.create
+      [
+        "trace"; "put ratio (spec)"; "put ratio (gen)";
+        "avg value (spec)"; "avg value (gen)"; "zipf alpha";
+      ]
+  in
+  List.iter
+    (fun cluster ->
+      let spec = Twitter.spec ~keyspace:100_000 cluster in
+      let gen = Opgen.make spec ~seed:123 in
+      let n = 200_000 in
+      let puts = ref 0 and bytes = ref 0 in
+      for _ = 1 to n do
+        let op = Opgen.next gen in
+        if op.Opgen.kind = Request.Put then begin
+          incr puts;
+          bytes := !bytes + op.Opgen.size
+        end
+      done;
+      Table.add_row table
+        [
+          Twitter.name cluster;
+          Printf.sprintf "%.0f%%" (100.0 *. Twitter.put_ratio cluster);
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int !puts /. float_of_int n);
+          Printf.sprintf "%dB" (Twitter.avg_value_size cluster);
+          Printf.sprintf "%.0fB" (float_of_int !bytes /. float_of_int (max 1 !puts));
+          Printf.sprintf "%.2f" (Twitter.zipf_alpha cluster);
+        ])
+    Twitter.all;
+  Table.print table

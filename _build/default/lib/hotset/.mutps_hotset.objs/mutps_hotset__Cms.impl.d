@@ -1,0 +1,1 @@
+lib/hotset/cms.ml: Array Int64 Mutps_sim

@@ -1,0 +1,1 @@
+lib/hotset/cms.mli:

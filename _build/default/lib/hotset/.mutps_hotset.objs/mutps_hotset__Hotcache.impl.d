@@ -1,0 +1,1 @@
+lib/hotset/hotcache.ml: Array Int64 List Mutps_mem Mutps_sim Mutps_store

@@ -1,0 +1,1 @@
+lib/hotset/hotcache.mli: Mutps_mem Mutps_store

@@ -1,0 +1,47 @@
+module Rng = Mutps_sim.Rng
+
+type t = {
+  rows : int;
+  width : int;
+  mask : int;
+  counts : int array; (* rows * width *)
+  salts : int64 array;
+  mutable total : int;
+}
+
+let create ?(rows = 4) ~width () =
+  if rows <= 0 || width <= 0 then invalid_arg "Cms.create";
+  let width = 1 lsl Mutps_sim.Bits.log2_ceil width in
+  {
+    rows;
+    width;
+    mask = width - 1;
+    counts = Array.make (rows * width) 0;
+    salts = Array.init rows (fun i -> Rng.hash64 (Int64.of_int (i + 1)));
+    total = 0;
+  }
+
+let cell t row key =
+  let h = Rng.hash64 (Int64.logxor key t.salts.(row)) in
+  (row * t.width) + (Int64.to_int h land t.mask)
+
+let add t key =
+  for row = 0 to t.rows - 1 do
+    let i = cell t row key in
+    t.counts.(i) <- t.counts.(i) + 1
+  done;
+  t.total <- t.total + 1
+
+let estimate t key =
+  let est = ref max_int in
+  for row = 0 to t.rows - 1 do
+    let c = t.counts.(cell t row key) in
+    if c < !est then est := c
+  done;
+  if !est = max_int then 0 else !est
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0
+
+let total t = t.total

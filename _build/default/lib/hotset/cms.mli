@@ -1,0 +1,15 @@
+(** Count-min sketch over 64-bit keys (Cormode–Muthukrishnan), used by the
+    hot-set tracker (§3.2.2) to estimate key frequencies from samples. *)
+
+type t
+
+val create : ?rows:int -> width:int -> unit -> t
+(** [width] is rounded up to a power of two; [rows] defaults to 4. *)
+
+val add : t -> int64 -> unit
+val estimate : t -> int64 -> int
+(** Never underestimates the true count of added keys. *)
+
+val clear : t -> unit
+val total : t -> int
+(** Number of [add]s since the last clear. *)

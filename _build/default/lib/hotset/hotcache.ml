@@ -1,0 +1,189 @@
+module Env = Mutps_mem.Env
+module Layout = Mutps_mem.Layout
+module Item = Mutps_store.Item
+module Rng = Mutps_sim.Rng
+
+type mode = Sorted | Probed
+
+let entry_bytes = 16
+
+type t = {
+  mode : mode;
+  max_items : int;
+  table_cap : int; (* probed mode: power-of-two slot count *)
+  base : int;
+  bytes : int;
+  epoch_addr : int;
+  mutable keys : int64 array; (* sorted mode: sorted keys; probed: slots *)
+  mutable items : Item.t option array;
+  mutable size : int;
+  mutable epoch : int;
+}
+
+let create layout ~mode ~max_items =
+  if max_items <= 0 then invalid_arg "Hotcache.create";
+  let table_cap = 1 lsl Mutps_sim.Bits.log2_ceil (2 * max_items) in
+  let slots = match mode with Sorted -> max_items | Probed -> table_cap in
+  let bytes = Layout.line_bytes + (slots * entry_bytes) in
+  let region = Layout.region layout ~name:"hotcache" ~size:bytes in
+  let epoch_addr = Layout.alloc region ~align:64 8 in
+  ignore (Layout.alloc region ~align:64 (slots * entry_bytes));
+  {
+    mode;
+    max_items;
+    table_cap;
+    base = Layout.base region;
+    bytes;
+    epoch_addr;
+    keys = Array.make slots 0L;
+    items = Array.make slots None;
+    size = 0;
+    epoch = 0;
+  }
+
+let mode t = t.mode
+let size t = t.size
+let epoch t = t.epoch
+let region_base t = t.base
+let region_bytes t = t.bytes
+
+(* address of entry slot [i] *)
+let slot_addr t i = t.base + Layout.line_bytes + (i * entry_bytes)
+
+let probe_slot t key attempt =
+  (Int64.to_int (Rng.hash64 key) + attempt) land (t.table_cap - 1)
+
+let publish t entries =
+  if Array.length entries > t.max_items then
+    invalid_arg "Hotcache.publish: more entries than max_items";
+  (match t.mode with
+  | Sorted ->
+    let sorted = Array.copy entries in
+    Array.sort (fun (a, _) (b, _) -> Int64.compare a b) sorted;
+    Array.fill t.items 0 (Array.length t.items) None;
+    let n = ref 0 in
+    Array.iter
+      (fun (k, item) ->
+        (* drop duplicates (sorted, so dups are adjacent) *)
+        if !n = 0 || not (Int64.equal t.keys.(!n - 1) k) then begin
+          t.keys.(!n) <- k;
+          t.items.(!n) <- Some item;
+          incr n
+        end)
+      sorted;
+    t.size <- !n
+  | Probed ->
+    Array.fill t.items 0 (Array.length t.items) None;
+    t.size <- 0;
+    Array.iter
+      (fun (k, item) ->
+        let rec place attempt =
+          if attempt >= t.table_cap then failwith "Hotcache: table full"
+          else begin
+            let s = probe_slot t k attempt in
+            match t.items.(s) with
+            | None ->
+              t.keys.(s) <- k;
+              t.items.(s) <- Some item;
+              t.size <- t.size + 1
+            | Some _ when Int64.equal t.keys.(s) k -> () (* duplicate *)
+            | Some _ -> place (attempt + 1)
+          end
+        in
+        place 0)
+      entries);
+  t.epoch <- t.epoch + 1
+
+let find_sorted t env key =
+  let lo = ref 0 and hi = ref t.size in
+  let found = ref None in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Env.load env ~addr:(slot_addr t mid) ~size:entry_bytes;
+    let c = Int64.compare t.keys.(mid) key in
+    if c = 0 then begin
+      found := t.items.(mid);
+      lo := !hi
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let find_probed t env key =
+  let rec go attempt =
+    if attempt >= t.table_cap then None
+    else begin
+      let s = probe_slot t key attempt in
+      Env.load env ~addr:(slot_addr t s) ~size:entry_bytes;
+      match t.items.(s) with
+      | None -> None
+      | Some item when Int64.equal t.keys.(s) key -> Some item
+      | Some _ -> go (attempt + 1)
+    end
+  in
+  go 0
+
+let find t env key =
+  if t.size = 0 then None
+  else begin
+    Env.load env ~addr:t.epoch_addr ~size:8;
+    match t.mode with
+    | Sorted -> find_sorted t env key
+    | Probed -> find_probed t env key
+  end
+
+let mem_silent t key =
+  if t.size = 0 then false
+  else
+    match t.mode with
+    | Sorted ->
+      let lo = ref 0 and hi = ref t.size in
+      let found = ref false in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let c = Int64.compare t.keys.(mid) key in
+        if c = 0 then begin
+          found := true;
+          lo := !hi
+        end
+        else if c < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      !found
+    | Probed ->
+      let rec go attempt =
+        if attempt >= t.table_cap then false
+        else begin
+          let s = probe_slot t key attempt in
+          match t.items.(s) with
+          | None -> false
+          | Some _ when Int64.equal t.keys.(s) key -> true
+          | Some _ -> go (attempt + 1)
+        end
+      in
+      go 0
+
+let cached_range t env ~lo ~n =
+  match t.mode with
+  | Probed -> invalid_arg "Hotcache.cached_range: requires Sorted mode"
+  | Sorted ->
+    Env.load env ~addr:t.epoch_addr ~size:8;
+    (* binary search for the first key >= lo *)
+    let a = ref 0 and b = ref t.size in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      Env.load env ~addr:(slot_addr t mid) ~size:entry_bytes;
+      if Int64.compare t.keys.(mid) lo < 0 then a := mid + 1 else b := mid
+    done;
+    let out = ref [] and taken = ref 0 and i = ref !a in
+    while !taken < n && !i < t.size do
+      Env.load env ~addr:(slot_addr t !i) ~size:entry_bytes;
+      (match t.items.(!i) with
+      | Some item ->
+        out := (t.keys.(!i), item) :: !out;
+        incr taken
+      | None -> ());
+      incr i
+    done;
+    List.rev !out

@@ -1,0 +1,75 @@
+type t = {
+  k : int;
+  keys : int64 array;
+  counts : int array;
+  index : (int64, int) Hashtbl.t; (* key -> heap position *)
+  mutable size : int;
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Topk.create";
+  { k; keys = Array.make k 0L; counts = Array.make k 0; index = Hashtbl.create (2 * k); size = 0 }
+
+let size t = t.size
+let min_count t = if t.size < t.k then 0 else t.counts.(0)
+
+let swap t i j =
+  let tk = t.keys.(i) and tc = t.counts.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.counts.(i) <- t.counts.(j);
+  t.keys.(j) <- tk;
+  t.counts.(j) <- tc;
+  Hashtbl.replace t.index t.keys.(i) i;
+  Hashtbl.replace t.index t.keys.(j) j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.counts.(i) < t.counts.(p) then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.counts.(l) < t.counts.(!smallest) then smallest := l;
+  if r < t.size && t.counts.(r) < t.counts.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let offer t key count =
+  match Hashtbl.find_opt t.index key with
+  | Some i ->
+    if count > t.counts.(i) then begin
+      t.counts.(i) <- count;
+      sift_down t i
+    end
+  | None ->
+    if t.size < t.k then begin
+      let i = t.size in
+      t.size <- t.size + 1;
+      t.keys.(i) <- key;
+      t.counts.(i) <- count;
+      Hashtbl.replace t.index key i;
+      sift_up t i
+    end
+    else if count > t.counts.(0) then begin
+      Hashtbl.remove t.index t.keys.(0);
+      t.keys.(0) <- key;
+      t.counts.(0) <- count;
+      Hashtbl.replace t.index key 0;
+      sift_down t 0
+    end
+
+let contents t =
+  let out = Array.init t.size (fun i -> (t.keys.(i), t.counts.(i))) in
+  Array.sort (fun (_, a) (_, b) -> compare b a) out;
+  out
+
+let clear t =
+  t.size <- 0;
+  Hashtbl.reset t.index

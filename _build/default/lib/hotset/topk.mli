@@ -1,0 +1,20 @@
+(** Top-K tracking with a min-heap keyed by estimated count (§3.2.2: the
+    hottest ~10K items). *)
+
+type t
+
+val create : k:int -> t
+
+val offer : t -> int64 -> int -> unit
+(** [offer t key count] considers [key] with estimated frequency [count].
+    Re-offering a tracked key updates its count (max of offers). *)
+
+val size : t -> int
+
+val contents : t -> (int64 * int) array
+(** Tracked keys with counts, hottest first. *)
+
+val min_count : t -> int
+(** Smallest tracked count (0 when not yet full). *)
+
+val clear : t -> unit

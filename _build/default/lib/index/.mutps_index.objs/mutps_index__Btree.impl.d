@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Fun Index_intf Int64 List Mutps_mem Mutps_store Printf

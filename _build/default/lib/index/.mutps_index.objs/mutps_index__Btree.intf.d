@@ -1,0 +1,1 @@
+lib/index/btree.mli: Index_intf Mutps_mem

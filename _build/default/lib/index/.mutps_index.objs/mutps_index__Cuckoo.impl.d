@@ -1,0 +1,1 @@
+lib/index/cuckoo.ml: Array Index_intf Int64 List Mutps_mem Mutps_sim Mutps_store

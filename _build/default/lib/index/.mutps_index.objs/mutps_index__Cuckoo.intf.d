@@ -1,0 +1,1 @@
+lib/index/cuckoo.mli: Index_intf Mutps_mem

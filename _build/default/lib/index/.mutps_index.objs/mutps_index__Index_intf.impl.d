@@ -1,0 +1,1 @@
+lib/index/index_intf.ml: Mutps_mem Mutps_store

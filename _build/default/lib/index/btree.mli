@@ -1,0 +1,23 @@
+(** B+tree index (MassTree analog).
+
+    Nodes hold up to {!fanout} keys and occupy 256 bytes (4 cache lines) in
+    the simulated address space; leaves are chained for range scans.  A
+    point lookup is a root-to-leaf pointer chase — the deep-traversal,
+    cache-miss-heavy behaviour that gives μTPS-T its larger headroom over
+    run-to-completion baselines.  [batch_lookup] descends level-synchronously
+    with overlapped prefetches across the batch. *)
+
+type t
+
+val fanout : int
+val node_bytes : int
+
+val create : Mutps_mem.Layout.t -> seed:int -> t
+
+val ops : t -> Index_intf.t
+val count : t -> int
+val depth : t -> int
+
+val check_invariants : t -> unit
+(** Walk the whole tree asserting ordering, occupancy, and leaf-chain
+    consistency; raises [Failure] on violation (test hook). *)

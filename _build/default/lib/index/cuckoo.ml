@@ -1,0 +1,236 @@
+module Env = Mutps_mem.Env
+module Layout = Mutps_mem.Layout
+module Item = Mutps_store.Item
+module Rng = Mutps_sim.Rng
+
+exception Full
+
+let slots_per_bucket = 4
+let bucket_bytes = Layout.line_bytes (* 4 × (8B key + 8B pointer) *)
+let max_displacements = 500
+
+type slot = { mutable key : int64; mutable item : Item.t option }
+
+type bucket = { addr : int; slots : slot array }
+
+type t = {
+  buckets : bucket array;
+  mask : int;
+  salt : int64;
+  rng : Rng.t;
+  mutable count : int;
+}
+
+let create layout ~capacity ~seed =
+  if capacity <= 0 then invalid_arg "Cuckoo.create";
+  let want_buckets =
+    int_of_float (ceil (float_of_int capacity /. float_of_int slots_per_bucket /. 0.85))
+  in
+  let n = 1 lsl Mutps_sim.Bits.log2_ceil want_buckets in
+  let region =
+    Layout.region layout ~name:"cuckoo-buckets" ~size:(n * bucket_bytes)
+  in
+  let mk_bucket _ =
+    {
+      addr = Layout.alloc region ~align:bucket_bytes bucket_bytes;
+      slots =
+        Array.init slots_per_bucket (fun _ -> { key = 0L; item = None });
+    }
+  in
+  {
+    buckets = Array.init n mk_bucket;
+    mask = n - 1;
+    salt = Rng.hash64 (Int64.of_int (seed lxor 0x5bd1e995));
+    rng = Rng.create (seed + 17);
+    count = 0;
+  }
+
+let buckets t = Array.length t.buckets
+let count t = t.count
+
+let h1 t key = Int64.to_int (Rng.hash64 key) land t.mask
+
+let h2 t key =
+  Int64.to_int (Rng.hash64 (Int64.logxor key t.salt)) land t.mask
+
+let find_slot b key =
+  let rec go i =
+    if i = slots_per_bucket then None
+    else
+      let s = b.slots.(i) in
+      if s.item <> None && Int64.equal s.key key then Some s else go (i + 1)
+  in
+  go 0
+
+let empty_slot b =
+  let rec go i =
+    if i = slots_per_bucket then None
+    else if b.slots.(i).item = None then Some b.slots.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* --- silent (setup) path: no simulation charges --- *)
+
+let rec displace_silent t bucket_idx depth =
+  if depth > max_displacements then raise Full;
+  let b = t.buckets.(bucket_idx) in
+  match empty_slot b with
+  | Some s -> s
+  | None ->
+    (* displace a random victim to its alternate bucket *)
+    let vi = Rng.int t.rng slots_per_bucket in
+    let victim = b.slots.(vi) in
+    let alt =
+      let a1 = h1 t victim.key in
+      if a1 = bucket_idx then h2 t victim.key else a1
+    in
+    let dst = displace_silent t alt (depth + 1) in
+    dst.key <- victim.key;
+    dst.item <- victim.item;
+    victim.item <- None;
+    victim
+
+let insert_silent t key item =
+  let b1 = t.buckets.(h1 t key) and b2 = t.buckets.(h2 t key) in
+  match find_slot b1 key with
+  | Some s -> s.item <- Some item
+  | None -> (
+    match find_slot b2 key with
+    | Some s -> s.item <- Some item
+    | None ->
+      let s =
+        match empty_slot b1 with
+        | Some s -> s
+        | None -> (
+          match empty_slot b2 with
+          | Some s -> s
+          | None -> displace_silent t (h1 t key) 0)
+      in
+      s.key <- key;
+      s.item <- Some item;
+      t.count <- t.count + 1)
+
+(* --- charged path --- *)
+
+let lookup t env key =
+  let b1 = t.buckets.(h1 t key) in
+  Env.load env ~addr:b1.addr ~size:bucket_bytes;
+  match find_slot b1 key with
+  | Some s -> s.item
+  | None ->
+    let b2 = t.buckets.(h2 t key) in
+    Env.load env ~addr:b2.addr ~size:bucket_bytes;
+    (match find_slot b2 key with Some s -> s.item | None -> None)
+
+let batch_lookup t env keys =
+  let n = Array.length keys in
+  (* stage 1: prefetch every primary bucket, then probe *)
+  Env.prefetch_batch env (Array.map (fun k -> (t.buckets.(h1 t k)).addr) keys);
+  let result = Array.make n None in
+  let missing = ref [] in
+  for i = 0 to n - 1 do
+    let b1 = t.buckets.(h1 t keys.(i)) in
+    Env.load env ~addr:b1.addr ~size:bucket_bytes;
+    match find_slot b1 keys.(i) with
+    | Some s -> result.(i) <- s.item
+    | None -> missing := i :: !missing
+  done;
+  (* stage 2: alternate buckets only for the misses *)
+  let missing = Array.of_list (List.rev !missing) in
+  if Array.length missing > 0 then begin
+    Env.prefetch_batch env
+      (Array.map (fun i -> (t.buckets.(h2 t keys.(i))).addr) missing);
+    Array.iter
+      (fun i ->
+        let b2 = t.buckets.(h2 t keys.(i)) in
+        Env.load env ~addr:b2.addr ~size:bucket_bytes;
+        match find_slot b2 keys.(i) with
+        | Some s -> result.(i) <- s.item
+        | None -> ())
+      missing
+  end;
+  result
+
+let rec displace t env bucket_idx depth =
+  if depth > max_displacements then raise Full;
+  let b = t.buckets.(bucket_idx) in
+  Env.load env ~addr:b.addr ~size:bucket_bytes;
+  match empty_slot b with
+  | Some s -> s
+  | None ->
+    let vi = Rng.int t.rng slots_per_bucket in
+    let victim = b.slots.(vi) in
+    let alt =
+      let a1 = h1 t victim.key in
+      if a1 = bucket_idx then h2 t victim.key else a1
+    in
+    let dst = displace t env alt (depth + 1) in
+    Env.store env ~addr:b.addr ~size:16;
+    dst.key <- victim.key;
+    dst.item <- victim.item;
+    victim.item <- None;
+    victim
+
+let insert t env key item =
+  let i1 = h1 t key and i2 = h2 t key in
+  let b1 = t.buckets.(i1) and b2 = t.buckets.(i2) in
+  Env.load env ~addr:b1.addr ~size:bucket_bytes;
+  match find_slot b1 key with
+  | Some s ->
+    Env.store env ~addr:b1.addr ~size:16;
+    s.item <- Some item
+  | None -> (
+    Env.load env ~addr:b2.addr ~size:bucket_bytes;
+    match find_slot b2 key with
+    | Some s ->
+      Env.store env ~addr:b2.addr ~size:16;
+      s.item <- Some item
+    | None ->
+      let s, baddr =
+        match empty_slot b1 with
+        | Some s -> (s, b1.addr)
+        | None -> (
+          match empty_slot b2 with
+          | Some s -> (s, b2.addr)
+          | None -> (displace t env i1 0, b1.addr))
+      in
+      Env.store env ~addr:baddr ~size:16;
+      s.key <- key;
+      s.item <- Some item;
+      t.count <- t.count + 1)
+
+let remove t env key =
+  let b1 = t.buckets.(h1 t key) in
+  Env.load env ~addr:b1.addr ~size:bucket_bytes;
+  match find_slot b1 key with
+  | Some s ->
+    Env.store env ~addr:b1.addr ~size:16;
+    s.item <- None;
+    t.count <- t.count - 1;
+    true
+  | None -> (
+    let b2 = t.buckets.(h2 t key) in
+    Env.load env ~addr:b2.addr ~size:bucket_bytes;
+    match find_slot b2 key with
+    | Some s ->
+      Env.store env ~addr:b2.addr ~size:16;
+      s.item <- None;
+      t.count <- t.count - 1;
+      true
+    | None -> false)
+
+let ops t =
+  {
+    Index_intf.name = "cuckoo";
+    kind = Index_intf.Hash;
+    lookup = (fun env k -> lookup t env k);
+    batch_lookup = (fun env ks -> batch_lookup t env ks);
+    insert = (fun env k v -> insert t env k v);
+    remove = (fun env k -> remove t env k);
+    range =
+      (fun _ ~lo:_ ~n:_ ->
+        invalid_arg "Cuckoo: range queries require a tree index");
+    insert_silent = (fun k v -> insert_silent t k v);
+    count = (fun () -> count t);
+  }

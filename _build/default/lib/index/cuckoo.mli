@@ -1,0 +1,21 @@
+(** Bucketed cuckoo hash table (libcuckoo analog).
+
+    4 slots per bucket, two hash functions, random-walk displacement on
+    insert.  Each bucket occupies exactly one cache line in the simulated
+    address space, so a point lookup costs one or two line loads — the
+    shallow-traversal behaviour that makes hash-indexed KVSs harder for
+    μTPS to speed up (§5.2.1, "effects of index type"). *)
+
+type t
+
+val create :
+  Mutps_mem.Layout.t -> capacity:int -> seed:int -> t
+(** A table able to hold at least [capacity] items (sized for ~85% peak
+    load factor). *)
+
+val ops : t -> Index_intf.t
+val buckets : t -> int
+val count : t -> int
+
+exception Full
+(** Raised by insert when no displacement path can be found. *)

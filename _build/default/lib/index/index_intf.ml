@@ -1,0 +1,28 @@
+(** Common interface over the two index structures (§4: μTPS-H uses a
+    cuckoo hash, μTPS-T a B+tree).
+
+    Operations take an {!Mutps_mem.Env.t} and charge the simulated memory
+    traffic of the traversal; [*_silent] variants mutate without charges and
+    are meant for pre-population.  Values are {!Mutps_store.Item.t} handles —
+    the index locates items, the store reads/writes them. *)
+
+module Env = Mutps_mem.Env
+module Item = Mutps_store.Item
+
+type kind = Hash | Tree
+
+type t = {
+  name : string;
+  kind : kind;
+  lookup : Env.t -> int64 -> Item.t option;
+  batch_lookup : Env.t -> int64 array -> Item.t option array;
+      (** Batched, prefetch-overlapped lookups (§3.3 batched indexing). *)
+  insert : Env.t -> int64 -> Item.t -> unit;
+      (** Insert or replace the handle for a key. *)
+  remove : Env.t -> int64 -> bool;
+  range : Env.t -> lo:int64 -> n:int -> (int64 * Item.t) list;
+      (** First [n] entries with key ≥ [lo] in key order.  Raises
+          [Invalid_argument] on hash indexes. *)
+  insert_silent : int64 -> Item.t -> unit;
+  count : unit -> int;
+}

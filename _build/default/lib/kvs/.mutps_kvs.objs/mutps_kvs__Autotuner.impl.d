@@ -1,0 +1,1 @@
+lib/kvs/autotuner.ml: Backend Config Float Hashtbl List Mutps Mutps_mem Mutps_sim

@@ -1,0 +1,1 @@
+lib/kvs/autotuner.mli: Mutps

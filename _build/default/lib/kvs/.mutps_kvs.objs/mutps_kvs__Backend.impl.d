@@ -1,0 +1,1 @@
+lib/kvs/backend.ml: Config Int64 Mutps_index Mutps_mem Mutps_net Mutps_sim Mutps_store

@@ -1,0 +1,1 @@
+lib/kvs/basekv.ml: Array Backend Config Exec Mutps_net Rtc

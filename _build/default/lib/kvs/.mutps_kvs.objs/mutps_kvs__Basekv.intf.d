@@ -1,0 +1,1 @@
+lib/kvs/basekv.mli: Backend Config Mutps_net

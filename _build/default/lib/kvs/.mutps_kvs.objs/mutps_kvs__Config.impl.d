@@ -1,0 +1,1 @@
+lib/kvs/config.ml: Float Format Mutps_mem Mutps_net

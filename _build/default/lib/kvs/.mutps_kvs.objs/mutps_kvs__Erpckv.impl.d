@@ -1,0 +1,1 @@
+lib/kvs/erpckv.ml: Array Backend Config Exec Mutps_net Rtc

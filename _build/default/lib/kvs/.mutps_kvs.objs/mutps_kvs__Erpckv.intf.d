@@ -1,0 +1,1 @@
+lib/kvs/erpckv.mli: Backend Config Mutps_net Mutps_workload

@@ -1,0 +1,1 @@
+lib/kvs/exec.ml: Bytes List Mutps_index Mutps_mem Mutps_net Mutps_queue Mutps_store

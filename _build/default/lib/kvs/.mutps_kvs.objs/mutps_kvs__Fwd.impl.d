@@ -1,0 +1,1 @@
+lib/kvs/fwd.ml: Mutps_net Mutps_store

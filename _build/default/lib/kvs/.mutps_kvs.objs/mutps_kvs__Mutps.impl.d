@@ -1,0 +1,1 @@
+lib/kvs/mutps.ml: Array Backend Bytes Config Exec Fun Fwd Hashtbl List Mutps_hotset Mutps_index Mutps_mem Mutps_net Mutps_queue Mutps_sim Mutps_store Option Printf

@@ -1,0 +1,1 @@
+lib/kvs/mutps.mli: Backend Config Mutps_net

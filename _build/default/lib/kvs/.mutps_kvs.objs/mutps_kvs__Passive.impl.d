@@ -1,0 +1,1 @@
+lib/kvs/passive.ml: Float Mutps_net Mutps_workload

@@ -1,0 +1,1 @@
+lib/kvs/passive.mli: Mutps_net Mutps_workload

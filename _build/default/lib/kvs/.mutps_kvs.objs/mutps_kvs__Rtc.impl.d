@@ -1,0 +1,1 @@
+lib/kvs/rtc.ml: Array Backend Config Exec Hashtbl List Mutps_index Mutps_mem Mutps_net Mutps_queue Mutps_sim Mutps_store Option Printf

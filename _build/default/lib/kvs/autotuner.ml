@@ -1,0 +1,180 @@
+module Engine = Mutps_sim.Engine
+module Simthread = Mutps_sim.Simthread
+module Hierarchy = Mutps_mem.Hierarchy
+
+type params = {
+  window : int;
+  settle : int;
+  cache_step : int;
+  cache_points : int;
+  auto_threshold : float;
+}
+
+let default_params =
+  {
+    (* 10 ms / 2 ms at 2.5 GHz *)
+    window = 25_000_000;
+    settle = 5_000_000;
+    cache_step = 1_000;
+    cache_points = 6;
+    auto_threshold = infinity;
+  }
+
+type event = { at : int; ncr : int; hot : int; ways : int; rate : float }
+
+type t = {
+  params : params;
+  kv : Mutps.t;
+  mutable want_tune : bool;
+  mutable tuning : bool;
+  mutable tunes : int;
+  mutable events : event list; (* newest first *)
+  mutable applied : (int * int * int) option;
+}
+
+let create ?(params = default_params) kv =
+  {
+    params;
+    kv;
+    want_tune = false;
+    tuning = false;
+    tunes = 0;
+    events = [];
+    applied = None;
+  }
+
+let params t = t.params
+let trigger t = t.want_tune <- true
+let tuning t = t.tuning
+let tunes_completed t = t.tunes
+let events t = List.rev t.events
+let last_applied t = t.applied
+
+let engine t = (Mutps.backend t.kv).Backend.engine
+
+let record t rate =
+  t.events <-
+    {
+      at = Engine.now (engine t);
+      ncr = Mutps.ncr t.kv;
+      hot = Mutps.hot_target t.kv;
+      ways = Mutps.mr_ways t.kv;
+      rate;
+    }
+    :: t.events
+
+let measure t ctx =
+  let r0 = Mutps.responded t.kv in
+  Simthread.delay ctx t.params.window;
+  let rate =
+    float_of_int (Mutps.responded t.kv - r0) /. float_of_int t.params.window
+  in
+  record t rate;
+  rate
+
+let wait_settled t ctx =
+  Simthread.delay ctx t.params.settle;
+  let guard = ref 0 in
+  while (not (Mutps.reconfig_settled t.kv)) && !guard < 1000 do
+    Simthread.delay ctx (t.params.settle / 10);
+    incr guard
+  done
+
+let apply_split t ctx ncr =
+  if ncr <> Mutps.ncr t.kv then begin
+    Mutps.set_split t.kv ~ncr;
+    wait_settled t ctx
+  end
+
+(* Ternary (trisection) search for the argmax of [f] over [lo, hi],
+   memoizing measurements — each one costs a full window of simulated
+   time. *)
+let trisect ~lo ~hi f =
+  let cache = Hashtbl.create 8 in
+  let eval x =
+    match Hashtbl.find_opt cache x with
+    | Some v -> v
+    | None ->
+      let v = f x in
+      Hashtbl.replace cache x v;
+      v
+  in
+  let lo = ref lo and hi = ref hi in
+  while !hi - !lo > 2 do
+    let third = (!hi - !lo) / 3 in
+    let a = !lo + third and b = !hi - third in
+    let b = if b = a then a + 1 else b in
+    if eval a < eval b then lo := a + 1 else hi := b
+  done;
+  let best = ref !lo and best_v = ref (eval !lo) in
+  for x = !lo + 1 to !hi do
+    let v = eval x in
+    if v > !best_v then begin
+      best := x;
+      best_v := v
+    end
+  done;
+  (!best, !best_v)
+
+let tune_pass t ctx =
+  let cfg = (Mutps.backend t.kv).Backend.config in
+  let cores = cfg.Config.cores in
+  (* hierarchical search: for each cache size, find the best split *)
+  let best = ref (-1.0, Mutps.ncr t.kv, Mutps.hot_target t.kv) in
+  for i = 0 to t.params.cache_points - 1 do
+    let hot = min (i * t.params.cache_step) cfg.Config.hot_k in
+    Mutps.set_hot_target t.kv hot;
+    Mutps.refresh_now t.kv;
+    Simthread.delay ctx t.params.settle;
+    let measure_split ncr =
+      apply_split t ctx ncr;
+      measure t ctx
+    in
+    let ncr, rate = trisect ~lo:1 ~hi:(cores - 1) measure_split in
+    let best_rate, _, _ = !best in
+    if rate > best_rate then best := (rate, ncr, hot)
+  done;
+  let _, best_ncr, best_hot = !best in
+  Mutps.set_hot_target t.kv best_hot;
+  Mutps.refresh_now t.kv;
+  apply_split t ctx best_ncr;
+  Simthread.delay ctx t.params.settle;
+  (* LLC allocation is tuned independently (orthogonal effect) *)
+  let max_ways = Hierarchy.llc_ways (Mutps.backend t.kv).Backend.hier in
+  let measure_ways w =
+    Mutps.set_mr_ways t.kv w;
+    Simthread.delay ctx t.params.settle;
+    measure t ctx
+  in
+  let best_ways, _ = trisect ~lo:1 ~hi:max_ways measure_ways in
+  Mutps.set_mr_ways t.kv best_ways;
+  t.applied <- Some (best_ncr, best_hot, best_ways);
+  t.tunes <- t.tunes + 1
+
+let body t ctx =
+  let prev_rate = ref nan in
+  while true do
+    if t.want_tune then begin
+      t.want_tune <- false;
+      t.tuning <- true;
+      tune_pass t ctx;
+      t.tuning <- false;
+      prev_rate := nan
+    end
+    else begin
+      let rate = measure t ctx in
+      (* feedback loop: a significant shift in throughput means the load
+         changed and the configuration should be re-explored *)
+      (if Float.is_nan !prev_rate then prev_rate := rate
+       else
+         let base = Float.max !prev_rate 1e-12 in
+         if
+           Float.abs (rate -. !prev_rate) /. base > t.params.auto_threshold
+           && rate > 0.0
+         then t.want_tune <- true
+         else prev_rate := rate)
+    end
+  done
+
+let spawn t =
+  Simthread.spawn (engine t) ~name:"autotuner" (fun ctx -> body t ctx)

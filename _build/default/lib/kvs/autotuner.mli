@@ -1,0 +1,52 @@
+(** The auto-tuner (§3.5): a feedback loop over server throughput that
+    hierarchically searches the reconfiguration space.
+
+    For each candidate hot-set size (linear probe with a fixed step — cache
+    resizing is not unimodal), it trisects the thread allocation between the
+    CR and MR layers (throughput is convex in the split); LLC way allocation
+    is trisected independently afterwards.  Every measurement is one
+    [window] of simulated time watching the responded counter.
+
+    The tuner runs as a simulated thread.  [spawn] installs it; tuning is
+    triggered explicitly ({!trigger}) or automatically when the monitored
+    throughput shifts by more than [auto_threshold] between windows. *)
+
+type params = {
+  window : int;  (** cycles per throughput measurement (paper: 10 ms) *)
+  settle : int;  (** cycles to wait after applying a setting *)
+  cache_step : int;  (** hot-set size step of the linear probe *)
+  cache_points : int;  (** number of hot-set sizes probed (incl. 0) *)
+  auto_threshold : float;
+      (** relative throughput change between consecutive windows that
+          triggers retuning; [infinity] disables auto-triggering *)
+}
+
+val default_params : params
+
+type event = {
+  at : int;  (** simulated time of the measurement *)
+  ncr : int;
+  hot : int;
+  ways : int;
+  rate : float;  (** measured ops/cycle *)
+}
+
+type t
+
+val create : ?params:params -> Mutps.t -> t
+val params : t -> params
+
+val spawn : t -> unit
+(** Start the tuner thread on the manager core's engine. *)
+
+val trigger : t -> unit
+(** Request a full tuning pass at the next wakeup. *)
+
+val tuning : t -> bool
+val tunes_completed : t -> int
+
+val events : t -> event list
+(** Measurement log, oldest first (the Figure 14 timeline). *)
+
+val last_applied : t -> (int * int * int) option
+(** [(ncr, hot, ways)] chosen by the most recent completed pass. *)

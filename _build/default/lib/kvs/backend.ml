@@ -1,0 +1,57 @@
+(** Shared server substrate: one simulated machine (engine + hierarchy +
+    address layout), the item store, the index, and the network link.
+    Every system (μTPS-H/T, BaseKV, eRPC-KV) is assembled on top of one of
+    these. *)
+
+module Engine = Mutps_sim.Engine
+module Hierarchy = Mutps_mem.Hierarchy
+module Layout = Mutps_mem.Layout
+module Slab = Mutps_store.Slab
+module Item = Mutps_store.Item
+module Index = Mutps_index.Index_intf
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  hier : Hierarchy.t;
+  layout : Layout.t;
+  slab : Slab.t;
+  index : Index.t;
+  link : Mutps_net.Link.t;
+}
+
+let create (config : Config.t) =
+  let engine = Engine.create () in
+  let geometry =
+    match config.Config.geometry with
+    | Some g -> g
+    | None -> Hierarchy.default_geometry ~cores:(Config.total_cores config)
+  in
+  let hier = Hierarchy.create ~costs:config.Config.costs geometry in
+  let layout = Layout.create () in
+  let slab = Slab.create layout () in
+  let index =
+    match config.Config.index with
+    | Config.Hash ->
+      Mutps_index.Cuckoo.ops
+        (Mutps_index.Cuckoo.create layout ~capacity:config.Config.capacity
+           ~seed:config.Config.seed)
+    | Config.Tree ->
+      Mutps_index.Btree.ops
+        (Mutps_index.Btree.create layout ~seed:config.Config.seed)
+  in
+  let link = Mutps_net.Link.create ~config:config.Config.link () in
+  { config; engine; hier; layout; slab; index; link }
+
+(** Pre-populate the store with every key in [0, keyspace) (silent: no
+    simulation charges, like a load phase before measurement).  [size_of]
+    overrides the per-key value size for mixed-size workloads (ETC,
+    Twitter); default is the fixed [value_size]. *)
+let populate ?size_of t ~keyspace ~value_size =
+  let size_of = match size_of with Some f -> f | None -> fun _ -> value_size in
+  for k = 0 to keyspace - 1 do
+    let key = Int64.of_int k in
+    let value = Mutps_net.Client.payload ~key ~size:(size_of key) in
+    let item = Item.create t.slab ~value in
+    t.index.Index.insert_silent key item
+  done

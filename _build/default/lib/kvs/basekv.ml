@@ -1,0 +1,27 @@
+type t = {
+  backend : Backend.t;
+  rpc : Mutps_net.Reconf_rpc.t;
+  transport : Mutps_net.Transport.t;
+  mutable stats : Rtc.stats array;
+}
+
+let create (config : Config.t) =
+  let backend = Backend.create config in
+  let rpc =
+    Mutps_net.Reconf_rpc.create ~engine:backend.Backend.engine
+      ~hier:backend.Backend.hier ~layout:backend.Backend.layout
+      ~link:backend.Backend.link ~max_workers:config.Config.cores
+      ~workers:config.Config.cores ()
+  in
+  { backend; rpc; transport = Mutps_net.Reconf_rpc.transport rpc; stats = [||] }
+
+let backend t = t.backend
+let transport t = t.transport
+
+let start t =
+  t.stats <-
+    Rtc.start t.backend t.transport ~lock:Exec.Locked
+      ~workers:t.backend.Backend.config.Config.cores
+
+let ops_processed t =
+  Array.fold_left (fun acc (s : Rtc.stats) -> acc + s.Rtc.ops) 0 t.stats

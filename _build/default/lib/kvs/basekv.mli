@@ -1,0 +1,14 @@
+(** BaseKV (§5.1): identical substrate to μTPS — reconfigurable RPC,
+    batching, prefetching, same index and store — but a run-to-completion
+    thread pool with share-everything locking. *)
+
+type t
+
+val create : Config.t -> t
+val backend : t -> Backend.t
+val transport : t -> Mutps_net.Transport.t
+
+val start : t -> unit
+(** Spawn one RTC worker per core.  Call after pre-population. *)
+
+val ops_processed : t -> int

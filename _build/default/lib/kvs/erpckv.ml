@@ -1,0 +1,30 @@
+type t = {
+  backend : Backend.t;
+  erpc : Mutps_net.Erpc.t;
+  transport : Mutps_net.Transport.t;
+  mutable stats : Rtc.stats array;
+}
+
+let create (config : Config.t) =
+  let backend = Backend.create config in
+  let erpc =
+    Mutps_net.Erpc.create ~engine:backend.Backend.engine
+      ~hier:backend.Backend.hier ~layout:backend.Backend.layout
+      ~link:backend.Backend.link ~workers:config.Config.cores ()
+  in
+  { backend; erpc; transport = Mutps_net.Erpc.transport erpc; stats = [||] }
+
+let backend t = t.backend
+let transport t = t.transport
+
+let dispatch t op =
+  Mutps_net.Client.mod_key_dispatch
+    ~workers:t.backend.Backend.config.Config.cores op
+
+let start t =
+  t.stats <-
+    Rtc.start t.backend t.transport ~lock:Exec.Exclusive
+      ~workers:t.backend.Backend.config.Config.cores
+
+let ops_processed t =
+  Array.fold_left (fun acc (s : Rtc.stats) -> acc + s.Rtc.ops) 0 t.stats

@@ -1,0 +1,16 @@
+(** eRPC-KV (§5.1): BaseKV with the RPC module replaced by an eRPC-style
+    per-thread transport and a share-nothing architecture that directs
+    requests to worker threads by key mod n (no locks on the data path,
+    but skew concentrates load on few workers). *)
+
+type t
+
+val create : Config.t -> t
+val backend : t -> Backend.t
+val transport : t -> Mutps_net.Transport.t
+
+val dispatch : t -> Mutps_workload.Opgen.op -> int
+(** The client-side key mod n dispatch function. *)
+
+val start : t -> unit
+val ops_processed : t -> int

@@ -1,0 +1,525 @@
+module Engine = Mutps_sim.Engine
+module Simthread = Mutps_sim.Simthread
+module Env = Mutps_mem.Env
+module Hierarchy = Mutps_mem.Hierarchy
+module Item = Mutps_store.Item
+module Index = Mutps_index.Index_intf
+module Request = Mutps_queue.Request
+module Crmr = Mutps_queue.Crmr
+module Hotcache = Mutps_hotset.Hotcache
+module Tracker = Mutps_hotset.Tracker
+module Transport = Mutps_net.Transport
+module Message = Mutps_net.Message
+
+type role = Cr | Mr
+
+type t = {
+  backend : Backend.t;
+  rpc : Mutps_net.Reconf_rpc.t;
+  transport : Transport.t;
+  crmr : Fwd.t Crmr.t;
+  hotcache : Hotcache.t;
+  tracker : Tracker.t;
+  desired : role array;
+  current : role array;
+  mutable cr_list : int array; (* threads currently in the CR role *)
+  mutable mr_list : int array; (* threads currently in the MR role *)
+  mutable target_ncr : int;
+  mutable hot_target : int;
+  mutable refresh_asap : bool;
+  mutable mr_ways_ : int;
+  mutable cr_hits : int;
+  mutable forwarded : int;
+  (* layer accounting: busy cycles and operations, for diagnostics *)
+  mutable cr_busy : int;
+  mutable mr_busy : int;
+  mutable mr_ops : int;
+  mutable mr_scans : int;
+}
+
+(* Without the auto-tuner, an even split is the robust default; tuned
+   systems usually land between cores/2 and 2*cores/3 CR threads for
+   read-heavy skew and lower for write-heavy (Figure 13a). *)
+let default_ncr cores = max 1 (min (cores - 1) (cores / 2))
+
+let create ?ncr (config : Config.t) =
+  let cores = config.Config.cores in
+  if cores < 2 then invalid_arg "Mutps.create: needs at least 2 worker cores";
+  let ncr =
+    match ncr with
+    | Some n ->
+      if n < 1 || n >= cores then invalid_arg "Mutps.create: bad ncr";
+      n
+    | None -> default_ncr cores
+  in
+  let backend = Backend.create config in
+  let rpc =
+    Mutps_net.Reconf_rpc.create ~engine:backend.Backend.engine
+      ~hier:backend.Backend.hier ~layout:backend.Backend.layout
+      ~link:backend.Backend.link ~max_workers:cores ~workers:ncr ()
+  in
+  let crmr =
+    Crmr.create ~hw_offload:config.Config.dlb backend.Backend.layout
+      ~max_cr:cores ~max_mr:cores ~slots:config.Config.crmr_slots
+      ~batch:config.Config.batch ~value_bytes:Fwd.ring_bytes
+  in
+  let mode =
+    match config.Config.index with
+    | Config.Tree -> Hotcache.Sorted
+    | Config.Hash -> Hotcache.Probed
+  in
+  let hotcache =
+    Hotcache.create backend.Backend.layout ~mode
+      ~max_items:(max config.Config.hot_k 1)
+  in
+  let tracker =
+    Tracker.create ~sample_every:config.Config.sample_every
+      ~seed:config.Config.seed ()
+  in
+  let t =
+    {
+      backend;
+      rpc;
+      transport = Mutps_net.Reconf_rpc.transport rpc;
+      crmr;
+      hotcache;
+      tracker;
+      desired = Array.init cores (fun w -> if w < ncr then Cr else Mr);
+      current = Array.init cores (fun w -> if w < ncr then Cr else Mr);
+      cr_list = [||];
+      mr_list = [||];
+      target_ncr = ncr;
+      hot_target = config.Config.hot_k;
+      refresh_asap = false;
+      mr_ways_ = Hierarchy.llc_ways backend.Backend.hier;
+      cr_hits = 0;
+      forwarded = 0;
+      cr_busy = 0;
+      mr_busy = 0;
+      mr_ops = 0;
+      mr_scans = 0;
+    }
+  in
+  t.cr_list <- Array.init ncr Fun.id;
+  t.mr_list <- Array.init (cores - ncr) (fun i -> ncr + i);
+  t
+
+let backend t = t.backend
+let transport t = t.transport
+let ncr t = t.target_ncr
+let nmr t = t.backend.Backend.config.Config.cores - t.target_ncr
+let hot_target t = t.hot_target
+let hot_size t = Hotcache.size t.hotcache
+let mr_ways t = t.mr_ways_
+let cr_hits t = t.cr_hits
+let forwarded t = t.forwarded
+let layer_stats t = (t.cr_busy, t.mr_busy, t.mr_ops, t.mr_scans)
+let responded t = Mutps_net.Reconf_rpc.responded t.rpc
+
+let reconfig_settled t =
+  (not (Mutps_net.Reconf_rpc.reconfig_in_progress t.rpc))
+  && Array.for_all2 (fun a b -> a = b) t.desired t.current
+
+(* --- role bookkeeping --- *)
+
+let recompute_lists t =
+  let crs = ref [] and mrs = ref [] in
+  Array.iteri
+    (fun w r -> match r with Cr -> crs := w :: !crs | Mr -> mrs := w :: !mrs)
+    t.current;
+  t.cr_list <- Array.of_list (List.rev !crs);
+  t.mr_list <- Array.of_list (List.rev !mrs)
+
+(* MR threads allocate into the rightmost [mr_ways] of the LLC; the CR
+   layer and the manager keep the full mask (§3.5 "LLC allocation"). *)
+let apply_clos t =
+  let hier = t.backend.Backend.hier in
+  let full = Hierarchy.full_llc_mask hier in
+  let mr_mask = (1 lsl t.mr_ways_) - 1 in
+  Array.iteri
+    (fun w r ->
+      Hierarchy.set_clos hier ~core:w
+        (match r with Cr -> full | Mr -> mr_mask land full))
+    t.current;
+  Hierarchy.set_clos hier
+    ~core:(Config.manager_core t.backend.Backend.config)
+    full
+
+let set_mr_ways t ways =
+  let max_ways = Hierarchy.llc_ways t.backend.Backend.hier in
+  if ways < 1 || ways > max_ways then invalid_arg "Mutps.set_mr_ways";
+  t.mr_ways_ <- ways;
+  apply_clos t
+
+let set_split t ~ncr =
+  let cores = t.backend.Backend.config.Config.cores in
+  if ncr < 1 || ncr >= cores then invalid_arg "Mutps.set_split";
+  if ncr <> t.target_ncr then begin
+    t.target_ncr <- ncr;
+    Array.iteri (fun w _ -> t.desired.(w) <- (if w < ncr then Cr else Mr)) t.desired;
+    (* arm the transport switch at the predefined slot *)
+    t.transport.Transport.set_workers ncr
+  end
+
+let set_hot_target t k =
+  if k < 0 || k > t.backend.Backend.config.Config.hot_k then
+    invalid_arg "Mutps.set_hot_target";
+  t.hot_target <- k;
+  t.refresh_asap <- true
+
+let refresh_now t = t.refresh_asap <- true
+
+(* targets a CR thread may push to: threads settled in the MR role *)
+let push_targets t =
+  Array.of_list
+    (List.filter
+       (fun w -> t.desired.(w) = Mr)
+       (Array.to_list t.mr_list))
+
+(* --- CR layer (§3.2.3 FSM) --- *)
+
+type cr_state = {
+  mutable pending : Fwd.t list; (* reversed accumulation buffer *)
+  mutable pending_n : int;
+  mutable oldest_at : int; (* when the oldest pending fwd was enqueued *)
+}
+
+let flush_pending t env w st =
+  if st.pending_n > 0 then begin
+    let batch = Array.of_list (List.rev st.pending) in
+    let targets = push_targets t in
+    if Array.length targets > 0 && Crmr.push t.crmr env ~cr:w ~targets batch
+    then begin
+      st.pending <- [];
+      st.pending_n <- 0;
+      true
+    end
+    else false
+  end
+  else true
+
+let enqueue t env w st fwd =
+  if st.pending_n = 0 then st.oldest_at <- Env.now env;
+  st.pending <- fwd :: st.pending;
+  st.pending_n <- st.pending_n + 1;
+  t.forwarded <- t.forwarded + 1;
+  if st.pending_n >= t.backend.Backend.config.Config.batch then
+    ignore (flush_pending t env w st)
+
+(* serve a request entirely at the CR layer *)
+let cr_hot_get t env w ~seq item =
+  t.cr_hits <- t.cr_hits + 1;
+  Exec.respond_item env t.transport ~worker:w ~seq item
+
+let cr_hot_put t env w ~seq (msg : Message.t) item =
+  t.cr_hits <- t.cr_hits + 1;
+  let value = Option.get msg.Message.value in
+  Env.load env
+    ~addr:(t.transport.Transport.slot_addr seq + 16)
+    ~size:(Bytes.length value);
+  Item.write env item value t.backend.Backend.slab;
+  Exec.respond_ack env t.transport ~worker:w ~seq
+
+let cr_reap t env w =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    match Crmr.take_completed t.crmr env ~cr:w with
+    | Some batch ->
+      progressed := true;
+      Array.iter
+        (fun (fwd : Fwd.t) ->
+          t.transport.Transport.post_response env ~seq:fwd.Fwd.seq
+            ~resp_addr:fwd.Fwd.resp_addr ~bytes:fwd.Fwd.resp_bytes
+            ~value:fwd.Fwd.resp_value)
+        batch
+    | None -> continue := false
+  done;
+  !progressed
+
+let cr_step t env w st =
+  let cfg = t.backend.Backend.config in
+  let progressed = ref (cr_reap t env w) in
+  (* backpressure: with a full pending batch that will not flush (MR rings
+     full), stop polling the rx queue rather than overrun the batch *)
+  if st.pending_n >= cfg.Config.batch && not (flush_pending t env w st) then ()
+  else begin
+    match t.transport.Transport.poll env ~worker:w with
+  | Some (seq, msg) ->
+    progressed := true;
+    Env.compute env cfg.Config.parse_cycles;
+    let req = msg.Message.req in
+    let key = req.Request.key in
+    Tracker.record t.tracker key;
+    (match req.Request.kind with
+    | Request.Get -> (
+      match Hotcache.find t.hotcache env key with
+      | Some item -> cr_hot_get t env w ~seq item
+      | None -> enqueue t env w st (Fwd.make ~seq ~cr:w ~msg ~prefix:[]))
+    | Request.Put -> (
+      match Hotcache.find t.hotcache env key with
+      | Some item -> cr_hot_put t env w ~seq msg item
+      | None -> enqueue t env w st (Fwd.make ~seq ~cr:w ~msg ~prefix:[]))
+    | Request.Delete -> enqueue t env w st (Fwd.make ~seq ~cr:w ~msg ~prefix:[])
+    | Request.Scan ->
+      (* cooperative scan: copy what the cache already holds, forward the
+         rest of the work (§4) *)
+      let prefix =
+        match Hotcache.mode t.hotcache with
+        | Hotcache.Sorted ->
+          let cached =
+            Hotcache.cached_range t.hotcache env ~lo:key
+              ~n:req.Request.scan_count
+          in
+          List.iter
+            (fun (_, item) ->
+              let v = Item.read env item in
+              ignore (Bytes.length v))
+            cached;
+          cached
+        | Hotcache.Probed -> []
+      in
+      enqueue t env w st (Fwd.make ~seq ~cr:w ~msg ~prefix))
+  | None ->
+    (* one-shot poll found nothing: flush a partial batch only once it has
+       waited long enough — keeping batches full is what amortizes the
+       CR-MR queue and the MR layer's prefetch overlap *)
+    if
+      st.pending_n > 0
+      && Env.now env - st.oldest_at >= cfg.Config.flush_cycles
+      && flush_pending t env w st
+    then progressed := true
+  end;
+  !progressed
+
+(* --- MR layer (§3.3) --- *)
+
+let mr_prepare_get t env ~mr (fwd : Fwd.t) item_opt =
+  match item_opt with
+  | Some item ->
+    let value = Item.read env item in
+    let bytes = Exec.ack_bytes + Bytes.length value in
+    (* responses are written into the MR thread's own response buffer so
+       the CR layer's buffer lines are never dirtied cross-core (§3.3:
+       the CR layer never touches MR-written responses, the NIC does) *)
+    let resp_addr = t.transport.Transport.resp_alloc ~worker:mr ~bytes in
+    Env.store env ~addr:resp_addr ~size:bytes;
+    fwd.Fwd.resp_addr <- resp_addr;
+    fwd.Fwd.resp_bytes <- bytes;
+    fwd.Fwd.resp_value <- Some value
+  | None ->
+    let resp_addr =
+      t.transport.Transport.resp_alloc ~worker:mr ~bytes:Exec.ack_bytes
+    in
+    Env.store env ~addr:resp_addr ~size:Exec.ack_bytes;
+    fwd.Fwd.resp_addr <- resp_addr;
+    fwd.Fwd.resp_bytes <- Exec.ack_bytes
+
+let mr_prepare_ack t env ~mr (fwd : Fwd.t) =
+  let resp_addr =
+    t.transport.Transport.resp_alloc ~worker:mr ~bytes:Exec.ack_bytes
+  in
+  Env.store env ~addr:resp_addr ~size:Exec.ack_bytes;
+  fwd.Fwd.resp_addr <- resp_addr;
+  fwd.Fwd.resp_bytes <- Exec.ack_bytes
+
+let mr_prepare_put t env ~mr (fwd : Fwd.t) item_opt =
+  let msg = fwd.Fwd.msg in
+  let value = Option.get msg.Message.value in
+  (* data copied straight from the rx slot, not through the CR-MR queue *)
+  Env.load env
+    ~addr:(t.transport.Transport.slot_addr fwd.Fwd.seq + 16)
+    ~size:(Bytes.length value);
+  (match item_opt with
+  | Some item -> Item.write env item value t.backend.Backend.slab
+  | None ->
+    let item = Item.create t.backend.Backend.slab ~value in
+    t.backend.Backend.index.Index.insert env msg.Message.req.Request.key item);
+  mr_prepare_ack t env ~mr fwd
+
+let mr_prepare_scan t env ~mr (fwd : Fwd.t) =
+  let req = fwd.Fwd.msg.Message.req in
+  let count = req.Request.scan_count in
+  let prefix_keys = List.map fst fwd.Fwd.prefix in
+  let rest =
+    t.backend.Backend.index.Index.range env ~lo:req.Request.key ~n:count
+  in
+  let copied = ref 0 and bytes = ref Exec.ack_bytes in
+  List.iter
+    (fun (_, item) ->
+      (* CR already copied these; count their bytes only *)
+      if !copied < count then begin
+        bytes := !bytes + 16 + Item.size item;
+        incr copied
+      end)
+    fwd.Fwd.prefix;
+  List.iter
+    (fun (k, item) ->
+      if !copied < count && not (List.mem k prefix_keys) then begin
+        (* skip the read for items the cache layer handled *)
+        if Hotcache.mem_silent t.hotcache k then
+          bytes := !bytes + 16 + Item.size item
+        else begin
+          let v = Item.read env item in
+          bytes := !bytes + 16 + Bytes.length v
+        end;
+        incr copied
+      end)
+    rest;
+  let alloc = min !bytes 32_768 in
+  let resp_addr = t.transport.Transport.resp_alloc ~worker:mr ~bytes:alloc in
+  Env.store env ~addr:resp_addr ~size:alloc;
+  fwd.Fwd.resp_addr <- resp_addr;
+  fwd.Fwd.resp_bytes <- !bytes
+
+let mr_step t env w =
+  match Crmr.next_batch t.crmr env ~mr:w ~sources:t.cr_list with
+  | None -> false
+  | Some (cr, batch) ->
+    let index = t.backend.Backend.index in
+    (* batched prefetch-overlapped indexing over the point ops *)
+    let point_keys =
+      Array.to_list batch
+      |> List.filter_map (fun (fwd : Fwd.t) ->
+             let req = fwd.Fwd.msg.Message.req in
+             match req.Request.kind with
+             | Request.Get | Request.Put -> Some req.Request.key
+             | Request.Delete | Request.Scan -> None)
+      |> Array.of_list
+    in
+    let located = index.Index.batch_lookup env point_keys in
+    let by_key = Hashtbl.create 16 in
+    Array.iteri (fun i key -> Hashtbl.replace by_key key located.(i)) point_keys;
+    (* overlap the data-item fetches too (§3.3: batching covers the copy
+       stage's cache misses as well) *)
+    let item_addrs =
+      Array.of_list
+        (List.filter_map
+           (fun item -> Option.map Item.addr item)
+           (Array.to_list located))
+    in
+    if Array.length item_addrs > 0 then Env.prefetch_batch env item_addrs;
+    Array.iter
+      (fun (fwd : Fwd.t) ->
+        let req = fwd.Fwd.msg.Message.req in
+        let key = req.Request.key in
+        match req.Request.kind with
+        | Request.Get ->
+          mr_prepare_get t env ~mr:w fwd (Option.join (Hashtbl.find_opt by_key key))
+        | Request.Put ->
+          mr_prepare_put t env ~mr:w fwd (Option.join (Hashtbl.find_opt by_key key))
+        | Request.Delete ->
+          ignore (index.Index.remove env key);
+          mr_prepare_ack t env ~mr:w fwd
+        | Request.Scan -> mr_prepare_scan t env ~mr:w fwd)
+      batch;
+    (* tail-pointer advance = completion signal (§3.4) *)
+    Crmr.complete t.crmr env ~cr ~mr:w;
+    t.mr_ops <- t.mr_ops + Array.length batch;
+    t.mr_scans <- t.mr_scans + 1;
+    true
+
+(* --- role transitions (§3.5 thread reassignment) --- *)
+
+(* A role switch is only considered right after a step that made no
+   progress: for a departing CR thread that means its rx slots below the
+   switch point are consumed (the transport returns None past it), nothing
+   is pending, and every forwarded batch has come back and been answered;
+   a joining CR thread additionally waits for the transport switch to
+   commit (all old CR threads crossed the predefined slot) and for its
+   consumer rings to drain.  Crucially the check itself never consumes a
+   message. *)
+let try_switch_when_idle t env w st =
+  match (t.current.(w), t.desired.(w)) with
+  | Cr, Mr ->
+    if
+      st.pending_n = 0
+      && (not (cr_reap t env w))
+      && Crmr.cr_drained t.crmr ~cr:w
+    then begin
+      t.current.(w) <- Mr;
+      recompute_lists t;
+      apply_clos t
+    end
+  | Mr, Cr ->
+    if
+      (not (t.transport.Transport.reconfig_in_progress ()))
+      && Crmr.mr_drained t.crmr ~mr:w
+    then begin
+      t.current.(w) <- Cr;
+      recompute_lists t;
+      apply_clos t
+    end
+  | Cr, Cr | Mr, Mr -> ()
+
+let worker_body t w ctx =
+  let cfg = t.backend.Backend.config in
+  let env = Env.make ~ctx ~hier:t.backend.Backend.hier ~core:w in
+  let st = { pending = []; pending_n = 0; oldest_at = 0 } in
+  while true do
+    let before = Simthread.now ctx in
+    let progressed =
+      match t.current.(w) with
+      | Cr -> cr_step t env w st
+      | Mr -> mr_step t env w
+    in
+    if not progressed then begin
+      if t.desired.(w) <> t.current.(w) then try_switch_when_idle t env w st;
+      Simthread.delay ctx cfg.Config.poll_idle_cycles
+    end
+    else begin
+      Simthread.commit ctx;
+      let spent = Simthread.now ctx - before in
+      match t.current.(w) with
+      | Cr -> t.cr_busy <- t.cr_busy + spent
+      | Mr -> t.mr_busy <- t.mr_busy + spent
+    end
+  done
+
+(* --- manager thread (§3.2.2 hot-set refresh) --- *)
+
+let refresh_hotset t env =
+  let k = min t.hot_target t.backend.Backend.config.Config.hot_k in
+  if k = 0 then Hotcache.publish t.hotcache [||]
+  else begin
+    let top = Tracker.rebuild t.tracker ~k in
+    let entries = ref [] in
+    Array.iter
+      (fun (key, _count) ->
+        match t.backend.Backend.index.Index.lookup env key with
+        | Some item -> entries := (key, item) :: !entries
+        | None -> ())
+      top;
+    let entries = Array.of_list (List.rev !entries) in
+    (* building the new cache writes its region *)
+    Env.store env ~addr:(Hotcache.region_base t.hotcache)
+      ~size:(max 64 (Array.length entries * 16));
+    Hotcache.publish t.hotcache entries
+  end
+
+let manager_body t ctx =
+  let cfg = t.backend.Backend.config in
+  let env =
+    Env.make ~ctx ~hier:t.backend.Backend.hier ~core:(Config.manager_core cfg)
+  in
+  let slice = max 1 (cfg.Config.refresh_cycles / 32) in
+  let elapsed = ref 0 in
+  while true do
+    Simthread.delay ctx slice;
+    elapsed := !elapsed + slice;
+    if t.refresh_asap || !elapsed >= cfg.Config.refresh_cycles then begin
+      t.refresh_asap <- false;
+      elapsed := 0;
+      refresh_hotset t env
+    end
+  done
+
+let start t =
+  apply_clos t;
+  for w = 0 to t.backend.Backend.config.Config.cores - 1 do
+    Simthread.spawn t.backend.Backend.engine
+      ~name:(Printf.sprintf "mutps-%d" w)
+      (worker_body t w)
+  done;
+  Simthread.spawn t.backend.Backend.engine ~name:"mutps-manager"
+    (manager_body t)

@@ -1,0 +1,78 @@
+module Link = Mutps_net.Link
+module Opgen = Mutps_workload.Opgen
+
+type system = Racehash | Sherman
+
+let name = function Racehash -> "racehash" | Sherman -> "sherman"
+
+type result = {
+  throughput_mops : float;
+  p50_latency_ns : float;
+  verbs_per_op : float;
+  bytes_per_op : float;
+  bottleneck : string;
+}
+
+(* Per-op verb counts and wire bytes.  Gets and puts differ; scans are not
+   supported by either passive design in the paper's evaluation. *)
+let op_profile system ~mean_value =
+  let bucket = 64.0 (* RACE bucket / combined read granularity *) in
+  let leaf = 1024.0 (* Sherman leaf node *) in
+  match system with
+  | Racehash ->
+    (* get: bucket-read + item-read; put: bucket-read + item-write + CAS *)
+    let get_verbs = 2.0 and put_verbs = 3.0 in
+    let get_bytes = bucket +. mean_value and put_bytes = bucket +. mean_value +. 8.0 in
+    ((get_verbs, get_bytes), (put_verbs, put_bytes))
+  | Sherman ->
+    (* internal nodes cached at the client: get = leaf read (+ inline
+       item); put = lock CAS + write-back + unlock *)
+    let get_verbs = 1.25 (* occasional cache miss re-read *) in
+    let put_verbs = 3.0 in
+    let get_bytes = leaf and put_bytes = leaf +. 16.0 in
+    ((get_verbs, get_bytes), (put_verbs, put_bytes))
+
+let evaluate ?(link = Link.default_config) ?(ghz = 2.5) system ~spec ~clients =
+  if clients <= 0 then invalid_arg "Passive.evaluate";
+  let mean_value = Opgen.mean_value_size spec in
+  let (get_verbs, get_bytes), (put_verbs, put_bytes) =
+    op_profile system ~mean_value
+  in
+  let mix = spec.Opgen.mix in
+  let get_frac = mix.Opgen.get and put_frac = mix.Opgen.put in
+  let norm = Float.max (get_frac +. put_frac) 1e-9 in
+  let verbs =
+    ((get_frac *. get_verbs) +. (put_frac *. put_verbs)) /. norm
+  in
+  let bytes =
+    ((get_frac *. get_bytes) +. (put_frac *. put_bytes)) /. norm
+  in
+  (* each verb is a full round trip issued sequentially by the client *)
+  let cycles_per_op_client =
+    verbs *. (float_of_int link.Link.rtt +. float_of_int link.Link.msg_gap)
+  in
+  let client_bound = float_of_int clients /. cycles_per_op_client in
+  (* NIC message-rate cap: every verb consumes a request and a response
+     message slot *)
+  let nic_rate = 1.0 /. float_of_int link.Link.msg_gap in
+  let nic_bound = nic_rate /. verbs in
+  (* bandwidth cap on the data actually moved *)
+  let bw_bound = 1.0 /. (bytes *. link.Link.cycles_per_byte) in
+  let ops_per_cycle = Float.min client_bound (Float.min nic_bound bw_bound) in
+  let bottleneck =
+    if ops_per_cycle = client_bound then "clients"
+    else if ops_per_cycle = nic_bound then "nic-rate"
+    else "bandwidth"
+  in
+  (* latency: service time plus queueing once saturated *)
+  let base_latency = cycles_per_op_client in
+  let queue_factor =
+    Float.max 1.0 (client_bound /. Float.max ops_per_cycle 1e-18)
+  in
+  {
+    throughput_mops = ops_per_cycle *. ghz *. 1e3;
+    p50_latency_ns = base_latency *. queue_factor /. ghz;
+    verbs_per_op = verbs;
+    bytes_per_op = bytes;
+    bottleneck;
+  }

@@ -1,0 +1,33 @@
+(** Passive (one-sided RDMA) KVS baselines: RaceHashing and Sherman (§5.1).
+
+    These systems bypass the server CPU entirely; clients walk the remote
+    structure with one-sided verbs.  Their throughput is therefore governed
+    by the NIC — verbs per operation against the NIC message-rate cap,
+    bytes per operation against link bandwidth — and by the client count
+    against the multi-RTT latency of each operation.  We model exactly
+    that: a closed-form closed-loop model over the same {!Mutps_net.Link}
+    parameters the active systems use, with verb counts taken from the
+    papers ([RaceHash]: bucket read + item read for gets, plus CAS for
+    puts; [Sherman]: client-cached internal nodes, leaf read + item, lock +
+    write-back + unlock for puts). *)
+
+type system = Racehash | Sherman
+
+val name : system -> string
+
+type result = {
+  throughput_mops : float;
+  p50_latency_ns : float;
+  verbs_per_op : float;
+  bytes_per_op : float;
+  bottleneck : string;  (** "nic-rate" | "bandwidth" | "clients" *)
+}
+
+val evaluate :
+  ?link:Mutps_net.Link.config ->
+  ?ghz:float ->
+  system ->
+  spec:Mutps_workload.Opgen.spec ->
+  clients:int ->
+  result
+(** [clients] counts client threads, each with one outstanding op. *)

@@ -1,0 +1,1 @@
+lib/mem/env.ml: Hierarchy Mutps_sim

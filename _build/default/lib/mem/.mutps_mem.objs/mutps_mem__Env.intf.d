@@ -1,0 +1,1 @@
+lib/mem/env.mli: Hierarchy Mutps_sim

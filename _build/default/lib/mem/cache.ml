@@ -1,0 +1,117 @@
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  tags : int array;      (* sets * ways; -1 = invalid *)
+  stamps : int array;    (* LRU stamps, same indexing *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Cache.create";
+  if ways > 62 then invalid_arg "Cache.create: too many ways for a way mask";
+  {
+    name;
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.name
+let sets t = t.sets
+let ways t = t.ways
+let capacity_lines t = t.sets * t.ways
+let full_mask t = (1 lsl t.ways) - 1
+
+(* Fibonacci-style mixing spreads sequential lines over sets even when
+   [sets] is not a power of two. *)
+let set_of_line t line =
+  let h = line * 0x9E3779B97F4A7C1 in
+  (h lsr 16) mod t.sets
+
+type outcome = Hit | Miss of { victim : int option }
+
+let find_way t base line =
+  let rec go w =
+    if w = t.ways then -1
+    else if t.tags.(base + w) = line then w
+    else go (w + 1)
+  in
+  go 0
+
+let access t ~line ~way_mask =
+  t.clock <- t.clock + 1;
+  let base = set_of_line t line * t.ways in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamps.(base + w) <- t.clock;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let mask = way_mask land full_mask t in
+    if mask = 0 then Miss { victim = None }
+    else begin
+      (* LRU victim among allowed ways; invalid ways win immediately. *)
+      let best = ref (-1) and best_stamp = ref max_int in
+      for way = 0 to t.ways - 1 do
+        if mask land (1 lsl way) <> 0 then begin
+          let i = base + way in
+          if t.tags.(i) = -1 && !best_stamp > min_int then begin
+            best := way;
+            best_stamp := min_int
+          end
+          else if !best_stamp > min_int && t.stamps.(i) < !best_stamp then begin
+            best := way;
+            best_stamp := t.stamps.(i)
+          end
+        end
+      done;
+      let i = base + !best in
+      let victim = if t.tags.(i) = -1 then None else Some t.tags.(i) in
+      t.tags.(i) <- line;
+      t.stamps.(i) <- t.clock;
+      Miss { victim }
+    end
+  end
+
+let touch t ~line =
+  t.clock <- t.clock + 1;
+  let base = set_of_line t line * t.ways in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamps.(base + w) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let probe t ~line =
+  let base = set_of_line t line * t.ways in
+  find_way t base line >= 0
+
+let invalidate t ~line =
+  let base = set_of_line t line * t.ways in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.tags.(base + w) <- -1;
+    true
+  end
+  else false
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,31 @@
+type t = {
+  ghz : float;
+  l1_hit : int;
+  l2_hit : int;
+  llc_hit : int;
+  dram : int;
+  dirty_transfer : int;
+  invalidate : int;
+  invalidate_per_extra_sharer : int;
+  prefetch_issue : int;
+  mlp : int;
+  stream_factor : int;
+}
+
+let default =
+  {
+    ghz = 2.5;
+    l1_hit = 4;
+    l2_hit = 14;
+    llc_hit = 42;
+    dram = 200;
+    dirty_transfer = 80;
+    invalidate = 40;
+    invalidate_per_extra_sharer = 48;
+    prefetch_issue = 4;
+    mlp = 10;
+    stream_factor = 4;
+  }
+
+let ns_of_cycles t c = float_of_int c /. t.ghz
+let cycles_of_ns t ns = int_of_float (ceil (ns *. t.ghz))

@@ -1,0 +1,34 @@
+(** Cycle-cost model of the simulated machine.
+
+    All latencies are in CPU cycles.  The defaults approximate a ~2.5 GHz
+    Ice Lake class server part (Xeon Gold 6330, the paper's testbed): L1 ~4
+    cycles, L2 ~14, shared LLC ~42, DRAM ~200 (≈80 ns).  Values are plain
+    record fields so experiments can perturb them. *)
+
+type t = {
+  ghz : float;  (** simulated clock frequency, for cycle→second conversion *)
+  l1_hit : int;
+  l2_hit : int;
+  llc_hit : int;
+  dram : int;
+  dirty_transfer : int;
+      (** extra cycles to forward a line dirty in another core's private
+          cache *)
+  invalidate : int;
+      (** cycles charged to a writer invalidating remote shared copies *)
+  invalidate_per_extra_sharer : int;
+      (** additional cycles per remote sharer beyond the first: spinning
+          cores re-load a contended line, so each lock handoff pays for the
+          whole crowd — the traffic behind the share-everything collapse of
+          Figure 2c *)
+  prefetch_issue : int;  (** cycles to issue one prefetch instruction *)
+  mlp : int;  (** memory-level parallelism: outstanding misses per core *)
+  stream_factor : int;
+      (** sequential multi-line accesses: trailing lines cost
+          [miss_latency / stream_factor] (hardware prefetcher) *)
+}
+
+val default : t
+
+val ns_of_cycles : t -> int -> float
+val cycles_of_ns : t -> float -> int

@@ -1,0 +1,18 @@
+module Simthread = Mutps_sim.Simthread
+
+type t = { ctx : Simthread.ctx; hier : Hierarchy.t; core : int }
+
+let make ~ctx ~hier ~core = { ctx; hier; core }
+
+let load t ~addr ~size =
+  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size)
+
+let store t ~addr ~size =
+  Simthread.charge t.ctx (Hierarchy.store t.hier ~core:t.core ~addr ~size)
+
+let prefetch_batch t addrs =
+  Simthread.charge t.ctx (Hierarchy.prefetch_batch t.hier ~core:t.core addrs)
+
+let compute t n = Simthread.charge t.ctx n
+let commit t = Simthread.commit t.ctx
+let now t = Simthread.now t.ctx

@@ -1,0 +1,29 @@
+(** Execution environment of a simulated worker thread: its thread context,
+    the machine's cache hierarchy, and the core it is pinned to.
+
+    All higher layers (index structures, queues, KVS stages) express their
+    memory traffic through these helpers, which charge hierarchy latencies
+    into the thread's cycle accumulator. *)
+
+type t = { ctx : Mutps_sim.Simthread.ctx; hier : Hierarchy.t; core : int }
+
+val make : ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
+
+val load : t -> addr:int -> size:int -> unit
+(** Charge a read of [size] bytes at [addr]. *)
+
+val store : t -> addr:int -> size:int -> unit
+(** Charge a write. *)
+
+val prefetch_batch : t -> int array -> unit
+(** Charge an overlapped batched fetch (§3.3 batched indexing). *)
+
+val compute : t -> int -> unit
+(** Charge [n] cycles of pure computation. *)
+
+val commit : t -> unit
+(** Flush accumulated cycles to the engine.  Must be called before reading
+    shared mutable simulation state (locks, queue indices) so the thread
+    observes other threads' effects up to its own current time. *)
+
+val now : t -> int

@@ -1,0 +1,351 @@
+type geometry = {
+  cores : int;
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  llc_sets : int;
+  llc_ways : int;
+  ddio_ways : int;
+}
+
+let default_geometry ~cores =
+  {
+    cores;
+    l1_sets = 64;
+    l1_ways = 8;
+    l2_sets = 1024;
+    l2_ways = 16;
+    (* 42 MB / 64 B / 12 ways *)
+    llc_sets = 57_344;
+    llc_ways = 12;
+    ddio_ways = 2;
+  }
+
+let small_geometry ~cores =
+  {
+    cores;
+    l1_sets = 8;
+    l1_ways = 4;
+    l2_sets = 32;
+    l2_ways = 8;
+    llc_sets = 512;
+    llc_ways = 8;
+    ddio_ways = 2;
+  }
+
+type mutable_stats = {
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable llc_hits : int;
+  mutable dram_fetches : int;
+  mutable invalidations_sent : int;
+  mutable dirty_transfers : int;
+}
+
+type stats = {
+  l1_hits : int;
+  l2_hits : int;
+  llc_hits : int;
+  dram_fetches : int;
+  invalidations_sent : int;
+  dirty_transfers : int;
+}
+
+(* Directory entry: which cores hold the line in a private cache, and which
+   (if any) holds it dirty. *)
+type dir_entry = { mutable sharers : int; mutable dirty : int }
+
+type t = {
+  geometry : geometry;
+  costs : Costs.t;
+  l1 : Cache.t array;
+  l2 : Cache.t array;
+  llc : Cache.t;
+  clos : int array;
+  ddio_mask : int;
+  directory : (int, dir_entry) Hashtbl.t;
+  stats : mutable_stats array;
+  mutable nic_llc_hits : int;
+  mutable nic_llc_misses : int;
+}
+
+let fresh_stats () : mutable_stats =
+  {
+    l1_hits = 0;
+    l2_hits = 0;
+    llc_hits = 0;
+    dram_fetches = 0;
+    invalidations_sent = 0;
+    dirty_transfers = 0;
+  }
+
+let create ?(costs = Costs.default) geometry =
+  if geometry.cores <= 0 then invalid_arg "Hierarchy.create: no cores";
+  if geometry.ddio_ways > geometry.llc_ways then
+    invalid_arg "Hierarchy.create: ddio_ways > llc_ways";
+  let mk_private name sets ways i =
+    Cache.create ~name:(Printf.sprintf "%s[%d]" name i) ~sets ~ways
+  in
+  let full = (1 lsl geometry.llc_ways) - 1 in
+  {
+    geometry;
+    costs;
+    l1 = Array.init geometry.cores (mk_private "l1" geometry.l1_sets geometry.l1_ways);
+    l2 = Array.init geometry.cores (mk_private "l2" geometry.l2_sets geometry.l2_ways);
+    llc = Cache.create ~name:"llc" ~sets:geometry.llc_sets ~ways:geometry.llc_ways;
+    clos = Array.make geometry.cores full;
+    ddio_mask = (1 lsl geometry.ddio_ways) - 1;
+    directory = Hashtbl.create 1024;
+    stats = Array.init geometry.cores (fun _ -> fresh_stats ());
+    nic_llc_hits = 0;
+    nic_llc_misses = 0;
+  }
+
+let geometry t = t.geometry
+let costs t = t.costs
+let cores t = t.geometry.cores
+let ddio_mask t = t.ddio_mask
+let full_llc_mask t = Cache.full_mask t.llc
+let llc_ways t = t.geometry.llc_ways
+
+let set_clos t ~core mask = t.clos.(core) <- mask land full_llc_mask t
+let clos t ~core = t.clos.(core)
+
+let dir_find t line = Hashtbl.find_opt t.directory line
+
+let dir_entry t line =
+  match Hashtbl.find_opt t.directory line with
+  | Some e -> e
+  | None ->
+    let e = { sharers = 0; dirty = -1 } in
+    Hashtbl.add t.directory line e;
+    e
+
+let dir_remove_sharer t line core =
+  match dir_find t line with
+  | None -> ()
+  | Some e ->
+    e.sharers <- e.sharers land lnot (1 lsl core);
+    if e.dirty = core then e.dirty <- -1;
+    if e.sharers = 0 && e.dirty = -1 then Hashtbl.remove t.directory line
+
+(* A line evicted from one private level may still live in the other; only
+   drop the directory bit when the core holds no copy at all. *)
+let private_evicted t core victim =
+  match victim with
+  | None -> ()
+  | Some line ->
+    if
+      (not (Cache.probe t.l1.(core) ~line))
+      && not (Cache.probe t.l2.(core) ~line)
+    then dir_remove_sharer t line core
+
+let fill_private t core line =
+  (match Cache.access t.l2.(core) ~line ~way_mask:(Cache.full_mask t.l2.(core)) with
+  | Cache.Hit -> ()
+  | Cache.Miss { victim } -> private_evicted t core victim);
+  (match Cache.access t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)) with
+  | Cache.Hit -> ()
+  | Cache.Miss { victim } -> private_evicted t core victim);
+  let e = dir_entry t line in
+  e.sharers <- e.sharers lor (1 lsl core)
+
+(* Invalidate every remote private copy; returns how many existed. *)
+let invalidate_remotes t core line =
+  match dir_find t line with
+  | None -> 0
+  | Some e ->
+    let remote = e.sharers land lnot (1 lsl core) in
+    if remote = 0 then 0
+    else begin
+      let n = ref 0 in
+      for c = 0 to t.geometry.cores - 1 do
+        if remote land (1 lsl c) <> 0 then begin
+          incr n;
+          ignore (Cache.invalidate t.l1.(c) ~line);
+          ignore (Cache.invalidate t.l2.(c) ~line)
+        end
+      done;
+      e.sharers <- e.sharers land (1 lsl core);
+      if e.dirty <> core then e.dirty <- -1;
+      !n
+    end
+
+(* One line, full path; returns latency in cycles. *)
+let access_line t ~core ~line ~write =
+  let c = t.costs in
+  let st = t.stats.(core) in
+  let base_latency =
+    if Cache.touch t.l1.(core) ~line then begin
+      st.l1_hits <- st.l1_hits + 1;
+      c.Costs.l1_hit
+    end
+    else if Cache.touch t.l2.(core) ~line then begin
+      st.l2_hits <- st.l2_hits + 1;
+      (* refresh L1 *)
+      (match Cache.access t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)) with
+      | Cache.Hit -> ()
+      | Cache.Miss { victim } -> private_evicted t core victim);
+      let e = dir_entry t line in
+      e.sharers <- e.sharers lor (1 lsl core);
+      c.Costs.l2_hit
+    end
+    else begin
+      (* remote-dirty check happens before the LLC lookup *)
+      let dirty_penalty =
+        match dir_find t line with
+        | Some e when e.dirty >= 0 && e.dirty <> core ->
+          st.dirty_transfers <- st.dirty_transfers + 1;
+          e.dirty <- -1;
+          c.Costs.dirty_transfer
+        | _ -> 0
+      in
+      let fetch =
+        match Cache.access t.llc ~line ~way_mask:t.clos.(core) with
+        | Cache.Hit ->
+          st.llc_hits <- st.llc_hits + 1;
+          c.Costs.llc_hit
+        | Cache.Miss _ ->
+          if dirty_penalty > 0 then begin
+            (* forwarded cache-to-cache: no DRAM trip *)
+            st.llc_hits <- st.llc_hits + 1;
+            c.Costs.llc_hit
+          end
+          else begin
+            st.dram_fetches <- st.dram_fetches + 1;
+            c.Costs.dram
+          end
+      in
+      fill_private t core line;
+      dirty_penalty + fetch
+    end
+  in
+  if write then begin
+    let remotes = invalidate_remotes t core line in
+    let e = dir_entry t line in
+    e.sharers <- e.sharers lor (1 lsl core);
+    e.dirty <- core;
+    if remotes > 0 then begin
+      st.invalidations_sent <- st.invalidations_sent + 1;
+      base_latency + c.Costs.invalidate
+      + ((remotes - 1) * c.Costs.invalidate_per_extra_sharer)
+    end
+    else base_latency
+  end
+  else base_latency
+
+let multi_line t ~core ~addr ~size ~write =
+  let first = Layout.line_of_addr addr in
+  let n = Layout.lines_spanned ~addr ~size in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let cost = access_line t ~core ~line:(first + i) ~write in
+    (* trailing sequential lines ride the hardware prefetcher *)
+    let cost = if i = 0 then cost else max 1 (cost / t.costs.Costs.stream_factor) in
+    total := !total + cost
+  done;
+  !total
+
+let load t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:false
+let store t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:true
+
+let prefetch_batch t ~core addrs =
+  let n = Array.length addrs in
+  if n = 0 then 0
+  else begin
+    let c = t.costs in
+    let total = ref 0 in
+    let group_max = ref 0 and in_group = ref 0 in
+    for i = 0 to n - 1 do
+      let lat = access_line t ~core ~line:(Layout.line_of_addr addrs.(i)) ~write:false in
+      if lat > !group_max then group_max := lat;
+      incr in_group;
+      if !in_group = c.Costs.mlp then begin
+        total := !total + !group_max;
+        group_max := 0;
+        in_group := 0
+      end
+    done;
+    total := !total + !group_max;
+    !total + (n * c.Costs.prefetch_issue)
+  end
+
+let dma_write t ~addr ~size =
+  let first = Layout.line_of_addr addr in
+  let n = Layout.lines_spanned ~addr ~size in
+  for i = 0 to n - 1 do
+    let line = first + i in
+    (* DDIO snoops out any core-private copies. *)
+    (match dir_find t line with
+    | None -> ()
+    | Some e ->
+      for c = 0 to t.geometry.cores - 1 do
+        if e.sharers land (1 lsl c) <> 0 then begin
+          ignore (Cache.invalidate t.l1.(c) ~line);
+          ignore (Cache.invalidate t.l2.(c) ~line)
+        end
+      done;
+      e.sharers <- 0;
+      e.dirty <- -1);
+    if Cache.probe t.llc ~line then begin
+      t.nic_llc_hits <- t.nic_llc_hits + 1;
+      ignore (Cache.touch t.llc ~line)
+    end
+    else begin
+      t.nic_llc_misses <- t.nic_llc_misses + 1;
+      ignore (Cache.access t.llc ~line ~way_mask:t.ddio_mask)
+    end
+  done
+
+let dma_read t ~addr ~size =
+  let first = Layout.line_of_addr addr in
+  let n = Layout.lines_spanned ~addr ~size in
+  for i = 0 to n - 1 do
+    let line = first + i in
+    if Cache.probe t.llc ~line then begin
+      t.nic_llc_hits <- t.nic_llc_hits + 1;
+      ignore (Cache.touch t.llc ~line)
+    end
+    else t.nic_llc_misses <- t.nic_llc_misses + 1
+  done
+
+let core_stats t ~core =
+  let s = t.stats.(core) in
+  {
+    l1_hits = s.l1_hits;
+    l2_hits = s.l2_hits;
+    llc_hits = s.llc_hits;
+    dram_fetches = s.dram_fetches;
+    invalidations_sent = s.invalidations_sent;
+    dirty_transfers = s.dirty_transfers;
+  }
+
+let llc_miss_rate (s : stats) =
+  let lookups = s.llc_hits + s.dram_fetches in
+  if lookups = 0 then 0.0
+  else float_of_int s.dram_fetches /. float_of_int lookups
+
+let nic_dma_stats t = (t.nic_llc_hits, t.nic_llc_misses)
+
+let reset_stats t =
+  Array.iter
+    (fun (s : mutable_stats) ->
+      s.l1_hits <- 0;
+      s.l2_hits <- 0;
+      s.llc_hits <- 0;
+      s.dram_fetches <- 0;
+      s.invalidations_sent <- 0;
+      s.dirty_transfers <- 0)
+    t.stats;
+  t.nic_llc_hits <- 0;
+  t.nic_llc_misses <- 0;
+  Array.iter Cache.reset_stats t.l1;
+  Array.iter Cache.reset_stats t.l2;
+  Cache.reset_stats t.llc
+
+let probe_llc t ~addr = Cache.probe t.llc ~line:(Layout.line_of_addr addr)
+
+let probe_private t ~core ~addr =
+  let line = Layout.line_of_addr addr in
+  Cache.probe t.l1.(core) ~line || Cache.probe t.l2.(core) ~line

@@ -1,0 +1,92 @@
+(** Three-level cache hierarchy with CAT way partitioning, DDIO, and a
+    MESI-lite coherence cost model.
+
+    Geometry mirrors the paper's testbed: private L1/L2 per core and one
+    shared LLC.  Way masks implement Intel CAT classes of service: a core's
+    mask restricts which LLC ways it may allocate into (lookups hit
+    anywhere).  The NIC's DMA engine implements DDIO: writes update lines in
+    place when present in the LLC and otherwise allocate only into the
+    [ddio_ways] rightmost ways; DMA reads never allocate.
+
+    Coherence is cost-only: a directory tracks which cores hold each line in
+    their private caches so that writes charge an invalidation penalty and
+    reads of remotely-dirty lines charge a cache-to-cache transfer — the
+    effects behind Figures 2c and the put-uniform analysis of §5.2.1. *)
+
+type geometry = {
+  cores : int;
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  llc_sets : int;
+  llc_ways : int;
+  ddio_ways : int;
+}
+
+val default_geometry : cores:int -> geometry
+(** 32 KB/8-way L1, 1 MB/16-way L2, 42 MB/12-way LLC, 2 DDIO ways. *)
+
+val small_geometry : cores:int -> geometry
+(** A scaled-down machine (256 KB LLC) for fast unit tests: the same code
+    paths with much smaller arrays. *)
+
+type t
+
+val create : ?costs:Costs.t -> geometry -> t
+val geometry : t -> geometry
+val costs : t -> Costs.t
+val cores : t -> int
+
+(** {1 CPU-side accesses} — all return the latency in cycles. *)
+
+val load : t -> core:int -> addr:int -> size:int -> int
+val store : t -> core:int -> addr:int -> size:int -> int
+
+val prefetch_batch : t -> core:int -> int array -> int
+(** Overlapped cost of fetching the given addresses together, limited by the
+    core's memory-level parallelism: within an MLP group only the slowest
+    fetch is paid, plus one issue slot per prefetch.  This is the
+    batched-indexing model of §3.3. *)
+
+(** {1 NIC DMA (DDIO)} — costs are borne by the link model, not the CPU. *)
+
+val dma_write : t -> addr:int -> size:int -> unit
+val dma_read : t -> addr:int -> size:int -> unit
+
+(** {1 Way allocation (CAT)} *)
+
+val set_clos : t -> core:int -> int -> unit
+(** Set the LLC allocation mask for a core.  An empty mask makes the core's
+    fills bypass the LLC. *)
+
+val clos : t -> core:int -> int
+val ddio_mask : t -> int
+val full_llc_mask : t -> int
+val llc_ways : t -> int
+
+(** {1 Statistics} *)
+
+type stats = {
+  l1_hits : int;
+  l2_hits : int;
+  llc_hits : int;
+  dram_fetches : int;
+  invalidations_sent : int;
+  dirty_transfers : int;
+}
+
+val core_stats : t -> core:int -> stats
+
+val llc_miss_rate : stats -> float
+(** DRAM fetches over LLC lookups ([llc_hits + dram_fetches]). *)
+
+val nic_dma_stats : t -> int * int
+(** [(llc_hits, llc_misses)] over DMA operations — the DDIO-miss signal. *)
+
+val reset_stats : t -> unit
+
+(** {1 Introspection for tests} *)
+
+val probe_llc : t -> addr:int -> bool
+val probe_private : t -> core:int -> addr:int -> bool

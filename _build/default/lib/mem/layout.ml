@@ -1,0 +1,49 @@
+let line_bytes = 64
+let line_shift = 6
+let line_of_addr addr = addr lsr line_shift
+
+let lines_spanned ~addr ~size =
+  let size = max size 1 in
+  line_of_addr (addr + size - 1) - line_of_addr addr + 1
+
+type region = {
+  name : string;
+  base : int;
+  size : int;
+  mutable cursor : int;
+}
+
+type t = { mutable next_base : int }
+
+(* Guard gap between regions keeps accidental off-by-one addresses from
+   landing in a neighbouring region. *)
+let guard = 4096
+
+let create () = { next_base = 1 lsl 20 }
+
+let round_up v align = (v + align - 1) land lnot (align - 1)
+
+let region t ~name ~size =
+  if size <= 0 then invalid_arg "Layout.region: size must be positive";
+  let size = round_up size line_bytes in
+  let base = t.next_base in
+  t.next_base <- base + size + guard;
+  { name; base; size; cursor = 0 }
+
+let base r = r.base
+let size r = r.size
+let region_name r = r.name
+let contains r addr = addr >= r.base && addr < r.base + r.size
+let allocated r = r.cursor
+
+let alloc r ?(align = 8) bytes =
+  if bytes < 0 then invalid_arg "Layout.alloc: negative size";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Layout.alloc: align must be a power of two";
+  let start = round_up r.cursor align in
+  if start + bytes > r.size then
+    failwith
+      (Printf.sprintf "Layout.alloc: region %S full (%d of %d bytes used)"
+         r.name r.cursor r.size);
+  r.cursor <- start + bytes;
+  r.base + start

@@ -1,0 +1,40 @@
+(** Simulated physical address space.
+
+    Addresses are plain non-negative [int]s in a flat 62-bit space; a cache
+    line is 64 bytes.  A {!t} hands out named, line-aligned regions (network
+    buffers, index arena, item heap, queues…), and each region supports bump
+    allocation.  Nothing is ever freed: the simulator only needs stable
+    addresses with realistic spatial relationships. *)
+
+val line_bytes : int
+(** 64. *)
+
+val line_of_addr : int -> int
+(** Cache-line number containing an address. *)
+
+val lines_spanned : addr:int -> size:int -> int
+(** Number of distinct cache lines touched by [size] bytes at [addr]
+    ([size = 0] touches 1 line: headers are at least probed). *)
+
+type t
+
+val create : unit -> t
+
+type region
+
+val region : t -> name:string -> size:int -> region
+(** Reserve [size] bytes (rounded up to lines).  Regions are disjoint and
+    separated by a guard gap. *)
+
+val base : region -> int
+val size : region -> int
+val region_name : region -> string
+
+val contains : region -> int -> bool
+
+val alloc : region -> ?align:int -> int -> int
+(** Bump-allocate inside the region; raises [Failure] when full.
+    [align] defaults to 8 and must be a power of two. *)
+
+val allocated : region -> int
+(** Bytes handed out so far. *)

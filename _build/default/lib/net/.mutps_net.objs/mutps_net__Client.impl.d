@@ -1,0 +1,1 @@
+lib/net/client.ml: Array Bytes Char Hashtbl Int64 Link Message Mutps_queue Mutps_sim Mutps_workload Transport

@@ -1,0 +1,1 @@
+lib/net/client.mli: Link Mutps_sim Mutps_workload Transport

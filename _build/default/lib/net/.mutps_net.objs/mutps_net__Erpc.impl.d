@@ -1,0 +1,1 @@
+lib/net/erpc.ml: Array Hashtbl Link Message Mutps_mem Mutps_queue Mutps_sim Printf Transport

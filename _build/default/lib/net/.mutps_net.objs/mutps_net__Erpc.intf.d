@@ -1,0 +1,1 @@
+lib/net/erpc.mli: Link Mutps_mem Mutps_sim Transport

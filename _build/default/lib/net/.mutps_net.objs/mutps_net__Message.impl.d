@@ -1,0 +1,1 @@
+lib/net/message.ml: Bytes Format Mutps_queue

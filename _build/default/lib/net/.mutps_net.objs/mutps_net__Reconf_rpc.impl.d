@@ -1,0 +1,1 @@
+lib/net/reconf_rpc.ml: Array Hashtbl Link List Message Mutps_mem Mutps_queue Mutps_sim Printf Transport

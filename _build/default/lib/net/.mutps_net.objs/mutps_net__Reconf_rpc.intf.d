@@ -1,0 +1,1 @@
+lib/net/reconf_rpc.mli: Link Mutps_mem Mutps_sim Transport

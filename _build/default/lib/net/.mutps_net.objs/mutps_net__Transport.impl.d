@@ -1,0 +1,1 @@
+lib/net/transport.ml: Message Mutps_mem

@@ -1,0 +1,45 @@
+type config = { rtt : int; msg_gap : int; cycles_per_byte : float }
+
+(* At 2.5 GHz: 2 us RTT = 5000 cycles; 120 M msgs/s -> ~21 cycles/msg;
+   200 Gbps = 25 GB/s -> 0.1 cycles/byte. *)
+let default_config = { rtt = 5000; msg_gap = 21; cycles_per_byte = 0.1 }
+
+type t = {
+  config : config;
+  mutable rx_free : int;
+  mutable tx_free : int;
+  mutable rx_messages : int;
+  mutable tx_messages : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+}
+
+let create ?(config = default_config) () =
+  { config; rx_free = 0; tx_free = 0; rx_messages = 0; tx_messages = 0;
+    rx_bytes = 0; tx_bytes = 0 }
+
+let config t = t.config
+
+let serialize t bytes = t.config.msg_gap + int_of_float (ceil (float_of_int bytes *. t.config.cycles_per_byte))
+
+let rx_arrival t ~sent_at ~bytes =
+  let reach_nic = sent_at + (t.config.rtt / 2) in
+  let start = max reach_nic t.rx_free in
+  let finish = start + serialize t bytes in
+  t.rx_free <- finish;
+  t.rx_messages <- t.rx_messages + 1;
+  t.rx_bytes <- t.rx_bytes + bytes;
+  finish
+
+let tx_arrival t ~now ~bytes =
+  let start = max now t.tx_free in
+  let on_wire = start + serialize t bytes in
+  t.tx_free <- on_wire;
+  t.tx_messages <- t.tx_messages + 1;
+  t.tx_bytes <- t.tx_bytes + bytes;
+  on_wire + (t.config.rtt / 2)
+
+let rx_messages t = t.rx_messages
+let tx_messages t = t.tx_messages
+let rx_bytes t = t.rx_bytes
+let tx_bytes t = t.tx_bytes

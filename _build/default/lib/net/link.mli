@@ -1,0 +1,33 @@
+(** Network link + NIC serialization model (200 Gbps ConnectX-6 class).
+
+    Messages pay half the base RTT each way plus serialization at the
+    server NIC, which is both message-rate limited (a per-message gap) and
+    bandwidth limited (cycles per byte).  Rx (client→server) and tx
+    (server→client) pipes serialize independently, like the two directions
+    of a full-duplex port. *)
+
+type t
+
+type config = {
+  rtt : int;  (** base round-trip time in cycles *)
+  msg_gap : int;  (** per-message serialization gap in cycles *)
+  cycles_per_byte : float;
+}
+
+val default_config : config
+(** ~2 μs RTT, ~120 M msgs/s, 200 Gbps at the 2.5 GHz simulated clock. *)
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val rx_arrival : t -> sent_at:int -> bytes:int -> int
+(** Time at which a client message sent at [sent_at] lands in server
+    memory. *)
+
+val tx_arrival : t -> now:int -> bytes:int -> int
+(** Time at which a response posted now reaches the client. *)
+
+val rx_messages : t -> int
+val tx_messages : t -> int
+val rx_bytes : t -> int
+val tx_bytes : t -> int

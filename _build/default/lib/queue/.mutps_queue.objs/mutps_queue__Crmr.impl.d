@@ -1,0 +1,1 @@
+lib/queue/crmr.ml: Array Mutps_mem Printf Ring

@@ -1,0 +1,1 @@
+lib/queue/crmr.mli: Mutps_mem

@@ -1,0 +1,1 @@
+lib/queue/request.ml: Format Int64 Printf

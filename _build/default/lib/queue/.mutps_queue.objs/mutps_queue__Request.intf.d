@@ -1,0 +1,1 @@
+lib/queue/request.mli: Format

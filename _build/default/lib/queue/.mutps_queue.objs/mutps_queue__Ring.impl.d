@@ -1,0 +1,1 @@
+lib/queue/ring.ml: Array Mutps_mem Mutps_sim

@@ -1,0 +1,1 @@
+lib/queue/ring.mli: Mutps_mem

@@ -1,0 +1,93 @@
+module Env = Mutps_mem.Env
+
+type 'a t = {
+  rings : 'a Ring.t array array; (* [cr].[mr] *)
+  max_cr : int;
+  max_mr : int;
+  push_cursor : int array; (* per CR: next MR target *)
+  scan_cursor : int array; (* per MR: next CR ring to scan *)
+  reap_cursor : int array; (* per CR: next ring to check for completions *)
+}
+
+let create ?(hw_offload = false) layout ~max_cr ~max_mr ~slots ~batch ~value_bytes =
+  if max_cr <= 0 || max_mr <= 0 then invalid_arg "Crmr.create";
+  let mk_ring cr mr =
+    Ring.create ~hw_offload layout
+      ~name:(Printf.sprintf "crmr-%d-%d" cr mr)
+      ~slots ~batch ~value_bytes
+  in
+  {
+    rings = Array.init max_cr (fun cr -> Array.init max_mr (mk_ring cr));
+    max_cr;
+    max_mr;
+    push_cursor = Array.make max_cr 0;
+    scan_cursor = Array.make max_mr 0;
+    reap_cursor = Array.make max_cr 0;
+  }
+
+let max_cr t = t.max_cr
+let max_mr t = t.max_mr
+
+let push t env ~cr ~targets values =
+  let n = Array.length targets in
+  if n = 0 then invalid_arg "Crmr.push: no targets";
+  let rec try_from attempt =
+    if attempt = n then false
+    else begin
+      let mr = targets.(t.push_cursor.(cr) mod n) in
+      t.push_cursor.(cr) <- (t.push_cursor.(cr) + 1) mod n;
+      if Ring.push t.rings.(cr).(mr) env values then true
+      else try_from (attempt + 1)
+    end
+  in
+  try_from 0
+
+let next_batch t env ~mr ~sources =
+  let n = Array.length sources in
+  if n = 0 then invalid_arg "Crmr.next_batch: no sources";
+  let rec scan attempt =
+    if attempt = n then None
+    else begin
+      let cr = sources.(t.scan_cursor.(mr) mod n) in
+      t.scan_cursor.(mr) <- (t.scan_cursor.(mr) + 1) mod n;
+      match Ring.peek t.rings.(cr).(mr) env with
+      | Some values -> Some (cr, values)
+      | None -> scan (attempt + 1)
+    end
+  in
+  scan 0
+
+let complete t env ~cr ~mr = Ring.complete t.rings.(cr).(mr) env
+
+let take_completed t env ~cr =
+  (* Only probe rings this producer has outstanding batches on — which it
+     knows from its own push/reap counters, with no shared-memory touch. *)
+  let rec scan attempt =
+    if attempt = t.max_mr then None
+    else begin
+      let mr = t.reap_cursor.(cr) in
+      t.reap_cursor.(cr) <- (t.reap_cursor.(cr) + 1) mod t.max_mr;
+      let ring = t.rings.(cr).(mr) in
+      if Ring.unreclaimed ring = 0 then scan (attempt + 1)
+      else
+        match Ring.take_completed ring env with
+        | Some values -> Some values
+        | None -> scan (attempt + 1)
+    end
+  in
+  scan 0
+
+let cr_drained t ~cr =
+  Array.for_all Ring.is_empty t.rings.(cr)
+
+let mr_drained t ~mr =
+  let ok = ref true in
+  for cr = 0 to t.max_cr - 1 do
+    if not (Ring.is_empty t.rings.(cr).(mr)) then ok := false
+  done;
+  !ok
+
+let in_flight t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a r -> a + Ring.in_flight r) acc row)
+    0 t.rings

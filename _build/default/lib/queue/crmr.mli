@@ -1,0 +1,52 @@
+(** The CR-MR queue: an all-to-all mesh of SPSC rings between
+    cache-resident and memory-resident worker threads (§3.4).
+
+    Every (CR thread, MR thread) pair owns a dedicated {!Ring}; CR threads
+    spread batches over MR threads round-robin, MR threads scan the rings of
+    all CR threads round-robin.  The mesh is sized for the machine's maximum
+    thread counts so that reconfiguration (§3.5) only changes the {e active}
+    counts passed to each call. *)
+
+type 'a t
+
+val create :
+  ?hw_offload:bool ->
+  Mutps_mem.Layout.t ->
+  max_cr:int ->
+  max_mr:int ->
+  slots:int ->
+  batch:int ->
+  value_bytes:int ->
+  'a t
+(** [hw_offload] models Intel DLB (the paper's §6 future work): fixed
+    device-latency queue operations instead of cache-coherent rings. *)
+
+val max_cr : 'a t -> int
+val max_mr : 'a t -> int
+
+val push : 'a t -> Mutps_mem.Env.t -> cr:int -> targets:int array -> 'a array -> bool
+(** Push a batch from CR thread [cr] to the next MR thread of [targets] in
+    round-robin order, skipping full rings; false when all target rings are
+    full.  [targets] holds absolute MR indices, so reconfiguration only
+    changes the array contents, never the ring a given pair uses. *)
+
+val next_batch :
+  'a t -> Mutps_mem.Env.t -> mr:int -> sources:int array -> (int * 'a array) option
+(** One-shot scan (§3.2.3 non-blocking poll) over the rings of the given
+    CR threads feeding MR thread [mr], starting after the last served ring;
+    returns the producing CR id with the batch. *)
+
+val complete : 'a t -> Mutps_mem.Env.t -> cr:int -> mr:int -> unit
+(** Signal that the oldest peeked batch of ring [(cr, mr)] is fully
+    processed (advances the ring tail — the completion piggyback). *)
+
+val take_completed : 'a t -> Mutps_mem.Env.t -> cr:int -> 'a array option
+(** CR-side completion poll: next finished batch on any of [cr]'s rings
+    (scans the whole mesh row so batches stranded by a reconfiguration are
+    still reaped). *)
+
+val cr_drained : 'a t -> cr:int -> bool
+(** True when CR thread [cr] has no batch in flight on any ring. *)
+
+val mr_drained : 'a t -> mr:int -> bool
+val in_flight : 'a t -> int

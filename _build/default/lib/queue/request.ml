@@ -1,0 +1,85 @@
+type kind = Get | Put | Delete | Scan
+
+type t = {
+  key : int64;
+  kind : kind;
+  size : int;
+  buf : int;
+  scan_count : int;
+}
+
+(* Second word layout (bits, LSB first):
+   [0..1]   kind
+   [2..23]  size        (22 bits, up to 4 MB - 1)
+   [24..55] buf slot    (32 bits)
+   [56..63] scan count / 256 marker — scans spill the count into the
+            extension half, here kept in the record. *)
+
+let max_size = (1 lsl 22) - 1
+let max_buf = (1 lsl 32) - 1
+let max_scan_count = 255
+
+let validate t =
+  if t.size < 0 || t.size > max_size then invalid_arg "Request: size out of range";
+  if t.buf < 0 || t.buf > max_buf then invalid_arg "Request: buf out of range";
+  if t.scan_count < 0 || t.scan_count > max_scan_count then
+    invalid_arg "Request: scan count out of range";
+  t
+
+let get ~key ~buf = validate { key; kind = Get; size = 0; buf; scan_count = 0 }
+
+let put ~key ~size ~buf =
+  validate { key; kind = Put; size; buf; scan_count = 0 }
+
+let delete ~key ~buf =
+  validate { key; kind = Delete; size = 0; buf; scan_count = 0 }
+
+let scan ~key ~count ~buf =
+  validate { key; kind = Scan; size = 0; buf; scan_count = count }
+
+let wire_bytes t = match t.kind with Scan -> 32 | Get | Put | Delete -> 16
+
+let kind_code = function Get -> 0 | Put -> 1 | Delete -> 2 | Scan -> 3
+let kind_of_code = function
+  | 0 -> Get
+  | 1 -> Put
+  | 2 -> Delete
+  | 3 -> Scan
+  | c -> invalid_arg (Printf.sprintf "Request.decode: bad kind %d" c)
+
+let encode t =
+  ignore (validate t);
+  let open Int64 in
+  let meta =
+    logor
+      (of_int (kind_code t.kind))
+      (logor
+         (shift_left (of_int t.size) 2)
+         (logor
+            (shift_left (of_int t.buf) 24)
+            (shift_left (of_int t.scan_count) 56)))
+  in
+  (t.key, meta)
+
+let decode (key, meta) =
+  let open Int64 in
+  let kind = kind_of_code (to_int (logand meta 3L)) in
+  let size = to_int (logand (shift_right_logical meta 2) (of_int max_size)) in
+  let buf = to_int (logand (shift_right_logical meta 24) 0xFFFFFFFFL) in
+  let scan_count = to_int (logand (shift_right_logical meta 56) 0xFFL) in
+  validate { key; kind; size; buf; scan_count }
+
+let pp fmt t =
+  let k =
+    match t.kind with
+    | Get -> "get"
+    | Put -> "put"
+    | Delete -> "del"
+    | Scan -> "scan"
+  in
+  Format.fprintf fmt "%s(key=%Ld size=%d buf=%d scan=%d)" k t.key t.size t.buf
+    t.scan_count
+
+let equal a b =
+  Int64.equal a.key b.key && a.kind = b.kind && a.size = b.size
+  && a.buf = b.buf && a.scan_count = b.scan_count

@@ -1,0 +1,39 @@
+(** Compact requests exchanged between the cache- and memory-resident
+    layers (§3.4).
+
+    Point operations pack into 16 bytes: an 8-byte key (larger keys are
+    hashed to 8 bytes upstream), 2-bit type, size, and a 32-bit network
+    buffer slot index.  Range queries carry the scan bound and count and
+    take a second 16-byte half (§4); they are rare, so the extra width is
+    negligible.  [encode]/[decode] implement the real bit packing so the
+    wire format is testable, even though the simulator passes records. *)
+
+type kind = Get | Put | Delete | Scan
+
+type t = {
+  key : int64;
+  kind : kind;
+  size : int;  (** value size in bytes (0 for get/delete) *)
+  buf : int;  (** network-buffer slot index this request came from / responds to *)
+  scan_count : int;  (** items to return; scan only *)
+}
+
+val get : key:int64 -> buf:int -> t
+val put : key:int64 -> size:int -> buf:int -> t
+val delete : key:int64 -> buf:int -> t
+val scan : key:int64 -> count:int -> buf:int -> t
+
+val wire_bytes : t -> int
+(** 16 for point ops, 32 for scans. *)
+
+val max_size : int
+(** Largest encodable value size. *)
+
+val max_buf : int
+val max_scan_count : int
+
+val encode : t -> int64 * int64
+val decode : int64 * int64 -> t
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

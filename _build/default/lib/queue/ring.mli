@@ -1,0 +1,66 @@
+(** Single-producer single-consumer ring with multi-request slots and
+    completion piggybacking (§3.4).
+
+    Each slot carries one {e batch} of values; the producer pushes a whole
+    batch, the consumer reads it with {!peek} and advances the shared tail
+    only after processing it ({!complete}), which doubles as the completion
+    signal: the producer discovers finished batches by watching the tail
+    ({!take_completed}) instead of receiving explicit completion messages.
+
+    Control words (head, tail) live on separate simulated cache lines;
+    slot payloads are charged at [value_bytes] per element. *)
+
+type 'a t
+
+val create :
+  ?hw_offload:bool ->
+  Mutps_mem.Layout.t ->
+  name:string ->
+  slots:int ->
+  batch:int ->
+  value_bytes:int ->
+  'a t
+(** [slots] is rounded up to a power of two; [batch] is the max values per
+    slot.  With [hw_offload] (default false) the ring models an Intel
+    DLB-style hardware queue (the paper's §6 future work): enqueues and
+    dequeues cost a fixed device latency instead of cache-coherent memory
+    traffic. *)
+
+val hw_op_cycles : int
+(** Fixed per-operation cost of the hardware-offloaded queue. *)
+
+val slots : 'a t -> int
+val batch : 'a t -> int
+
+(** {1 Producer side} *)
+
+val push : 'a t -> Mutps_mem.Env.t -> 'a array -> bool
+(** Publish one batch; false when the ring is full (batch length must be in
+    [\[1, batch\]]). *)
+
+val take_completed : 'a t -> Mutps_mem.Env.t -> 'a array option
+(** Next batch whose processing the consumer has signalled, in push order;
+    [None] if none is newly complete. *)
+
+val unreclaimed : 'a t -> int
+(** Batches pushed whose completion has not been taken yet — purely
+    producer-local bookkeeping, so checking it before polling the shared
+    tail costs nothing. *)
+
+(** {1 Consumer side} *)
+
+val peek : 'a t -> Mutps_mem.Env.t -> 'a array option
+(** Read the next unread batch (advances a consumer-local cursor, not the
+    shared tail).  [None] when nothing new. *)
+
+val complete : 'a t -> Mutps_mem.Env.t -> unit
+(** Advance the shared tail over the oldest peeked-but-uncompleted batch.
+    Must be called once per successful {!peek}, in order. *)
+
+(** {1 Introspection} *)
+
+val is_empty : 'a t -> bool
+(** No batch pushed and not yet completed. *)
+
+val in_flight : 'a t -> int
+(** Batches pushed but not completed. *)

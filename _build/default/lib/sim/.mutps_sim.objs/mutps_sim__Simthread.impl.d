@@ -1,0 +1,1 @@
+lib/sim/simthread.ml: Effect Engine Queue

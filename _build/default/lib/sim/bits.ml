@@ -1,0 +1,31 @@
+(* Position of the highest set bit of [n > 0], counting from the LSB. *)
+let msb_pos n =
+  let n = ref n and p = ref 0 in
+  if !n >= 1 lsl 32 then begin p := !p + 32; n := !n lsr 32 end;
+  if !n >= 1 lsl 16 then begin p := !p + 16; n := !n lsr 16 end;
+  if !n >= 1 lsl 8 then begin p := !p + 8; n := !n lsr 8 end;
+  if !n >= 1 lsl 4 then begin p := !p + 4; n := !n lsr 4 end;
+  if !n >= 1 lsl 2 then begin p := !p + 2; n := !n lsr 2 end;
+  if !n >= 2 then incr p;
+  !p
+
+let clz n = if n = 0 then 63 else 62 - msb_pos n
+
+let popcount n =
+  let c = ref 0 and n = ref n in
+  while !n <> 0 do
+    n := !n land (!n - 1);
+    incr c
+  done;
+  !c
+
+let log2_ceil n =
+  if n <= 0 then invalid_arg "Bits.log2_ceil";
+  let k = ref 0 in
+  while 1 lsl !k < n do
+    incr k
+  done;
+  !k
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+let lowest_set n = n land (-n)

@@ -1,0 +1,16 @@
+(** Small bit-twiddling helpers shared across the simulator. *)
+
+val clz : int -> int
+(** Count of leading zero bits in a 63-bit OCaml int (result in [\[0, 63\]];
+    [clz 0 = 63]). *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val log2_ceil : int -> int
+(** Smallest [k] with [1 lsl k >= n]; [n] must be positive. *)
+
+val is_pow2 : int -> bool
+
+val lowest_set : int -> int
+(** The lowest set bit of [n] ([0] if [n = 0]). *)

@@ -1,0 +1,100 @@
+(* Binary min-heap of (time, seq) keyed events.  The [seq] component gives
+   FIFO order among events scheduled for the same cycle, which is what makes
+   simulations deterministic and insensitive to heap internals. *)
+
+type event = { time : int; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable stopped : bool;
+}
+
+let dummy = { time = max_int; seq = max_int; fn = ignore }
+
+let create () =
+  { clock = 0; heap = Array.make 256 dummy; size = 0; next_seq = 0; stopped = false }
+
+let now t = t.clock
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let heap = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  heap.(!i) <- ev;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before heap.(!i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := parent
+    end else continue := false
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let heap = t.heap in
+  let top = heap.(0) in
+  t.size <- t.size - 1;
+  heap.(0) <- heap.(t.size);
+  heap.(t.size) <- dummy;
+  (* sift down *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before heap.(l) heap.(!smallest) then smallest := l;
+    if r < t.size && before heap.(r) heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = heap.(!smallest) in
+      heap.(!smallest) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := !smallest
+    end else continue := false
+  done;
+  top
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
+  let ev = { time = at; seq = t.next_seq; fn } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule_after t ~delay fn =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock + delay) fn
+
+let stop t = t.stopped <- true
+
+let run t ~until =
+  t.stopped <- false;
+  while (not t.stopped) && t.size > 0 && t.heap.(0).time <= until do
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.fn ()
+  done;
+  if not t.stopped then t.clock <- max t.clock until
+
+let run_all t =
+  t.stopped <- false;
+  while (not t.stopped) && t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.fn ()
+  done

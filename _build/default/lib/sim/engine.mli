@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    Time is measured in CPU cycles of the simulated machine (an [int]).
+    Events are callbacks scheduled at absolute times; ties are broken by
+    insertion order, which makes every run fully deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at cycle 0 and no pending events. *)
+
+val now : t -> int
+(** Current simulated time in cycles. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule t ~at fn] runs [fn] when the clock reaches [at].  [at] must not
+    be in the past. *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule_after t ~delay fn] is [schedule t ~at:(now t + delay) fn]. *)
+
+val pending : t -> int
+(** Number of events not yet dispatched. *)
+
+val run : t -> until:int -> unit
+(** Dispatch events in time order until the clock would pass [until] or no
+    events remain.  The clock is left at [until] (or at the last event time
+    if the queue drained first). *)
+
+val run_all : t -> unit
+(** Dispatch every event until the queue is empty. *)
+
+val stop : t -> unit
+(** Abort the current [run]/[run_all] after the in-flight event returns.
+    Remaining events stay queued. *)

@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 = mix
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible with 64-bit
+     draws against the small bounds used in the simulator. *)
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod n
+
+let float t =
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

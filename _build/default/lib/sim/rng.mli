@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the simulator takes an explicit [Rng.t] so
+    that a run is reproducible from its seed alone.  [split] derives an
+    independent stream, which lets concurrent simulated threads draw numbers
+    without perturbing each other. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** Derive an independent generator; advances [t] once. *)
+
+val copy : t -> t
+(** A generator that will produce the same future stream as [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val hash64 : int64 -> int64
+(** Stateless splitmix64 finalizer: a high-quality 64-bit mixing hash, used
+    for key scrambling. *)

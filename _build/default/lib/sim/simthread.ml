@@ -1,0 +1,89 @@
+open Effect
+open Effect.Deep
+
+type ctx = {
+  engine : Engine.t;
+  name : string;
+  mutable acc : int;
+}
+
+type _ Effect.t +=
+  | Delay : ctx * int -> unit Effect.t
+  | Suspend : ctx * ((unit -> unit) -> unit) -> unit Effect.t
+
+let engine ctx = ctx.engine
+let name ctx = ctx.name
+let now ctx = Engine.now ctx.engine + ctx.acc
+
+let charge ctx n =
+  if n < 0 then invalid_arg "Simthread.charge: negative cycles";
+  ctx.acc <- ctx.acc + n
+
+let pending ctx = ctx.acc
+
+let commit ctx =
+  if ctx.acc > 0 then begin
+    let d = ctx.acc in
+    ctx.acc <- 0;
+    perform (Delay (ctx, d))
+  end
+
+let delay ctx n =
+  charge ctx n;
+  commit ctx
+
+let yield ctx =
+  commit ctx;
+  perform (Delay (ctx, 0))
+
+let suspend ctx register =
+  commit ctx;
+  perform (Suspend (ctx, register))
+
+let spawn ?at ?(name = "thread") engine fn =
+  let ctx = { engine; name; acc = 0 } in
+  let body () =
+    match_with fn ctx
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay (c, n) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Engine.schedule_after c.engine ~delay:n (fun () -> continue k ()))
+            | Suspend (c, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg "Simthread: resume invoked twice";
+                    resumed := true;
+                    Engine.schedule_after c.engine ~delay:0 (fun () ->
+                        continue k ())
+                  in
+                  register resume)
+            | _ -> None);
+      }
+  in
+  let at = match at with Some t -> t | None -> Engine.now engine in
+  Engine.schedule engine ~at body
+
+module Condvar = struct
+  type t = { q : (unit -> unit) Queue.t }
+
+  let create () = { q = Queue.create () }
+  let waiters t = Queue.length t.q
+  let wait ctx t = suspend ctx (fun resume -> Queue.push resume t.q)
+
+  let signal t =
+    match Queue.take_opt t.q with None -> () | Some resume -> resume ()
+
+  let broadcast t =
+    while not (Queue.is_empty t.q) do
+      signal t
+    done
+end

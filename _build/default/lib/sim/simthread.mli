@@ -1,0 +1,67 @@
+(** Simulated threads: cooperative computations whose passage of time is
+    charged to the {!Engine} clock.
+
+    A simulated thread is an ordinary OCaml function run under an effect
+    handler.  It advances simulated time with {!delay}, or — on the hot path
+    — by accumulating cycles into its context with {!charge} and flushing
+    them with one {!commit} at a natural boundary (end of a request stage,
+    a queue operation).  Accumulation keeps the event queue off the
+    per-memory-access path, which is what makes multi-million-operation
+    simulations affordable.
+
+    All operations except {!spawn} must be called from inside a simulated
+    thread. *)
+
+type ctx
+(** Per-thread context: engine handle plus the uncommitted cycle
+    accumulator. *)
+
+val spawn : ?at:int -> ?name:string -> Engine.t -> (ctx -> unit) -> unit
+(** [spawn engine fn] schedules [fn] to start at time [at] (default: now).
+    The thread ends when [fn] returns. *)
+
+val engine : ctx -> Engine.t
+val name : ctx -> string
+
+val now : ctx -> int
+(** Engine time plus this thread's uncommitted cycles — i.e. where this
+    thread's private clock stands. *)
+
+val charge : ctx -> int -> unit
+(** Accumulate [n] cycles locally without touching the event queue. *)
+
+val pending : ctx -> int
+(** Cycles accumulated since the last commit. *)
+
+val commit : ctx -> unit
+(** Flush accumulated cycles: other threads scheduled in the flushed
+    interval run before this thread resumes. *)
+
+val delay : ctx -> int -> unit
+(** [delay ctx n] = [charge ctx n; commit ctx]. *)
+
+val yield : ctx -> unit
+(** Commit, then let every other event at the current time run first. *)
+
+val suspend : ctx -> ((unit -> unit) -> unit) -> unit
+(** [suspend ctx register] commits, then parks the thread; [register] is
+    called with a [resume] closure that must be invoked exactly once (from
+    another thread or an engine event) to reschedule this thread at the
+    resumer's current time. *)
+
+(** Condition variables for simulated threads. *)
+module Condvar : sig
+  type t
+
+  val create : unit -> t
+  val waiters : t -> int
+
+  val wait : ctx -> t -> unit
+  (** Park the calling thread until signalled. *)
+
+  val signal : t -> unit
+  (** Wake one waiter (FIFO); no-op when none wait.  Callable from any
+      simulation callback. *)
+
+  val broadcast : t -> unit
+end

@@ -1,0 +1,127 @@
+module Hist = struct
+  (* HdrHistogram-style layout: values are bucketed with ~1.5% relative
+     error using (exponent, 6-bit mantissa) pairs.  64 sub-buckets per
+     power of two, 48 powers of two. *)
+
+  let sub_bits = 6
+  let sub = 1 lsl sub_bits
+  let n_buckets = 48 * sub
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable max_v : int;
+  }
+
+  let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0.0; max_v = 0 }
+
+  let index_of v =
+    if v < sub then v
+    else begin
+      let msb = 62 - Bits.clz v in
+      (* top sub_bits+1 bits: exponent block + mantissa *)
+      let shift = msb - sub_bits in
+      let mantissa = (v lsr shift) - sub in
+      let idx = ((shift + 1) * sub) + mantissa in
+      min idx (n_buckets - 1)
+    end
+
+  (* Lower edge of bucket [i]; used to report percentiles. *)
+  let value_of i =
+    if i < sub then i
+    else begin
+      let block = (i / sub) - 1 in
+      let mantissa = i mod sub in
+      (sub + mantissa) lsl block
+    end
+
+  let add t v =
+    let v = if v < 0 then 0 else v in
+    let i = index_of v in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. float_of_int v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let max_value t = t.max_v
+
+  let percentile t p =
+    if t.count = 0 then 0
+    else begin
+      let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+      let target = if target < 1 then 1 else target in
+      let acc = ref 0 and result = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           acc := !acc + t.buckets.(i);
+           if !acc >= target then begin
+             result := value_of i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* report the bucket's lower edge, capped by the true max *)
+      if !result > t.max_v then t.max_v else !result
+    end
+
+  let merge_into ~src ~dst =
+    for i = 0 to n_buckets - 1 do
+      dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+    done;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum +. src.sum;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+
+  let clear t =
+    Array.fill t.buckets 0 n_buckets 0;
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.max_v <- 0
+end
+
+module Monitor = struct
+  type t = {
+    window : int;
+    mutable win_start : int;
+    mutable win_ops : int;
+    mutable total : int;
+    mutable closed : (int * int) list; (* reverse order *)
+  }
+
+  let create ~window =
+    if window <= 0 then invalid_arg "Monitor.create: window must be positive";
+    { window; win_start = 0; win_ops = 0; total = 0; closed = [] }
+
+  let rec roll t ~now =
+    if now >= t.win_start + t.window then begin
+      t.closed <- (t.win_start, t.win_ops) :: t.closed;
+      t.win_start <- t.win_start + t.window;
+      t.win_ops <- 0;
+      roll t ~now
+    end
+
+  let record t ~now n =
+    roll t ~now;
+    t.win_ops <- t.win_ops + n;
+    t.total <- t.total + n
+
+  let total t = t.total
+  let windows t = List.rev t.closed
+
+  let current_rate t ~now =
+    roll t ~now;
+    match t.closed with
+    | (_, ops) :: _ -> float_of_int ops /. float_of_int t.window
+    | [] ->
+      let elapsed = now - t.win_start in
+      if elapsed <= 0 then 0.0 else float_of_int t.win_ops /. float_of_int elapsed
+end
+
+let mops ~ops ~cycles ~ghz =
+  if cycles <= 0 then 0.0
+  else
+    let seconds = float_of_int cycles /. (ghz *. 1e9) in
+    float_of_int ops /. seconds /. 1e6

@@ -1,0 +1,52 @@
+(** Latency histograms, counters, and time-windowed throughput series. *)
+
+(** {1 Log-bucketed latency histogram} *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+  (** Record one sample (e.g. a latency in cycles or nanoseconds).
+      Negative samples are clamped to 0. *)
+
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> int
+  (** [percentile t p] with [p] in [\[0, 100\]]: an upper bound on the value
+      below which [p]% of the samples fall (bucket resolution is ~1%). *)
+
+  val max_value : t -> int
+  val merge_into : src:t -> dst:t -> unit
+  val clear : t -> unit
+end
+
+(** {1 Windowed throughput monitor} *)
+
+module Monitor : sig
+  type t
+
+  val create : window:int -> t
+  (** [window] is the window length in cycles. *)
+
+  val record : t -> now:int -> int -> unit
+  (** [record t ~now n] accounts [n] completed operations at time [now]. *)
+
+  val total : t -> int
+  (** Operations recorded since creation. *)
+
+  val windows : t -> (int * int) list
+  (** Closed windows as [(window_start_cycle, ops)] in time order. *)
+
+  val current_rate : t -> now:int -> float
+  (** Throughput (ops/cycle) over the most recently closed window, or over
+      the open window if none closed yet. *)
+end
+
+(** {1 Helpers} *)
+
+val mops : ops:int -> cycles:int -> ghz:float -> float
+(** Throughput in million operations per second given a cycle budget and the
+    simulated clock frequency. *)

@@ -1,0 +1,1 @@
+lib/store/item.ml: Bytes Mutps_mem Slab

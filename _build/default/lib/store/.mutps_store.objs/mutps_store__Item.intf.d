@@ -1,0 +1,1 @@
+lib/store/item.mli: Mutps_mem Slab

@@ -1,0 +1,1 @@
+lib/store/slab.ml: Array Mutps_mem Mutps_sim Printf

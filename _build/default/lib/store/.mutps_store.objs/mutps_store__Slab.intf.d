@@ -1,0 +1,1 @@
+lib/store/slab.mli: Mutps_mem

@@ -1,0 +1,97 @@
+module Env = Mutps_mem.Env
+
+let header_bytes = 8
+let spin_backoff_cycles = 25
+let atomic_limit = 8
+
+type t = {
+  mutable addr : int;
+  mutable value : bytes;
+  mutable version : int; (* odd = write in progress *)
+  mutable contended : int;
+}
+
+let create slab ~value =
+  let addr = Slab.alloc slab (header_bytes + Bytes.length value) in
+  { addr; value = Bytes.copy value; version = 0; contended = 0 }
+
+let addr t = t.addr
+let size t = Bytes.length t.value
+let total_bytes t = header_bytes + Bytes.length t.value
+let version t = t.version
+let locked t = t.version land 1 = 1
+let peek t = t.value
+let contended_acquires t = t.contended
+
+let rec read env t =
+  Env.commit env;
+  let v1 = t.version in
+  if v1 land 1 = 1 then begin
+    (* writer in progress: re-poll the header *)
+    Env.load env ~addr:t.addr ~size:header_bytes;
+    Env.compute env spin_backoff_cycles;
+    read env t
+  end
+  else begin
+    Env.load env ~addr:t.addr ~size:(total_bytes t);
+    Env.commit env;
+    if t.version <> v1 then begin
+      Env.compute env spin_backoff_cycles;
+      read env t
+    end
+    else Bytes.copy t.value
+  end
+
+let update_payload t value slab =
+  let old_len = Bytes.length t.value and new_len = Bytes.length value in
+  if Slab.class_of_size (header_bytes + old_len)
+     <> Slab.class_of_size (header_bytes + new_len)
+  then begin
+    Slab.free slab ~addr:t.addr ~size:(header_bytes + old_len);
+    t.addr <- Slab.alloc slab (header_bytes + new_len)
+  end;
+  t.value <- Bytes.copy value
+
+let rec write env t value slab =
+  Env.commit env;
+  if t.version land 1 = 1 then begin
+    (* spin on the held lock with CAS: every failed attempt dirties the
+       header line, invalidating the holder's copy — the cacheline
+       ping-pong that makes contended critical sections stretch (§2.2.2) *)
+    t.contended <- t.contended + 1;
+    Env.store env ~addr:t.addr ~size:header_bytes;
+    Env.compute env spin_backoff_cycles;
+    write env t value slab
+  end
+  else if Bytes.length value <= atomic_limit && size t <= atomic_limit then begin
+    (* 8-byte values: single atomic store of header+data (same line) *)
+    Env.store env ~addr:t.addr ~size:(header_bytes + Bytes.length value);
+    update_payload t value slab;
+    t.version <- t.version + 2;
+    Env.commit env
+  end
+  else begin
+    (* acquire: the CAS dirties the header line immediately *)
+    Env.store env ~addr:t.addr ~size:header_bytes;
+    t.version <- t.version + 1;
+    (* committing between the phases lets concurrent failed CASes dirty
+       the header line mid-critical-section, so the release genuinely pays
+       for the ping-pong — contended holds stretch with the crowd *)
+    Env.commit env;
+    (* payload copy *)
+    Env.store env ~addr:(t.addr + header_bytes) ~size:(Bytes.length value);
+    Env.commit env;
+    (* release store *)
+    Env.store env ~addr:t.addr ~size:header_bytes;
+    Env.commit env;
+    update_payload t value slab;
+    t.version <- t.version + 1
+  end
+
+let write_exclusive env t value slab =
+  if t.version land 1 = 1 then
+    invalid_arg "Item.write_exclusive: item is locked";
+  Env.store env ~addr:t.addr ~size:(header_bytes + Bytes.length value);
+  update_payload t value slab;
+  t.version <- t.version + 2;
+  Env.commit env

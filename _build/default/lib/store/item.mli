@@ -1,0 +1,46 @@
+(** KV items: real payload bytes plus a simulated 8-byte header holding the
+    seqlock (version + lock bit, §3.3 concurrency control).
+
+    Protocols follow the paper: values of 8 bytes or less are updated with a
+    single atomic store; larger values take the lock (odd version), copy,
+    then release (even version).  Readers validate the version before and
+    after the copy and retry on conflict.  Blocked writers spin, re-loading
+    the header line — which is what makes contended items expensive in the
+    cache model. *)
+
+type t
+
+val header_bytes : int
+
+val create : Slab.t -> value:bytes -> t
+val addr : t -> int
+val size : t -> int
+(** Current payload size in bytes. *)
+
+val total_bytes : t -> int
+(** Header + payload. *)
+
+val version : t -> int
+val locked : t -> bool
+
+val peek : t -> bytes
+(** Raw payload without simulation charges (for tests and setup). *)
+
+val read : Mutps_mem.Env.t -> t -> bytes
+(** Seqlock read; charges header+payload loads, retries on conflict. *)
+
+val write : Mutps_mem.Env.t -> t -> bytes -> Slab.t -> unit
+(** Locked update (atomic when both old and new payloads are ≤ 8 bytes).
+    A payload that changes size class is reallocated from the slab. *)
+
+val write_exclusive : Mutps_mem.Env.t -> t -> bytes -> Slab.t -> unit
+(** Share-nothing update: the caller guarantees it is the only writer, so
+    no lock is taken (eRPC-KV's shard-owner path).  Raises
+    [Invalid_argument] if a lock is somehow held. *)
+
+val spin_backoff_cycles : int
+(** Cycles a blocked writer waits between lock retries. *)
+
+val contended_acquires : t -> int
+(** How many lock acquisitions on this item found it locked first
+    (diagnostic for contention experiments). *)

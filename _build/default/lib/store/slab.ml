@@ -1,0 +1,69 @@
+module Layout = Mutps_mem.Layout
+
+let min_class_shift = 4 (* 16 bytes *)
+let max_class_shift = 24 (* 16 MB *)
+
+let shift_of_size size =
+  if size <= 0 then invalid_arg "Slab: size must be positive";
+  let s = max (Mutps_sim.Bits.log2_ceil size) min_class_shift in
+  if s > max_class_shift then invalid_arg "Slab: size too large";
+  s
+
+let class_of_size size = 1 lsl shift_of_size size
+
+type klass = {
+  region : Layout.region;
+  block : int;
+  mutable freelist : int list;
+}
+
+type t = {
+  layout : Layout.t;
+  class_bytes : int;
+  classes : klass option array;
+  mutable live : int;
+}
+
+let create layout ?(class_bytes = 1 lsl 30) () =
+  {
+    layout;
+    class_bytes;
+    classes = Array.make (max_class_shift + 1) None;
+    live = 0;
+  }
+
+let get_class t shift =
+  match t.classes.(shift) with
+  | Some k -> k
+  | None ->
+    let block = 1 lsl shift in
+    let k =
+      {
+        region =
+          Layout.region t.layout
+            ~name:(Printf.sprintf "slab-%dB" block)
+            ~size:t.class_bytes;
+        block;
+        freelist = [];
+      }
+    in
+    t.classes.(shift) <- Some k;
+    k
+
+let alloc t size =
+  let shift = shift_of_size size in
+  let k = get_class t shift in
+  t.live <- t.live + 1;
+  match k.freelist with
+  | addr :: rest ->
+    k.freelist <- rest;
+    addr
+  | [] -> Layout.alloc k.region ~align:(min k.block 64) k.block
+
+let free t ~addr ~size =
+  let shift = shift_of_size size in
+  let k = get_class t shift in
+  k.freelist <- addr :: k.freelist;
+  t.live <- t.live - 1
+
+let live_blocks t = t.live

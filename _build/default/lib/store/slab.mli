@@ -1,0 +1,23 @@
+(** Slab allocator for KV items in the simulated address space.
+
+    Size classes are powers of two from 16 bytes up; each class draws from
+    one region of the layout and keeps a free list, so item addresses are
+    stable, dense within a class, and reusable after {!free}. *)
+
+type t
+
+val create : Mutps_mem.Layout.t -> ?class_bytes:int -> unit -> t
+(** [class_bytes] is the per-size-class region capacity (default 1 GB of
+    simulated space — address space is free). *)
+
+val alloc : t -> int -> int
+(** [alloc t size] returns the simulated address of a block that fits
+    [size] bytes; [size] must be positive. *)
+
+val free : t -> addr:int -> size:int -> unit
+(** Return a block allocated with the same [size]. *)
+
+val class_of_size : int -> int
+(** The rounded block size used for a payload of [size] bytes. *)
+
+val live_blocks : t -> int

@@ -1,0 +1,1 @@
+lib/workload/etc.ml: Opgen Printf Ycsb

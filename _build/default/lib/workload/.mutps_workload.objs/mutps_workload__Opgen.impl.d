@@ -1,0 +1,1 @@
+lib/workload/opgen.ml: Array Float Int64 Mutps_queue Mutps_sim Zipf

@@ -1,0 +1,1 @@
+lib/workload/opgen.mli: Mutps_queue

@@ -1,0 +1,1 @@
+lib/workload/twitter.ml: Opgen Ycsb

@@ -1,0 +1,1 @@
+lib/workload/twitter.mli: Opgen

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Float Hashtbl Mutps_sim

@@ -1,0 +1,10 @@
+let spec ?(keyspace = Ycsb.default_keyspace) ~get_ratio () =
+  if get_ratio < 0.0 || get_ratio > 1.0 then invalid_arg "Etc.spec: get_ratio";
+  {
+    Opgen.name = Printf.sprintf "etc-get%.0f%%" (100.0 *. get_ratio);
+    keyspace;
+    key_dist = Opgen.Zipfian Ycsb.default_theta;
+    size_dist = Opgen.Etc;
+    mix = { Opgen.get = get_ratio; put = 1.0 -. get_ratio; scan = 0.0 };
+    scan_len = 1;
+  }

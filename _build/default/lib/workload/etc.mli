@@ -1,0 +1,5 @@
+(** Meta's ETC Memcached pool (§5.2.2): Zipfian keys, mixed value sizes
+    (1–13 B 40%, 14–300 B 55%, >300 B 5%), configurable get ratio. *)
+
+val spec : ?keyspace:int -> get_ratio:float -> unit -> Opgen.spec
+(** [get_ratio] ∈ [0,1]; the paper evaluates 0.1, 0.5 and 0.9. *)

@@ -1,0 +1,122 @@
+module Rng = Mutps_sim.Rng
+module Request = Mutps_queue.Request
+
+type key_dist = Uniform | Zipfian of float
+
+type size_dist = Fixed of int | Etc | Exp of { mean : int; max : int }
+
+type mix = { get : float; put : float; scan : float }
+
+type spec = {
+  name : string;
+  keyspace : int;
+  key_dist : key_dist;
+  size_dist : size_dist;
+  mix : mix;
+  scan_len : int;
+}
+
+type op = {
+  kind : Request.kind;
+  key : int64;
+  size : int;
+  scan_count : int;
+}
+
+type t = { spec : spec; zipf : Zipf.t option; rng : Rng.t }
+
+(* Rank scrambling: a fixed bijective-ish hash of the rank, reduced into the
+   keyspace.  Collisions merely merge two ranks onto one key — harmless for
+   workload purposes — but hotness ordering is globally consistent. *)
+let key_of_rank ~keyspace rank =
+  let h = Rng.hash64 (Int64.of_int rank) in
+  Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int keyspace)
+
+let hottest_keys ~keyspace k =
+  Array.init k (key_of_rank ~keyspace)
+
+let all_keys ~keyspace =
+  (* pre-population must cover every key an op can generate: the image of
+     key_of_rank is a subset of [0, keyspace), so cover the whole range *)
+  Array.init keyspace Int64.of_int
+
+let validate spec =
+  if spec.keyspace <= 0 then invalid_arg "Opgen: keyspace must be positive";
+  let total = spec.mix.get +. spec.mix.put +. spec.mix.scan in
+  if total > 1.0 +. 1e-9 then invalid_arg "Opgen: mix fractions exceed 1";
+  if spec.scan_len <= 0 then invalid_arg "Opgen: scan_len must be positive";
+  (match spec.size_dist with
+  | Fixed n when n <= 0 -> invalid_arg "Opgen: fixed size must be positive"
+  | Exp { mean; max } when mean <= 0 || max < mean ->
+    invalid_arg "Opgen: bad Exp size distribution"
+  | Fixed _ | Etc | Exp _ -> ());
+  spec
+
+let make spec ~seed =
+  let spec = validate spec in
+  let zipf =
+    match spec.key_dist with
+    | Uniform -> None
+    | Zipfian theta -> Some (Zipf.create ~n:spec.keyspace ~theta)
+  in
+  { spec; zipf; rng = Rng.create seed }
+
+let spec t = t.spec
+
+let next_key t =
+  match t.zipf with
+  | None -> key_of_rank ~keyspace:t.spec.keyspace (Rng.int t.rng t.spec.keyspace)
+  | Some z -> key_of_rank ~keyspace:t.spec.keyspace (Zipf.next z t.rng)
+
+(* Value sizes are a deterministic function of the key: a real object's
+   size is a (fairly) stable property, and size churn on every update
+   would force constant reallocation that no production store exhibits. *)
+
+let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+(* ETC value sizes (§5.2.2): 1-13 B Zipf-ish (40%), 14-300 B Zipf-ish
+   (55%), 301-1024 B uniform (5%).  Within the Zipfian bands we use a
+   discrete power-law favouring small sizes, matching the pool's shape. *)
+let etc_size key =
+  let h1 = Rng.hash64 (Int64.logxor key 0x6574635F73697A65L) in
+  let h2 = Rng.hash64 h1 in
+  let band = unit_float h1 and u = unit_float h2 in
+  if band < 0.40 then 1 + int_of_float (12.0 *. u *. u)
+  else if band < 0.95 then 14 + int_of_float (286.0 *. u *. u)
+  else 301 + int_of_float (u *. 723.0)
+
+(* geometric with the given mean, clipped *)
+let exp_size key ~mean ~max =
+  let u = unit_float (Rng.hash64 (Int64.logxor key 0x6578705F73697A65L)) in
+  let v = 1 + int_of_float (-.float_of_int mean *. log (1.0 -. (u *. 0.9999))) in
+  if v > max then max else v
+
+let size_for_key spec key =
+  match spec.size_dist with
+  | Fixed n -> n
+  | Etc -> etc_size key
+  | Exp { mean; max } -> exp_size key ~mean ~max
+
+let next_size t key = size_for_key t.spec key
+
+let mean_value_size spec =
+  match spec.size_dist with
+  | Fixed n -> float_of_int n
+  | Etc ->
+    (* closed-form means of the three bands *)
+    (0.40 *. 5.0) +. (0.55 *. 109.3) +. (0.05 *. 662.5)
+  | Exp { mean; max } -> Float.min (float_of_int mean) (float_of_int max)
+
+let next t =
+  let u = Rng.float t.rng in
+  let m = t.spec.mix in
+  let key = next_key t in
+  if u < m.get then { kind = Request.Get; key; size = 0; scan_count = 0 }
+  else if u < m.get +. m.put then
+    { kind = Request.Put; key; size = next_size t key; scan_count = 0 }
+  else if u < m.get +. m.put +. m.scan then begin
+    (* uniform scan length in [1, 2*avg), mean = scan_len *)
+    let count = 1 + Rng.int t.rng ((2 * t.spec.scan_len) - 1) in
+    { kind = Request.Scan; key; size = 0; scan_count = count }
+  end
+  else { kind = Request.Delete; key; size = 0; scan_count = 0 }

@@ -1,0 +1,57 @@
+(** Workload specification and operation stream generation.
+
+    A {!spec} captures everything the paper varies: key distribution,
+    operation mix, value-size distribution, keyspace, scan length.  A {!t}
+    is a deterministic stream of operations drawn from a spec; each client
+    thread owns one (seeded independently). *)
+
+type key_dist = Uniform | Zipfian of float  (** theta / α *)
+
+type size_dist =
+  | Fixed of int
+  | Etc  (** Meta ETC pool value-size mixture (§5.2.2) *)
+  | Exp of { mean : int; max : int }
+      (** geometric approximation, for Twitter trace value sizes *)
+
+type mix = { get : float; put : float; scan : float }
+(** Fractions summing to ≤ 1; the remainder is deletes (never used by the
+    paper's workloads). *)
+
+type spec = {
+  name : string;
+  keyspace : int;
+  key_dist : key_dist;
+  size_dist : size_dist;
+  mix : mix;
+  scan_len : int;  (** average items per scan *)
+}
+
+type op = {
+  kind : Mutps_queue.Request.kind;
+  key : int64;
+  size : int;  (** value bytes for put; 0 otherwise *)
+  scan_count : int;
+}
+
+type t
+
+val make : spec -> seed:int -> t
+val spec : t -> spec
+val next : t -> op
+
+val key_of_rank : keyspace:int -> int -> int64
+(** Scrambled key for a popularity rank (rank 0 = hottest), stable across
+    generators so hot sets agree between clients and analysis code. *)
+
+val hottest_keys : keyspace:int -> int -> int64 array
+(** The [k] hottest keys under any Zipfian spec over this keyspace. *)
+
+val all_keys : keyspace:int -> int64 array
+(** Every key in the keyspace (for pre-population). *)
+
+val size_for_key : spec -> int64 -> int
+(** The (deterministic) value size of a key under this spec: object sizes
+    are a stable per-key property, so updates never flip size classes. *)
+
+val mean_value_size : spec -> float
+(** Expected put payload size (analysis helper). *)

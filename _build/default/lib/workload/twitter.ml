@@ -1,0 +1,40 @@
+type cluster = Cluster_12 | Cluster_19 | Cluster_31
+
+let all = [ Cluster_12; Cluster_19; Cluster_31 ]
+
+let name = function
+  | Cluster_12 -> "cluster-12"
+  | Cluster_19 -> "cluster-19"
+  | Cluster_31 -> "cluster-31"
+
+(* Table 1 *)
+let put_ratio = function
+  | Cluster_12 -> 0.80
+  | Cluster_19 -> 0.25
+  | Cluster_31 -> 0.94
+
+let avg_value_size = function
+  | Cluster_12 -> 1030
+  | Cluster_19 -> 101
+  | Cluster_31 -> 15
+
+let zipf_alpha = function
+  | Cluster_12 -> 0.30
+  | Cluster_19 -> 0.74
+  | Cluster_31 -> 0.0
+
+let spec ?(keyspace = Ycsb.default_keyspace) cluster =
+  let alpha = zipf_alpha cluster in
+  {
+    Opgen.name = name cluster;
+    keyspace;
+    key_dist = (if alpha < 0.01 then Opgen.Uniform else Opgen.Zipfian alpha);
+    size_dist = Opgen.Exp { mean = avg_value_size cluster; max = 8192 };
+    mix =
+      {
+        Opgen.get = 1.0 -. put_ratio cluster;
+        put = put_ratio cluster;
+        scan = 0.0;
+      };
+    scan_len = 1;
+  }

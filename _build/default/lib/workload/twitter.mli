@@ -1,0 +1,14 @@
+(** The three representative Twitter cache traces of Table 1, parameterised
+    by the published characteristics (put ratio, average value size,
+    Zipf α). *)
+
+type cluster = Cluster_12 | Cluster_19 | Cluster_31
+
+val all : cluster list
+val name : cluster -> string
+
+val put_ratio : cluster -> float
+val avg_value_size : cluster -> int
+val zipf_alpha : cluster -> float
+
+val spec : ?keyspace:int -> cluster -> Opgen.spec

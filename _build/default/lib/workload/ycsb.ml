@@ -1,0 +1,49 @@
+let default_theta = 0.99
+let default_keyspace = 10_000_000
+
+let key_dist skewed =
+  if skewed then Opgen.Zipfian default_theta else Opgen.Uniform
+
+let mk name ~keyspace ~skewed ~value_size ~get ~put ~scan ~scan_len =
+  {
+    Opgen.name;
+    keyspace;
+    key_dist = key_dist skewed;
+    size_dist = Opgen.Fixed value_size;
+    mix = { Opgen.get; put; scan };
+    scan_len;
+  }
+
+let a ?(keyspace = default_keyspace) ?(skewed = true) ~value_size () =
+  mk "ycsb-a" ~keyspace ~skewed ~value_size ~get:0.5 ~put:0.5 ~scan:0.0
+    ~scan_len:1
+
+let b ?(keyspace = default_keyspace) ?(skewed = true) ~value_size () =
+  mk "ycsb-b" ~keyspace ~skewed ~value_size ~get:0.95 ~put:0.05 ~scan:0.0
+    ~scan_len:1
+
+let c ?(keyspace = default_keyspace) ?(skewed = true) ~value_size () =
+  mk "ycsb-c" ~keyspace ~skewed ~value_size ~get:1.0 ~put:0.0 ~scan:0.0
+    ~scan_len:1
+
+let e ?(keyspace = default_keyspace) ?(skewed = true) ?(scan_len = 50)
+    ~value_size () =
+  mk "ycsb-e" ~keyspace ~skewed ~value_size ~get:0.0 ~put:0.05 ~scan:0.95
+    ~scan_len
+
+let put_only ?(keyspace = default_keyspace) ?(skewed = true) ~value_size () =
+  mk "put-skew" ~keyspace ~skewed ~value_size ~get:0.0 ~put:1.0 ~scan:0.0
+    ~scan_len:1
+
+let get_only_uniform ?(keyspace = default_keyspace) ~value_size () =
+  mk "get-uniform" ~keyspace ~skewed:false ~value_size ~get:1.0 ~put:0.0
+    ~scan:0.0 ~scan_len:1
+
+let put_only_uniform ?(keyspace = default_keyspace) ~value_size () =
+  mk "put-uniform" ~keyspace ~skewed:false ~value_size ~get:0.0 ~put:1.0
+    ~scan:0.0 ~scan_len:1
+
+let scan_only ?(keyspace = default_keyspace) ?(skewed = true) ?(scan_len = 50)
+    ~value_size () =
+  mk "scan-only" ~keyspace ~skewed ~value_size ~get:0.0 ~put:0.0 ~scan:1.0
+    ~scan_len

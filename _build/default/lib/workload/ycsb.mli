@@ -1,0 +1,31 @@
+(** Canned YCSB workload specs as used in §5.2.1 (A, B, C, E, plus the
+    custom 100%-put and the uniform variants).  The default Zipfian theta is
+    YCSB's 0.99. *)
+
+val default_theta : float
+val default_keyspace : int
+(** 10M items, the paper's pre-populated database size. *)
+
+val a : ?keyspace:int -> ?skewed:bool -> value_size:int -> unit -> Opgen.spec
+(** 50% put / 50% get. *)
+
+val b : ?keyspace:int -> ?skewed:bool -> value_size:int -> unit -> Opgen.spec
+(** 5% put / 95% get. *)
+
+val c : ?keyspace:int -> ?skewed:bool -> value_size:int -> unit -> Opgen.spec
+(** 100% get. *)
+
+val e : ?keyspace:int -> ?skewed:bool -> ?scan_len:int -> value_size:int -> unit -> Opgen.spec
+(** 95% scan / 5% put; default scan length 50 (§5.2.1). *)
+
+val put_only : ?keyspace:int -> ?skewed:bool -> value_size:int -> unit -> Opgen.spec
+(** The paper's custom 100%-put workload. *)
+
+val get_only_uniform : ?keyspace:int -> value_size:int -> unit -> Opgen.spec
+(** GET-U. *)
+
+val put_only_uniform : ?keyspace:int -> value_size:int -> unit -> Opgen.spec
+(** PUT-U. *)
+
+val scan_only : ?keyspace:int -> ?skewed:bool -> ?scan_len:int -> value_size:int -> unit -> Opgen.spec
+(** The scan-only workload of Figure 8a. *)

@@ -1,0 +1,60 @@
+module Rng = Mutps_sim.Rng
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 16
+
+let zeta n theta =
+  match Hashtbl.find_opt zeta_cache (n, theta) with
+  | Some z -> z
+  | None ->
+    let sum = ref 0.0 in
+    for i = 1 to n do
+      sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    Hashtbl.replace zeta_cache (n, theta) !sum;
+    !sum
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta must be in [0, 1)";
+  if theta < 0.01 then
+    { n; theta; alpha = 0.0; zetan = 0.0; eta = 0.0; half_pow_theta = 0.0 }
+  else begin
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta; half_pow_theta = Float.pow 0.5 theta }
+  end
+
+let n t = t.n
+let theta t = t.theta
+
+let next t rng =
+  if t.theta < 0.01 then Rng.int rng t.n
+  else begin
+    let u = Rng.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. t.half_pow_theta then 1
+    else begin
+      let rank =
+        int_of_float
+          (float_of_int t.n
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      if rank >= t.n then t.n - 1 else if rank < 0 then 0 else rank
+    end
+  end

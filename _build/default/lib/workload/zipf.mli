@@ -1,0 +1,18 @@
+(** YCSB-style Zipfian rank generator (Gray et al.'s algorithm, as used by
+    the YCSB ZipfianGenerator).
+
+    [next] returns a {e rank} in [\[0, n)] where rank 0 is the most popular;
+    callers scramble ranks into keys (see {!Keyspace}).  [theta] below 0.01
+    degenerates to uniform — Twitter's cluster-31 has Zipf α = 0. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Zeta normalisation constants are memoised per [(n, theta)], so creating
+    many generators over the same keyspace is cheap. *)
+
+val n : t -> int
+val theta : t -> float
+
+val next : t -> Mutps_sim.Rng.t -> int
+(** Next rank, in [\[0, n)]. *)

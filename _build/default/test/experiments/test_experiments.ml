@@ -1,0 +1,116 @@
+(* Tests for the experiment harness's pure parts: the registry, table
+   rendering, and scale handling. *)
+
+open Mutps_experiments
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_registry_complete () =
+  (* every table and figure of the paper's evaluation must be present *)
+  let expected =
+    [ "table1"; "fig2a"; "fig2b"; "fig2c"; "fig7"; "fig8a"; "fig8bc";
+      "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14" ]
+  in
+  List.iter
+    (fun name ->
+      check_bool (name ^ " registered") true (Registry.find name <> None))
+    expected;
+  check_int "exactly the paper's experiments" (List.length expected)
+    (List.length Registry.all)
+
+let test_registry_names_unique () =
+  let names = Registry.names () in
+  check_int "no duplicates" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_find_missing () =
+  check_bool "unknown name" true (Registry.find "fig99" = None)
+
+let test_table_rendering () =
+  let t = Table.create [ "col"; "value" ] in
+  Table.add_row t [ "a"; "1.00" ];
+  Table.add_row t [ "long-name"; "2.50" ];
+  let buf_name = Filename.temp_file "table" ".txt" in
+  let out = open_out buf_name in
+  Table.print ~out t;
+  close_out out;
+  let ic = open_in buf_name in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove buf_name;
+  let lines = List.rev !lines in
+  check_int "header + rule + 2 rows" 4 (List.length lines);
+  (* all data lines align: same length modulo trailing spaces *)
+  (match lines with
+  | header :: _ ->
+    check_bool "header mentions both columns" true
+      (String.length header >= String.length "col  value")
+  | [] -> Alcotest.fail "no output");
+  check_bool "rows preserved in order" true
+    (match lines with
+    | _ :: _ :: r1 :: r2 :: _ ->
+      String.length r1 > 0
+      && r1.[0] = 'a'
+      && String.sub r2 0 9 = "long-name"
+    | _ -> false)
+
+let test_cells () =
+  Alcotest.(check string) "float cell" "3.14" (Table.cell_f 3.1416);
+  Alcotest.(check string) "int cell" "42" (Table.cell_i 42)
+
+let test_scale_fields_sane () =
+  let s = Harness.default_scale in
+  check_bool "keyspace positive" true (s.Harness.keyspace > 0);
+  check_bool "cores >= 2" true (s.Harness.cores >= 2);
+  check_bool "warmup < measure * 2" true (s.Harness.warmup < 2 * s.Harness.measure)
+
+let test_system_names () =
+  Alcotest.(check string) "mutps" "uTPS" (Harness.system_name Harness.Mutps);
+  Alcotest.(check string) "basekv" "BaseKV" (Harness.system_name Harness.Basekv);
+  Alcotest.(check string) "erpckv" "eRPC-KV" (Harness.system_name Harness.Erpckv)
+
+let test_populate_size () =
+  let fixed = Mutps_workload.Ycsb.a ~keyspace:100 ~value_size:777 () in
+  check_int "fixed size" 777 (Harness.populate_size fixed);
+  let etc = Mutps_workload.Etc.spec ~keyspace:100 ~get_ratio:0.5 () in
+  check_bool "etc mean in band" true
+    (let m = Harness.populate_size etc in
+     m > 30 && m < 200)
+
+let test_mk_config_scales_geometry () =
+  (* below ~500K keys the geometry sits on its floor; above it scales *)
+  let small = Harness.mk_config { Harness.default_scale with Harness.keyspace = 500_000 } in
+  let big = Harness.mk_config { Harness.default_scale with Harness.keyspace = 2_000_000 } in
+  match (small.Mutps_kvs.Config.geometry, big.Mutps_kvs.Config.geometry) with
+  | Some gs, Some gb ->
+    check_bool "LLC grows with keyspace" true
+      (gb.Mutps_mem.Hierarchy.llc_sets > gs.Mutps_mem.Hierarchy.llc_sets)
+  | _ -> Alcotest.fail "scaled geometry expected"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "unique" `Quick test_registry_names_unique;
+          Alcotest.test_case "find missing" `Quick test_registry_find_missing;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "rendering" `Quick test_table_rendering;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "scale sane" `Quick test_scale_fields_sane;
+          Alcotest.test_case "system names" `Quick test_system_names;
+          Alcotest.test_case "populate size" `Quick test_populate_size;
+          Alcotest.test_case "scaled geometry" `Quick test_mk_config_scales_geometry;
+        ] );
+    ]

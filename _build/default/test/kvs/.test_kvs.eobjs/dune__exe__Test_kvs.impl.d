@@ -1,0 +1,1 @@
+test/kvs/test_kvs.ml: Alcotest Autotuner Backend Basekv Bytes Config Engine Erpckv List Mutps Mutps_kvs Mutps_mem Mutps_net Mutps_queue Mutps_sim Mutps_workload Option Passive Printf Rng

@@ -1,0 +1,1 @@
+test/kvs/test_kvs.mli:

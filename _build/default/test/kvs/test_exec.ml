@@ -1,0 +1,367 @@
+(* Operation-execution level tests: Exec helpers, the RTC worker loop,
+   CR-MR backpressure, deletes, and transport edge cases driven through
+   real (small) systems. *)
+
+open Mutps_sim
+open Mutps_kvs
+module Client = Mutps_net.Client
+module Transport = Mutps_net.Transport
+module Message = Mutps_net.Message
+module Request = Mutps_queue.Request
+module Opgen = Mutps_workload.Opgen
+module Ycsb = Mutps_workload.Ycsb
+module Item = Mutps_store.Item
+module Index = Mutps_index.Index_intf
+module Env = Mutps_mem.Env
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let keyspace = 2_000
+let value_size = 64
+
+let small_config ?(cores = 4) ?(index = Config.Tree) () =
+  let c = Config.default ~cores ~index ~capacity:keyspace () in
+  { c with Config.hot_k = 128; refresh_cycles = 2_000_000; sample_every = 4 }
+
+(* ------------------------------------------------------------------ *)
+(* Exec helpers through a raw transport                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A little fixture: backend + reconfigurable RPC with one worker, and a
+   hand-rolled message injector. *)
+type fixture = {
+  backend : Backend.t;
+  tr : Transport.t;
+  mutable next_id : int;
+  responses : (int, int * bytes option) Hashtbl.t; (* id -> bytes, value *)
+}
+
+let mk_fixture ?(index = Config.Tree) () =
+  let backend = Backend.create (small_config ~index ()) in
+  Backend.populate backend ~keyspace ~value_size;
+  let rpc =
+    Mutps_net.Reconf_rpc.create ~engine:backend.Backend.engine
+      ~hier:backend.Backend.hier ~layout:backend.Backend.layout
+      ~link:backend.Backend.link ~max_workers:1 ~workers:1 ()
+  in
+  let tr = Mutps_net.Reconf_rpc.transport rpc in
+  let f = { backend; tr; next_id = 0; responses = Hashtbl.create 16 } in
+  tr.Transport.set_on_response (fun msg value ->
+      Hashtbl.replace f.responses msg.Message.id
+        ((match value with Some v -> Bytes.length v | None -> 0), value));
+  f
+
+let inject f req value =
+  let id = f.next_id in
+  f.next_id <- id + 1;
+  f.tr.Transport.deliver
+    { Message.id; client = 0; sent_at = 0; target = -1; req; value };
+  id
+
+let drain f ~ops =
+  Simthread.spawn f.backend.Backend.engine (fun ctx ->
+      let env = Env.make ~ctx ~hier:f.backend.Backend.hier ~core:0 in
+      for _ = 1 to ops do
+        match f.tr.Transport.poll env ~worker:0 with
+        | Some (seq, msg) -> (
+          let req = msg.Message.req in
+          let key = req.Request.key in
+          let item =
+            if req.Request.kind = Request.Scan then None
+            else f.backend.Backend.index.Index.lookup env key
+          in
+          match req.Request.kind with
+          | Request.Get -> Exec.do_get env f.tr ~worker:0 ~seq item
+          | Request.Put ->
+            Exec.do_put env f.tr ~lock:Exec.Locked
+              ~index:f.backend.Backend.index ~slab:f.backend.Backend.slab
+              ~worker:0 ~seq msg item
+          | Request.Delete ->
+            Exec.do_delete env f.tr ~index:f.backend.Backend.index ~worker:0
+              ~seq key
+          | Request.Scan ->
+            Exec.do_scan env f.tr ~index:f.backend.Backend.index ~worker:0
+              ~seq ~key ~count:req.Request.scan_count ())
+        | None -> Simthread.delay ctx 100
+      done);
+  Engine.run_all f.backend.Backend.engine
+
+let test_exec_get_hit_and_miss () =
+  let f = mk_fixture () in
+  let hit = inject f (Request.get ~key:5L ~buf:0) None in
+  let miss = inject f (Request.get ~key:999_999L ~buf:0) None in
+  drain f ~ops:2;
+  (match Hashtbl.find_opt f.responses hit with
+  | Some (_, Some v) ->
+    check_bool "hit returns stored payload" true
+      (Bytes.equal v (Client.payload ~key:5L ~size:value_size))
+  | _ -> Alcotest.fail "no value for present key");
+  (match Hashtbl.find_opt f.responses miss with
+  | Some (_, None) -> ()
+  | _ -> Alcotest.fail "missing key must answer with no value")
+
+let test_exec_put_insert_and_update () =
+  let f = mk_fixture () in
+  (* update an existing key, then insert a brand new one *)
+  let v1 = Bytes.make 32 'u' in
+  let id1 =
+    inject f (Request.put ~key:7L ~size:32 ~buf:0) (Some v1)
+  in
+  let fresh_key = Int64.of_int (keyspace + 50) in
+  let v2 = Bytes.make 16 'n' in
+  let id2 = inject f (Request.put ~key:fresh_key ~size:16 ~buf:0) (Some v2) in
+  let g1 = inject f (Request.get ~key:7L ~buf:0) None in
+  let g2 = inject f (Request.get ~key:fresh_key ~buf:0) None in
+  drain f ~ops:4;
+  check_bool "update acked" true (Hashtbl.mem f.responses id1);
+  check_bool "insert acked" true (Hashtbl.mem f.responses id2);
+  (match Hashtbl.find_opt f.responses g1 with
+  | Some (_, Some v) -> check_bool "updated value" true (Bytes.equal v v1)
+  | _ -> Alcotest.fail "updated key unreadable");
+  (match Hashtbl.find_opt f.responses g2 with
+  | Some (_, Some v) -> check_bool "inserted value" true (Bytes.equal v v2)
+  | _ -> Alcotest.fail "inserted key unreadable")
+
+let test_exec_delete_then_get () =
+  let f = mk_fixture () in
+  let d = inject f (Request.delete ~key:3L ~buf:0) None in
+  let g = inject f (Request.get ~key:3L ~buf:0) None in
+  drain f ~ops:2;
+  check_bool "delete acked" true (Hashtbl.mem f.responses d);
+  (match Hashtbl.find_opt f.responses g with
+  | Some (_, None) -> ()
+  | _ -> Alcotest.fail "deleted key still served")
+
+let test_exec_scan_bytes_scale_with_count () =
+  let f = mk_fixture () in
+  let s1 = inject f (Request.scan ~key:0L ~count:5 ~buf:0) None in
+  let s2 = inject f (Request.scan ~key:0L ~count:50 ~buf:0) None in
+  drain f ~ops:2;
+  match (Hashtbl.find_opt f.responses s1, Hashtbl.find_opt f.responses s2) with
+  | Some _, Some _ ->
+    (* responses are size-only for scans; both must have been answered *)
+    ()
+  | _ -> Alcotest.fail "scan unanswered"
+
+let test_exec_scan_on_hash_rejected () =
+  let f = mk_fixture ~index:Config.Hash () in
+  let s = inject f (Request.scan ~key:0L ~count:5 ~buf:0) None in
+  (* the hash index raises; the drain thread must propagate it *)
+  (try
+     drain f ~ops:1;
+     ignore s;
+     Alcotest.fail "expected range rejection"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* RTC loop behaviour through BaseKV                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_basekv ~spec ~horizon ~clients:n =
+  let kv = Basekv.create (small_config ()) in
+  Backend.populate (Basekv.backend kv) ~keyspace ~value_size;
+  Basekv.start kv;
+  let b = Basekv.backend kv in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Basekv.transport kv)
+      { Client.clients = n; window = 2; spec; seed = 3;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:horizon;
+  (kv, clients)
+
+let test_rtc_mixed_batch_with_deletes () =
+  (* a mix including deletes: remainder of the mix is deletes *)
+  let spec =
+    {
+      Opgen.name = "mixed";
+      keyspace;
+      key_dist = Opgen.Uniform;
+      size_dist = Opgen.Fixed value_size;
+      mix = { Opgen.get = 0.5; put = 0.3; scan = 0.0 };
+      scan_len = 1;
+    }
+  in
+  let kv, clients = run_basekv ~spec ~horizon:15_000_000 ~clients:4 in
+  check_bool "mixed workload progresses" true (Client.completed clients > 300);
+  check_bool "ops counted" true (Basekv.ops_processed kv > 300)
+
+let test_rtc_batches_amortize () =
+  (* ops processed per batch should exceed 1 under load *)
+  let spec = Ycsb.c ~keyspace ~value_size () in
+  let kv, _ = run_basekv ~spec ~horizon:15_000_000 ~clients:16 in
+  check_bool "multiple ops per batch" true
+    (Basekv.ops_processed kv > 0)
+
+(* ------------------------------------------------------------------ *)
+(* μTPS backpressure and small-ring survival                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutps_tiny_rings_no_crash () =
+  (* tiny CR-MR rings force constant flush failures: the system must stay
+     correct (backpressure) rather than crash or lose requests *)
+  let config = { (small_config ()) with Config.crmr_slots = 1; batch = 2 } in
+  let kv = Mutps.create ~ncr:1 config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size;
+  Mutps.start kv;
+  let b = Mutps.backend kv in
+  let spec = Ycsb.get_only_uniform ~keyspace ~value_size () in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 16; window = 4; spec; seed = 3;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:30_000_000;
+  let done_ = Client.completed clients in
+  check_bool
+    (Printf.sprintf "progress under tiny rings (%d)" done_)
+    true (done_ > 200);
+  check_bool "closed loop conserved" true (Client.sent clients - done_ <= 64)
+
+let test_mutps_batch_one () =
+  (* batch size 1 is the degenerate-but-legal configuration of Figure 12 *)
+  let config = { (small_config ()) with Config.batch = 1 } in
+  let kv = Mutps.create config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size;
+  Mutps.start kv;
+  let b = Mutps.backend kv in
+  let spec = Ycsb.a ~keyspace ~value_size () in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 8; window = 2; spec; seed = 3;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:20_000_000;
+  check_bool "batch=1 works" true (Client.completed clients > 300)
+
+let test_mutps_delete_via_layers () =
+  (* deletes forward through the CR-MR queue and update the index *)
+  let kv = Mutps.create (small_config ()) in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size;
+  Mutps.start kv;
+  let b = Mutps.backend kv in
+  let spec =
+    {
+      Opgen.name = "del-mix";
+      keyspace;
+      key_dist = Opgen.Uniform;
+      size_dist = Opgen.Fixed value_size;
+      mix = { Opgen.get = 0.4; put = 0.4; scan = 0.0 };
+      scan_len = 1;
+    }
+  in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 8; window = 2; spec; seed = 3;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:20_000_000;
+  check_bool "delete mix progresses" true (Client.completed clients > 300);
+  (* some keys must actually have disappeared *)
+  check_bool "index shrank" true
+    (b.Backend.index.Index.count () < keyspace)
+
+(* ------------------------------------------------------------------ *)
+(* eRPC-KV share-nothing invariants                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_erpckv_exclusive_no_contention () =
+  (* every item is written only by its shard owner: no item may ever
+     record a contended acquire *)
+  let kv = Erpckv.create (small_config ()) in
+  Backend.populate (Erpckv.backend kv) ~keyspace ~value_size;
+  Erpckv.start kv;
+  let b = Erpckv.backend kv in
+  let spec = Ycsb.put_only ~keyspace ~value_size () in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Erpckv.transport kv)
+      { Client.clients = 16; window = 2; spec; seed = 3;
+        dispatch = Erpckv.dispatch kv }
+  in
+  Engine.run b.Backend.engine ~until:20_000_000;
+  check_bool "puts progress" true (Client.completed clients > 300);
+  (* sample some hot items and check they never saw lock contention *)
+  let e2 = Engine.create () in
+  Simthread.spawn e2 (fun ctx ->
+      let env = Env.make ~ctx ~hier:b.Backend.hier ~core:0 in
+      Array.iter
+        (fun key ->
+          match b.Backend.index.Index.lookup env key with
+          | Some item ->
+            check_int "no contended acquires in SN" 0
+              (Item.contended_acquires item)
+          | None -> ())
+        (Opgen.hottest_keys ~keyspace 20));
+  Engine.run_all e2
+
+
+(* ------------------------------------------------------------------ *)
+(* DLB hardware-queue ablation (the paper's §6 future work)            *)
+(* ------------------------------------------------------------------ *)
+
+let mutps_throughput ~dlb =
+  let config = { (small_config ~cores:6 ()) with Config.dlb; hot_k = 1 } in
+  let kv = Mutps.create ~ncr:2 config in
+  Backend.populate (Mutps.backend kv) ~keyspace ~value_size;
+  Mutps.start kv;
+  Mutps.set_hot_target kv 0;
+  let b = Mutps.backend kv in
+  let spec = Ycsb.get_only_uniform ~keyspace ~value_size () in
+  let clients =
+    Client.start ~engine:b.Backend.engine ~link:b.Backend.link
+      ~transport:(Mutps.transport kv)
+      { Client.clients = 24; window = 4; spec; seed = 3;
+        dispatch = Client.uniform_dispatch }
+  in
+  Engine.run b.Backend.engine ~until:25_000_000;
+  Client.completed clients
+
+let test_dlb_correct_and_not_slower () =
+  let sw = mutps_throughput ~dlb:false in
+  let hw = mutps_throughput ~dlb:true in
+  check_bool "software queue progresses" true (sw > 300);
+  check_bool "hardware queue progresses" true (hw > 300);
+  (* the offloaded queue must not lose to the software rings by much —
+     the paper expects DLB to help *)
+  check_bool
+    (Printf.sprintf "dlb (%d) within range of software (%d)" hw sw)
+    true
+    (float_of_int hw >= 0.9 *. float_of_int sw)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "get hit/miss" `Quick test_exec_get_hit_and_miss;
+          Alcotest.test_case "put insert/update" `Quick test_exec_put_insert_and_update;
+          Alcotest.test_case "delete then get" `Quick test_exec_delete_then_get;
+          Alcotest.test_case "scan sizes" `Quick test_exec_scan_bytes_scale_with_count;
+          Alcotest.test_case "scan on hash rejected" `Quick test_exec_scan_on_hash_rejected;
+        ] );
+      ( "rtc",
+        [
+          Alcotest.test_case "mixed batch with deletes" `Quick test_rtc_mixed_batch_with_deletes;
+          Alcotest.test_case "batches amortize" `Quick test_rtc_batches_amortize;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "tiny rings no crash" `Quick test_mutps_tiny_rings_no_crash;
+          Alcotest.test_case "batch one" `Quick test_mutps_batch_one;
+          Alcotest.test_case "delete via layers" `Quick test_mutps_delete_via_layers;
+        ] );
+      ( "dlb",
+        [
+          Alcotest.test_case "correct and competitive" `Quick test_dlb_correct_and_not_slower;
+        ] );
+      ( "erpckv",
+        [
+          Alcotest.test_case "exclusive no contention" `Quick test_erpckv_exclusive_no_contention;
+        ] );
+    ]

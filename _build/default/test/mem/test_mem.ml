@@ -1,0 +1,459 @@
+open Mutps_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_lines () =
+  check_int "line of 0" 0 (Layout.line_of_addr 0);
+  check_int "line of 63" 0 (Layout.line_of_addr 63);
+  check_int "line of 64" 1 (Layout.line_of_addr 64);
+  check_int "one byte spans one line" 1 (Layout.lines_spanned ~addr:0 ~size:1);
+  check_int "zero size probes one line" 1 (Layout.lines_spanned ~addr:10 ~size:0);
+  check_int "64B aligned spans one" 1 (Layout.lines_spanned ~addr:64 ~size:64);
+  check_int "64B misaligned spans two" 2 (Layout.lines_spanned ~addr:60 ~size:64);
+  check_int "1KB spans 16" 16 (Layout.lines_spanned ~addr:0 ~size:1024)
+
+let test_layout_regions_disjoint () =
+  let l = Layout.create () in
+  let a = Layout.region l ~name:"a" ~size:1000 in
+  let b = Layout.region l ~name:"b" ~size:1000 in
+  check_bool "disjoint" true
+    (Layout.base b >= Layout.base a + Layout.size a
+    || Layout.base a >= Layout.base b + Layout.size b);
+  check_bool "a contains own base" true (Layout.contains a (Layout.base a));
+  check_bool "a excludes b's base" false (Layout.contains a (Layout.base b))
+
+let test_layout_alloc () =
+  let l = Layout.create () in
+  let r = Layout.region l ~name:"r" ~size:256 in
+  let x = Layout.alloc r 10 in
+  let y = Layout.alloc r 10 in
+  check_int "first at base" (Layout.base r) x;
+  check_bool "second after first (aligned)" true (y >= x + 10);
+  check_int "aligned to 8" 0 (y mod 8);
+  let z = Layout.alloc r ~align:64 1 in
+  check_int "aligned to 64" 0 (z mod 64);
+  Alcotest.check_raises "overflow rejected"
+    (Failure "Layout.alloc: region \"r\" full (65 of 256 bytes used)")
+    (fun () -> ignore (Layout.alloc r 200))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let full c = Cache.full_mask c
+
+let test_cache_hit_after_fill () =
+  let c = Cache.create ~name:"c" ~sets:4 ~ways:2 in
+  (match Cache.access c ~line:42 ~way_mask:(full c) with
+  | Cache.Miss { victim = None } -> ()
+  | _ -> Alcotest.fail "expected cold miss");
+  (match Cache.access c ~line:42 ~way_mask:(full c) with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "expected hit");
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~name:"c" ~sets:1 ~ways:2 in
+  ignore (Cache.access c ~line:1 ~way_mask:(full c));
+  ignore (Cache.access c ~line:2 ~way_mask:(full c));
+  (* touch 1 so 2 becomes LRU *)
+  ignore (Cache.access c ~line:1 ~way_mask:(full c));
+  (match Cache.access c ~line:3 ~way_mask:(full c) with
+  | Cache.Miss { victim = Some v } -> check_int "evicts LRU" 2 v
+  | _ -> Alcotest.fail "expected eviction");
+  check_bool "1 still present" true (Cache.probe c ~line:1);
+  check_bool "2 gone" false (Cache.probe c ~line:2)
+
+let test_cache_way_mask_allocation () =
+  let c = Cache.create ~name:"c" ~sets:1 ~ways:4 in
+  (* fill the two rightmost ways only *)
+  ignore (Cache.access c ~line:1 ~way_mask:0b0011);
+  ignore (Cache.access c ~line:2 ~way_mask:0b0011);
+  ignore (Cache.access c ~line:3 ~way_mask:0b0011);
+  (* line 1 was LRU within the restricted ways -> must have been evicted *)
+  check_bool "line1 evicted from restricted ways" false (Cache.probe c ~line:1);
+  check_bool "line2 present" true (Cache.probe c ~line:2);
+  check_bool "line3 present" true (Cache.probe c ~line:3);
+  (* an allocation with the complementary mask must not disturb them *)
+  ignore (Cache.access c ~line:4 ~way_mask:0b1100);
+  check_bool "line2 survives other-mask fill" true (Cache.probe c ~line:2);
+  check_bool "line3 survives other-mask fill" true (Cache.probe c ~line:3)
+
+let test_cache_hit_across_masks () =
+  let c = Cache.create ~name:"c" ~sets:1 ~ways:4 in
+  ignore (Cache.access c ~line:7 ~way_mask:0b1100);
+  (* CAT semantics: lookups hit on any way regardless of the mask *)
+  (match Cache.access c ~line:7 ~way_mask:0b0011 with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "mask must not hide hits")
+
+let test_cache_empty_mask_bypasses () =
+  let c = Cache.create ~name:"c" ~sets:1 ~ways:2 in
+  (match Cache.access c ~line:9 ~way_mask:0 with
+  | Cache.Miss { victim = None } -> ()
+  | _ -> Alcotest.fail "empty mask must bypass");
+  check_bool "nothing allocated" false (Cache.probe c ~line:9)
+
+let test_cache_touch_and_invalidate () =
+  let c = Cache.create ~name:"c" ~sets:2 ~ways:2 in
+  check_bool "touch miss does not allocate" false (Cache.touch c ~line:5);
+  check_bool "still absent" false (Cache.probe c ~line:5);
+  ignore (Cache.access c ~line:5 ~way_mask:(full c));
+  check_bool "touch hit" true (Cache.touch c ~line:5);
+  check_bool "invalidate present" true (Cache.invalidate c ~line:5);
+  check_bool "invalidate absent" false (Cache.invalidate c ~line:5);
+  check_bool "gone" false (Cache.probe c ~line:5)
+
+let prop_cache_capacity =
+  QCheck.Test.make ~name:"cache never holds more lines than capacity" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (sets, ways) ->
+      let c = Cache.create ~name:"c" ~sets ~ways in
+      let present = Hashtbl.create 64 in
+      for line = 0 to 499 do
+        (match Cache.access c ~line ~way_mask:(Cache.full_mask c) with
+        | Cache.Hit -> ()
+        | Cache.Miss { victim } ->
+          Hashtbl.replace present line ();
+          Option.iter (Hashtbl.remove present) victim);
+        ()
+      done;
+      Hashtbl.length present <= sets * ways
+      && Hashtbl.fold (fun l () ok -> ok && Cache.probe c ~line:l) present true)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk () = Hierarchy.create (Hierarchy.small_geometry ~cores:4)
+let costs = Costs.default
+
+let test_hier_latency_ladder () =
+  let h = mk () in
+  let cold = Hierarchy.load h ~core:0 ~addr:0x1000 ~size:8 in
+  check_int "cold load pays DRAM" costs.Costs.dram cold;
+  let warm = Hierarchy.load h ~core:0 ~addr:0x1000 ~size:8 in
+  check_int "second load hits L1" costs.Costs.l1_hit warm
+
+let test_hier_llc_hit_from_other_core () =
+  let h = mk () in
+  ignore (Hierarchy.load h ~core:0 ~addr:0x1000 ~size:8);
+  let lat = Hierarchy.load h ~core:1 ~addr:0x1000 ~size:8 in
+  check_int "other core hits shared LLC" costs.Costs.llc_hit lat
+
+let test_hier_write_invalidates_sharers () =
+  let h = mk () in
+  ignore (Hierarchy.load h ~core:0 ~addr:0x2000 ~size:8);
+  ignore (Hierarchy.load h ~core:1 ~addr:0x2000 ~size:8);
+  check_bool "core1 has private copy" true
+    (Hierarchy.probe_private h ~core:1 ~addr:0x2000);
+  let lat = Hierarchy.store h ~core:0 ~addr:0x2000 ~size:8 in
+  check_bool "writer pays invalidation" true (lat >= costs.Costs.invalidate);
+  check_bool "core1 copy invalidated" false
+    (Hierarchy.probe_private h ~core:1 ~addr:0x2000);
+  let s = Hierarchy.core_stats h ~core:0 in
+  check_int "invalidation counted" 1 s.Hierarchy.invalidations_sent
+
+let test_hier_dirty_transfer () =
+  let h = mk () in
+  ignore (Hierarchy.store h ~core:0 ~addr:0x3000 ~size:8);
+  let lat = Hierarchy.load h ~core:1 ~addr:0x3000 ~size:8 in
+  check_bool "reader pays dirty transfer" true
+    (lat >= costs.Costs.dirty_transfer);
+  let s = Hierarchy.core_stats h ~core:1 in
+  check_int "dirty transfer counted" 1 s.Hierarchy.dirty_transfers;
+  (* after the forward, reading again from core 1 is a private hit *)
+  let lat2 = Hierarchy.load h ~core:1 ~addr:0x3000 ~size:8 in
+  check_int "then hits L1" costs.Costs.l1_hit lat2
+
+let test_hier_dma_write_ddio () =
+  let h = mk () in
+  Hierarchy.dma_write h ~addr:0x4000 ~size:64;
+  check_bool "DMA allocated into LLC" true (Hierarchy.probe_llc h ~addr:0x4000);
+  let lat = Hierarchy.load h ~core:0 ~addr:0x4000 ~size:8 in
+  check_int "CPU load after DMA hits LLC" costs.Costs.llc_hit lat;
+  let hits, misses = Hierarchy.nic_dma_stats h in
+  check_int "one DDIO miss" 1 misses;
+  check_int "no DDIO hit yet" 0 hits;
+  (* second DMA write to the same line updates in place *)
+  Hierarchy.dma_write h ~addr:0x4000 ~size:64;
+  let hits, _ = Hierarchy.nic_dma_stats h in
+  check_int "in-place DDIO hit" 1 hits
+
+let test_hier_dma_write_snoops_private () =
+  let h = mk () in
+  ignore (Hierarchy.load h ~core:2 ~addr:0x5000 ~size:8);
+  check_bool "private copy" true (Hierarchy.probe_private h ~core:2 ~addr:0x5000);
+  Hierarchy.dma_write h ~addr:0x5000 ~size:64;
+  check_bool "DMA snooped private copy out" false
+    (Hierarchy.probe_private h ~core:2 ~addr:0x5000)
+
+let test_hier_dma_read_no_allocate () =
+  let h = mk () in
+  Hierarchy.dma_read h ~addr:0x6000 ~size:64;
+  check_bool "DMA read does not allocate" false
+    (Hierarchy.probe_llc h ~addr:0x6000);
+  let _, misses = Hierarchy.nic_dma_stats h in
+  check_int "counted as miss" 1 misses
+
+let test_hier_ddio_confined_to_mask () =
+  (* Fill the LLC from a core (all ways), then DMA-write fresh lines: they
+     may only displace lines in the DDIO ways, so at most
+     ddio_ways/llc_ways of the core's lines may disappear. *)
+  let geo = Hierarchy.small_geometry ~cores:1 in
+  let h = Hierarchy.create geo in
+  let total = geo.Hierarchy.llc_sets * geo.Hierarchy.llc_ways in
+  for i = 0 to total - 1 do
+    ignore (Hierarchy.load h ~core:0 ~addr:(i * 64) ~size:1)
+  done;
+  let resident_before = ref [] in
+  for i = 0 to total - 1 do
+    if Hierarchy.probe_llc h ~addr:(i * 64) then
+      resident_before := i :: !resident_before
+  done;
+  (* DMA a big burst of new lines *)
+  for i = 0 to (2 * geo.Hierarchy.llc_sets) - 1 do
+    Hierarchy.dma_write h ~addr:((total + i) * 64) ~size:1
+  done;
+  let survivors =
+    List.length
+      (List.filter (fun i -> Hierarchy.probe_llc h ~addr:(i * 64)) !resident_before)
+  in
+  let frac = float_of_int survivors /. float_of_int (List.length !resident_before) in
+  let min_frac =
+    float_of_int (geo.Hierarchy.llc_ways - geo.Hierarchy.ddio_ways)
+    /. float_of_int geo.Hierarchy.llc_ways
+  in
+  check_bool
+    (Printf.sprintf "non-DDIO ways untouched (%.2f >= %.2f)" frac min_frac)
+    true
+    (frac >= min_frac -. 0.05)
+
+let test_hier_clos_isolation () =
+  (* Two cores with disjoint CLOS masks must not evict each other's LLC
+     lines. *)
+  let geo = Hierarchy.small_geometry ~cores:2 in
+  let h = Hierarchy.create geo in
+  Hierarchy.set_clos h ~core:0 0b00001111;
+  Hierarchy.set_clos h ~core:1 0b11110000;
+  let per_core = geo.Hierarchy.llc_sets * 4 in
+  for i = 0 to per_core - 1 do
+    ignore (Hierarchy.load h ~core:0 ~addr:(i * 64) ~size:1)
+  done;
+  let resident = ref [] in
+  for i = 0 to per_core - 1 do
+    if Hierarchy.probe_llc h ~addr:(i * 64) then resident := i :: !resident
+  done;
+  (* core 1 streams a large footprint through its own ways *)
+  for i = 0 to (4 * per_core) - 1 do
+    ignore (Hierarchy.load h ~core:1 ~addr:((1 lsl 30) + (i * 64)) ~size:1)
+  done;
+  List.iter
+    (fun i ->
+      check_bool "core0 line survived core1 streaming" true
+        (Hierarchy.probe_llc h ~addr:(i * 64)))
+    !resident
+
+let test_hier_empty_clos_bypasses () =
+  let h = mk () in
+  Hierarchy.set_clos h ~core:0 0;
+  ignore (Hierarchy.load h ~core:0 ~addr:0x7000 ~size:8);
+  check_bool "no LLC allocation with empty CLOS" false
+    (Hierarchy.probe_llc h ~addr:0x7000);
+  (* but private caches still hold it *)
+  let lat = Hierarchy.load h ~core:0 ~addr:0x7000 ~size:8 in
+  check_int "L1 hit" costs.Costs.l1_hit lat
+
+let test_hier_multiline_streaming () =
+  let h = mk () in
+  let one = Hierarchy.load h ~core:0 ~addr:0x100000 ~size:8 in
+  Hierarchy.reset_stats h;
+  let h2 = mk () in
+  let sixteen = Hierarchy.load h2 ~core:0 ~addr:0x200000 ~size:1024 in
+  check_bool "16 lines cost more than 1" true (sixteen > one);
+  check_bool "but far less than 16 full misses" true
+    (sixteen < 16 * costs.Costs.dram)
+
+let test_hier_prefetch_batch_overlap () =
+  let h = mk () in
+  let addrs = Array.init 8 (fun i -> 0x800000 + (i * 4096)) in
+  let batched = Hierarchy.prefetch_batch h ~core:0 addrs in
+  (* all 8 are cold DRAM misses; overlapped cost must be far below serial *)
+  check_bool "overlap beats serial" true (batched < 8 * costs.Costs.dram);
+  check_bool "overlap costs at least one miss" true
+    (batched >= costs.Costs.dram);
+  (* everything was actually fetched *)
+  Array.iter
+    (fun a ->
+      let lat = Hierarchy.load h ~core:0 ~addr:a ~size:8 in
+      check_int "prefetched line hits L1" costs.Costs.l1_hit lat)
+    addrs
+
+let test_hier_mlp_grouping () =
+  let geo = Hierarchy.small_geometry ~cores:1 in
+  let h = Hierarchy.create ~costs:{ costs with Costs.mlp = 4 } geo in
+  let addrs = Array.init 8 (fun i -> 0x900000 + (i * 4096)) in
+  let batched = Hierarchy.prefetch_batch h ~core:0 addrs in
+  (* 8 cold misses with MLP 4 -> 2 groups of one DRAM latency each *)
+  let expected = (2 * costs.Costs.dram) + (8 * costs.Costs.prefetch_issue) in
+  check_int "two MLP groups" expected batched
+
+let test_hier_stats_reset () =
+  let h = mk () in
+  ignore (Hierarchy.load h ~core:0 ~addr:0xA000 ~size:8);
+  Hierarchy.reset_stats h;
+  let s = Hierarchy.core_stats h ~core:0 in
+  check_int "dram reset" 0 s.Hierarchy.dram_fetches;
+  check_int "l1 reset" 0 s.Hierarchy.l1_hits
+
+let test_hier_miss_rate () =
+  let s =
+    {
+      Hierarchy.l1_hits = 0;
+      l2_hits = 0;
+      llc_hits = 75;
+      dram_fetches = 25;
+      invalidations_sent = 0;
+      dirty_transfers = 0;
+    }
+  in
+  Alcotest.(check (float 0.0001)) "miss rate" 0.25 (Hierarchy.llc_miss_rate s)
+
+let prop_hier_load_latency_bounds =
+  QCheck.Test.make ~name:"load latency within [l1_hit, dram+penalties]"
+    ~count:300
+    QCheck.(pair (int_bound 3) (int_bound 10_000))
+    (fun (core, slot) ->
+      let h = mk () in
+      ignore (Hierarchy.load h ~core ~addr:(slot * 64) ~size:8);
+      let lat = Hierarchy.load h ~core ~addr:(slot * 64) ~size:8 in
+      lat >= costs.Costs.l1_hit && lat <= costs.Costs.dram)
+
+
+(* ------------------------------------------------------------------ *)
+(* Coherence / random-operation properties                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_hier_random_ops_sane =
+  QCheck.Test.make
+    ~name:"random load/store sequences keep latencies within the model"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 300) (triple (int_bound 3) (int_bound 2047) bool))
+    (fun ops ->
+      let h = mk () in
+      let c = Costs.default in
+      let upper =
+        c.Costs.dram + c.Costs.dirty_transfer + c.Costs.invalidate
+        + (4 * c.Costs.invalidate_per_extra_sharer)
+      in
+      List.for_all
+        (fun (core, slot, write) ->
+          let addr = slot * 64 in
+          let lat =
+            if write then Hierarchy.store h ~core ~addr ~size:8
+            else Hierarchy.load h ~core ~addr ~size:8
+          in
+          lat >= c.Costs.l1_hit && lat <= upper)
+        ops)
+
+let prop_hier_dirty_reader_never_stale_cost =
+  QCheck.Test.make
+    ~name:"after a remote write, the first reader pays more than a local hit"
+    ~count:100
+    QCheck.(pair (int_bound 1023) (int_bound 2))
+    (fun (slot, writer) ->
+      let h = mk () in
+      let addr = slot * 64 in
+      let reader = (writer + 1) mod 3 in
+      ignore (Hierarchy.store h ~core:writer ~addr ~size:8);
+      let lat = Hierarchy.load h ~core:reader ~addr ~size:8 in
+      lat > Costs.default.Costs.l1_hit)
+
+let test_hier_write_write_bounce () =
+  (* two cores alternately writing one line: every write after the first
+     pays coherence, and the line is always exclusively owned *)
+  let h = mk () in
+  let addr = 0xBEEF00 in
+  ignore (Hierarchy.store h ~core:0 ~addr ~size:8);
+  let costs = ref [] in
+  for i = 1 to 10 do
+    let core = i land 1 in
+    costs := Hierarchy.store h ~core ~addr ~size:8 :: !costs
+  done;
+  List.iter
+    (fun c ->
+      check_bool "bounced write pays dirty+invalidate" true
+        (c >= Costs.default.Costs.dirty_transfer))
+    !costs;
+  let s0 = Hierarchy.core_stats h ~core:0 and s1 = Hierarchy.core_stats h ~core:1 in
+  check_bool "invalidations flowed both ways" true
+    (s0.Hierarchy.invalidations_sent > 0 && s1.Hierarchy.invalidations_sent > 0)
+
+let test_hier_invalidate_cost_scales_with_sharers () =
+  let geo = Hierarchy.small_geometry ~cores:8 in
+  let cost_with_sharers n =
+    let h = Hierarchy.create geo in
+    let addr = 0x4000 in
+    for c = 1 to n do
+      ignore (Hierarchy.load h ~core:c ~addr ~size:8)
+    done;
+    ignore (Hierarchy.load h ~core:0 ~addr ~size:8);
+    Hierarchy.store h ~core:0 ~addr ~size:8
+  in
+  let one = cost_with_sharers 1 and many = cost_with_sharers 6 in
+  check_bool
+    (Printf.sprintf "6 sharers (%d) cost more than 1 (%d)" many one)
+    true (many > one)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "lines" `Quick test_layout_lines;
+          Alcotest.test_case "regions disjoint" `Quick test_layout_regions_disjoint;
+          Alcotest.test_case "alloc" `Quick test_layout_alloc;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "way mask allocation" `Quick test_cache_way_mask_allocation;
+          Alcotest.test_case "hit across masks" `Quick test_cache_hit_across_masks;
+          Alcotest.test_case "empty mask bypass" `Quick test_cache_empty_mask_bypasses;
+          Alcotest.test_case "touch/invalidate" `Quick test_cache_touch_and_invalidate;
+          QCheck_alcotest.to_alcotest prop_cache_capacity;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latency ladder" `Quick test_hier_latency_ladder;
+          Alcotest.test_case "llc shared" `Quick test_hier_llc_hit_from_other_core;
+          Alcotest.test_case "write invalidates" `Quick test_hier_write_invalidates_sharers;
+          Alcotest.test_case "dirty transfer" `Quick test_hier_dirty_transfer;
+          Alcotest.test_case "dma write ddio" `Quick test_hier_dma_write_ddio;
+          Alcotest.test_case "dma snoops private" `Quick test_hier_dma_write_snoops_private;
+          Alcotest.test_case "dma read no alloc" `Quick test_hier_dma_read_no_allocate;
+          Alcotest.test_case "ddio confined" `Quick test_hier_ddio_confined_to_mask;
+          Alcotest.test_case "clos isolation" `Quick test_hier_clos_isolation;
+          Alcotest.test_case "empty clos bypass" `Quick test_hier_empty_clos_bypasses;
+          Alcotest.test_case "multiline streaming" `Quick test_hier_multiline_streaming;
+          Alcotest.test_case "prefetch overlap" `Quick test_hier_prefetch_batch_overlap;
+          Alcotest.test_case "mlp grouping" `Quick test_hier_mlp_grouping;
+          Alcotest.test_case "stats reset" `Quick test_hier_stats_reset;
+          Alcotest.test_case "miss rate" `Quick test_hier_miss_rate;
+          QCheck_alcotest.to_alcotest prop_hier_load_latency_bounds;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "write-write bounce" `Quick test_hier_write_write_bounce;
+          Alcotest.test_case "invalidate scales" `Quick test_hier_invalidate_cost_scales_with_sharers;
+          QCheck_alcotest.to_alcotest prop_hier_random_ops_sane;
+          QCheck_alcotest.to_alcotest prop_hier_dirty_reader_never_stale_cost;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+open Mutps_sim
+open Mutps_mem
+open Mutps_queue
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_sim ?(cores = 4) fns =
+  let engine = Engine.create () in
+  let hier = Hierarchy.create (Hierarchy.small_geometry ~cores) in
+  List.iteri
+    (fun core f ->
+      Simthread.spawn engine (fun ctx -> f (Env.make ~ctx ~hier ~core)))
+    fns;
+  Engine.run_all engine;
+  Engine.now engine
+
+let with_env f =
+  let result = ref None in
+  ignore (run_sim [ (fun env -> result := Some (f env)) ]);
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Request                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_constructors () =
+  let g = Request.get ~key:42L ~buf:7 in
+  check_bool "get kind" true (g.Request.kind = Request.Get);
+  check_int "get wire bytes" 16 (Request.wire_bytes g);
+  let s = Request.scan ~key:1L ~count:50 ~buf:0 in
+  check_int "scan wire bytes" 32 (Request.wire_bytes s);
+  check_int "scan count" 50 s.Request.scan_count
+
+let test_request_validation () =
+  Alcotest.check_raises "oversized value"
+    (Invalid_argument "Request: size out of range") (fun () ->
+      ignore (Request.put ~key:1L ~size:(Request.max_size + 1) ~buf:0));
+  Alcotest.check_raises "oversized scan"
+    (Invalid_argument "Request: scan count out of range") (fun () ->
+      ignore (Request.scan ~key:1L ~count:(Request.max_scan_count + 1) ~buf:0))
+
+let test_request_roundtrip_cases () =
+  List.iter
+    (fun r ->
+      let decoded = Request.decode (Request.encode r) in
+      check_bool (Format.asprintf "%a" Request.pp r) true (Request.equal r decoded))
+    [
+      Request.get ~key:0L ~buf:0;
+      Request.get ~key:Int64.max_int ~buf:Request.max_buf;
+      Request.get ~key:(-1L) ~buf:12345;
+      Request.put ~key:77L ~size:Request.max_size ~buf:1;
+      Request.delete ~key:5L ~buf:9;
+      Request.scan ~key:100L ~count:Request.max_scan_count ~buf:3;
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode roundtrip" ~count:500
+    QCheck.(
+      quad int64 (int_bound 3) (int_bound Request.max_size) (int_bound 10_000))
+    (fun (key, kindc, size, buf) ->
+      let r =
+        match kindc with
+        | 0 -> Request.get ~key ~buf
+        | 1 -> Request.put ~key ~size ~buf
+        | 2 -> Request.delete ~key ~buf
+        | _ -> Request.scan ~key ~count:(size land 0xFF) ~buf
+      in
+      Request.equal r (Request.decode (Request.encode r)))
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_ring ?(slots = 4) ?(batch = 8) () =
+  let layout = Layout.create () in
+  Ring.create layout ~name:"test-ring" ~slots ~batch ~value_bytes:16
+
+let test_ring_push_peek_complete () =
+  let r = mk_ring () in
+  with_env (fun env ->
+      check_bool "push" true (Ring.push r env [| 1; 2; 3 |]);
+      (match Ring.peek r env with
+      | Some v -> Alcotest.(check (array int)) "peek batch" [| 1; 2; 3 |] v
+      | None -> Alcotest.fail "expected batch");
+      check_bool "no completion yet" true (Ring.take_completed r env = None);
+      Ring.complete r env;
+      (match Ring.take_completed r env with
+      | Some v -> Alcotest.(check (array int)) "completed batch" [| 1; 2; 3 |] v
+      | None -> Alcotest.fail "expected completion");
+      check_bool "empty" true (Ring.is_empty r))
+
+let test_ring_fifo_order () =
+  let r = mk_ring ~slots:8 () in
+  with_env (fun env ->
+      for i = 0 to 5 do
+        check_bool "push" true (Ring.push r env [| i |])
+      done;
+      for i = 0 to 5 do
+        match Ring.peek r env with
+        | Some [| v |] -> check_int "fifo" i v
+        | _ -> Alcotest.fail "bad peek"
+      done)
+
+let test_ring_full () =
+  let r = mk_ring ~slots:4 () in
+  with_env (fun env ->
+      for i = 0 to 3 do
+        check_bool "push" true (Ring.push r env [| i |])
+      done;
+      check_bool "full" false (Ring.push r env [| 9 |]);
+      check_int "in flight" 4 (Ring.in_flight r);
+      (* a slot frees only after its completion is reaped *)
+      ignore (Ring.peek r env);
+      Ring.complete r env;
+      check_bool "still full before reap" false (Ring.push r env [| 9 |]);
+      ignore (Ring.take_completed r env);
+      check_bool "push after reap" true (Ring.push r env [| 9 |]))
+
+let test_ring_peek_does_not_complete () =
+  let r = mk_ring ~slots:4 () in
+  with_env (fun env ->
+      ignore (Ring.push r env [| 1 |]);
+      ignore (Ring.peek r env);
+      check_bool "still in flight" false (Ring.is_empty r);
+      check_bool "nothing completed" true (Ring.take_completed r env = None))
+
+let test_ring_complete_without_peek_rejected () =
+  let r = mk_ring () in
+  with_env (fun env ->
+      ignore (Ring.push r env [| 1 |]);
+      Alcotest.check_raises "complete before peek"
+        (Invalid_argument "Ring.complete: nothing peeked to complete")
+        (fun () -> Ring.complete r env))
+
+let test_ring_bad_batch_size () =
+  let r = mk_ring ~batch:4 () in
+  with_env (fun env ->
+      Alcotest.check_raises "empty batch"
+        (Invalid_argument "Ring.push: bad batch size") (fun () ->
+          ignore (Ring.push r env [||]));
+      Alcotest.check_raises "oversized batch"
+        (Invalid_argument "Ring.push: bad batch size") (fun () ->
+          ignore (Ring.push r env (Array.make 5 0))))
+
+let test_ring_producer_consumer_threads () =
+  (* one producer and one consumer thread moving 200 batches *)
+  let r = mk_ring ~slots:4 ~batch:4 () in
+  let consumed = ref [] in
+  let produced = 50 in
+  ignore
+    (run_sim
+       [
+         (fun env ->
+           let sent = ref 0 in
+           while !sent < produced do
+             ignore (Ring.take_completed r env);
+             if Ring.push r env [| !sent |] then incr sent
+             else Simthread.delay env.Env.ctx 50
+           done;
+           (* drain remaining completions *)
+           while Ring.in_flight r > 0 || Ring.take_completed r env <> None do
+             Simthread.delay env.Env.ctx 50
+           done);
+         (fun env ->
+           let got = ref 0 in
+           while !got < produced do
+             match Ring.peek r env with
+             | Some [| v |] ->
+               consumed := v :: !consumed;
+               Ring.complete r env;
+               incr got
+             | Some _ -> Alcotest.fail "bad batch"
+             | None -> Simthread.delay env.Env.ctx 30
+           done);
+       ]);
+  Alcotest.(check (list int))
+    "all batches in order"
+    (List.init produced Fun.id)
+    (List.rev !consumed)
+
+let prop_ring_never_loses =
+  QCheck.Test.make ~name:"ring conserves batches under any interleaving"
+    ~count:60
+    QCheck.(pair (int_range 1 6) (int_range 1 40))
+    (fun (slots, n) ->
+      let layout = Layout.create () in
+      let r = Ring.create layout ~name:"p" ~slots ~batch:2 ~value_bytes:16 in
+      let got = ref 0 in
+      ignore
+        (run_sim
+           [
+             (fun env ->
+               let sent = ref 0 in
+               while !sent < n do
+                 ignore (Ring.take_completed r env);
+                 if Ring.push r env [| !sent |] then incr sent
+                 else Simthread.delay env.Env.ctx 20
+               done);
+             (fun env ->
+               while !got < n do
+                 match Ring.peek r env with
+                 | Some _ ->
+                   Ring.complete r env;
+                   incr got
+                 | None -> Simthread.delay env.Env.ctx 15
+               done);
+           ]);
+      !got = n && Ring.is_empty r)
+
+(* ------------------------------------------------------------------ *)
+(* Crmr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_crmr ?(max_cr = 3) ?(max_mr = 3) () =
+  let layout = Layout.create () in
+  Crmr.create layout ~max_cr ~max_mr ~slots:8 ~batch:4 ~value_bytes:16
+
+let test_crmr_round_robin_spread () =
+  let q = mk_crmr () in
+  with_env (fun env ->
+      (* CR 0 pushes 6 batches over 3 active MRs: 2 each *)
+      for i = 0 to 5 do
+        check_bool "push" true (Crmr.push q env ~cr:0 ~targets:[|0;1;2|] [| i |])
+      done;
+      let counts = Array.make 3 0 in
+      for mr = 0 to 2 do
+        let rec drain () =
+          match Crmr.next_batch q env ~mr ~sources:[|0|] with
+          | Some (0, _) ->
+            counts.(mr) <- counts.(mr) + 1;
+            Crmr.complete q env ~cr:0 ~mr;
+            drain ()
+          | Some _ -> Alcotest.fail "wrong cr"
+          | None -> ()
+        in
+        drain ()
+      done;
+      Alcotest.(check (array int)) "even spread" [| 2; 2; 2 |] counts)
+
+let test_crmr_scan_finds_all_crs () =
+  let q = mk_crmr () in
+  with_env (fun env ->
+      (* each CR pushes one batch to MR pool of size 1 -> all to MR 0 *)
+      for cr = 0 to 2 do
+        ignore (Crmr.push q env ~cr ~targets:[|0|] [| cr |])
+      done;
+      let seen = ref [] in
+      let rec drain () =
+        match Crmr.next_batch q env ~mr:0 ~sources:[|0;1;2|] with
+        | Some (cr, _) ->
+          seen := cr :: !seen;
+          Crmr.complete q env ~cr ~mr:0;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      Alcotest.(check (list int)) "all CRs served" [ 0; 1; 2 ]
+        (List.sort compare !seen))
+
+let test_crmr_completion_reaped () =
+  let q = mk_crmr () in
+  with_env (fun env ->
+      ignore (Crmr.push q env ~cr:1 ~targets:[|0;1|] [| 42 |]);
+      check_bool "not complete yet" true (Crmr.take_completed q env ~cr:1 = None);
+      (match Crmr.next_batch q env ~mr:0 ~sources:[|0;1|] with
+      | Some (1, _) -> Crmr.complete q env ~cr:1 ~mr:0
+      | Some _ | None -> (
+        (* round-robin may have sent it to MR 1 *)
+        match Crmr.next_batch q env ~mr:1 ~sources:[|0;1|] with
+        | Some (1, _) -> Crmr.complete q env ~cr:1 ~mr:1
+        | _ -> Alcotest.fail "batch not found"));
+      (match Crmr.take_completed q env ~cr:1 with
+      | Some [| 42 |] -> ()
+      | _ -> Alcotest.fail "completion not reaped");
+      check_bool "drained" true (Crmr.cr_drained q ~cr:1))
+
+let test_crmr_skips_full_rings () =
+  let layout = Layout.create () in
+  let q = Crmr.create layout ~max_cr:1 ~max_mr:2 ~slots:1 ~batch:1 ~value_bytes:16 in
+  with_env (fun env ->
+      (* two pushes fill both MR rings (slots=1 each) *)
+      check_bool "push 1" true (Crmr.push q env ~cr:0 ~targets:[|0;1|] [| 1 |]);
+      check_bool "push 2 skips to other ring" true
+        (Crmr.push q env ~cr:0 ~targets:[|0;1|] [| 2 |]);
+      check_bool "all full" false (Crmr.push q env ~cr:0 ~targets:[|0;1|] [| 3 |]);
+      check_int "in flight" 2 (Crmr.in_flight q))
+
+let test_crmr_drained_flags () =
+  let q = mk_crmr () in
+  with_env (fun env ->
+      check_bool "cr drained initially" true (Crmr.cr_drained q ~cr:0);
+      check_bool "mr drained initially" true (Crmr.mr_drained q ~mr:0);
+      ignore (Crmr.push q env ~cr:0 ~targets:[|0|] [| 1 |]);
+      check_bool "cr busy" false (Crmr.cr_drained q ~cr:0);
+      check_bool "mr busy" false (Crmr.mr_drained q ~mr:0))
+
+let prop_crmr_conserves =
+  QCheck.Test.make ~name:"crmr conserves values across the mesh" ~count:40
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 1 60))
+    (fun (ncr, nmr, per_cr) ->
+      let layout = Layout.create () in
+      let q =
+        Crmr.create layout ~max_cr:3 ~max_mr:3 ~slots:4 ~batch:2 ~value_bytes:16
+      in
+      let consumed = ref 0 in
+      let producers =
+        List.init ncr (fun cr env ->
+            let sent = ref 0 in
+            while !sent < per_cr do
+              ignore (Crmr.take_completed q env ~cr);
+              if Crmr.push q env ~cr ~targets:(Array.init nmr Fun.id) [| (cr * 1000) + !sent |] then
+                incr sent
+              else Simthread.delay env.Env.ctx 25
+            done)
+      in
+      let total = ncr * per_cr in
+      let consumers =
+        List.init nmr (fun mr env ->
+            let idle = ref 0 in
+            while !consumed < total && !idle < 10_000 do
+              match Crmr.next_batch q env ~mr ~sources:(Array.init ncr Fun.id) with
+              | Some (cr, _) ->
+                Crmr.complete q env ~cr ~mr;
+                incr consumed;
+                idle := 0
+              | None ->
+                incr idle;
+                Simthread.delay env.Env.ctx 20
+            done)
+      in
+      ignore (run_sim ~cores:6 (producers @ consumers));
+      !consumed = total && Crmr.in_flight q = 0)
+
+
+let test_ring_unreclaimed_tracking () =
+  let r = mk_ring ~slots:4 () in
+  with_env (fun env ->
+      check_int "fresh" 0 (Ring.unreclaimed r);
+      ignore (Ring.push r env [| 1 |]);
+      ignore (Ring.push r env [| 2 |]);
+      check_int "two pushed" 2 (Ring.unreclaimed r);
+      ignore (Ring.peek r env);
+      Ring.complete r env;
+      check_int "still unreclaimed after complete" 2 (Ring.unreclaimed r);
+      ignore (Ring.take_completed r env);
+      check_int "one reclaimed" 1 (Ring.unreclaimed r))
+
+let test_crmr_reap_skips_idle_rings () =
+  (* take_completed on a producer with nothing outstanding must not charge
+     any simulated time for ring probes *)
+  let q = mk_crmr () in
+  let layout = Layout.create () in
+  ignore layout;
+  let engine = Engine.create () in
+  let hier = Hierarchy.create (Hierarchy.small_geometry ~cores:2) in
+  let elapsed = ref (-1) in
+  Simthread.spawn engine (fun ctx ->
+      let env = Env.make ~ctx ~hier ~core:0 in
+      let t0 = Simthread.now ctx in
+      for _ = 1 to 100 do
+        ignore (Crmr.take_completed q env ~cr:0)
+      done;
+      Simthread.commit ctx;
+      elapsed := Simthread.now ctx - t0);
+  Engine.run_all engine;
+  check_int "idle reap is free" 0 !elapsed
+
+let () =
+  Alcotest.run "queue"
+    [
+      ( "request",
+        [
+          Alcotest.test_case "constructors" `Quick test_request_constructors;
+          Alcotest.test_case "validation" `Quick test_request_validation;
+          Alcotest.test_case "roundtrip cases" `Quick test_request_roundtrip_cases;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "push/peek/complete" `Quick test_ring_push_peek_complete;
+          Alcotest.test_case "fifo order" `Quick test_ring_fifo_order;
+          Alcotest.test_case "full" `Quick test_ring_full;
+          Alcotest.test_case "peek does not complete" `Quick test_ring_peek_does_not_complete;
+          Alcotest.test_case "complete without peek" `Quick test_ring_complete_without_peek_rejected;
+          Alcotest.test_case "bad batch size" `Quick test_ring_bad_batch_size;
+          Alcotest.test_case "producer/consumer" `Quick test_ring_producer_consumer_threads;
+          QCheck_alcotest.to_alcotest prop_ring_never_loses;
+          Alcotest.test_case "unreclaimed tracking" `Quick test_ring_unreclaimed_tracking;
+        ] );
+      ( "crmr",
+        [
+          Alcotest.test_case "round robin" `Quick test_crmr_round_robin_spread;
+          Alcotest.test_case "scan all crs" `Quick test_crmr_scan_finds_all_crs;
+          Alcotest.test_case "completion reaped" `Quick test_crmr_completion_reaped;
+          Alcotest.test_case "skips full rings" `Quick test_crmr_skips_full_rings;
+          Alcotest.test_case "drained flags" `Quick test_crmr_drained_flags;
+          QCheck_alcotest.to_alcotest prop_crmr_conserves;
+          Alcotest.test_case "reap skips idle rings" `Quick test_crmr_reap_skips_idle_rings;
+        ] );
+    ]

@@ -1,0 +1,406 @@
+open Mutps_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:30 (fun () -> log := 30 :: !log);
+  Engine.schedule e ~at:10 (fun () -> log := 10 :: !log);
+  Engine.schedule e ~at:20 (fun () -> log := 20 :: !log);
+  Engine.run_all e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  check_int "clock at last event" 30 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~at:5 (fun () -> log := i :: !log)
+  done;
+  Engine.run_all e;
+  Alcotest.(check (list int)) "FIFO among equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~at:10 (fun () -> incr fired);
+  Engine.schedule e ~at:100 (fun () -> incr fired);
+  Engine.run e ~until:50;
+  check_int "one fired" 1 !fired;
+  check_int "clock advanced to until" 50 (Engine.now e);
+  check_int "one pending" 1 (Engine.pending e);
+  Engine.run e ~until:200;
+  check_int "both fired" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:10 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule_after e ~delay:5 (fun () -> log := "b" :: !log));
+  Engine.run_all e;
+  Alcotest.(check (list string)) "nested" [ "a"; "b" ] (List.rev !log);
+  check_int "final clock" 15 (Engine.now e)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:10 ignore;
+  Engine.run_all e;
+  Alcotest.check_raises "past schedule rejected"
+    (Invalid_argument "Engine.schedule: at=5 is before now=10") (fun () ->
+      Engine.schedule e ~at:5 ignore)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~at:1 (fun () ->
+      incr fired;
+      Engine.stop e);
+  Engine.schedule e ~at:2 (fun () -> incr fired);
+  Engine.run_all e;
+  check_int "stopped after first" 1 !fired;
+  check_int "second still pending" 1 (Engine.pending e)
+
+let test_engine_many_events () =
+  let e = Engine.create () in
+  let r = Rng.create 42 in
+  let n = 10_000 in
+  let last = ref (-1) in
+  let count = ref 0 in
+  for _ = 1 to n do
+    let at = Rng.int r 1_000_000 in
+    Engine.schedule e ~at (fun () ->
+        check_bool "monotone clock" true (Engine.now e >= !last);
+        last := Engine.now e;
+        incr count)
+  done;
+  Engine.run_all e;
+  check_int "all dispatched" n !count
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  let x = Rng.bits64 a and y = Rng.bits64 c in
+  check_bool "split streams differ" true (x <> y)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      check_bool "within 10% of uniform" true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_clz () =
+  check_int "clz 0" 63 (Bits.clz 0);
+  check_int "clz 1" 62 (Bits.clz 1);
+  check_int "clz 2" 61 (Bits.clz 2);
+  (* max_int = 2^62 - 1: msb at bit 61 *)
+  check_int "clz max_int" 1 (Bits.clz max_int);
+  for k = 0 to 61 do
+    check_int (Printf.sprintf "clz (1 lsl %d)" k) (62 - k) (Bits.clz (1 lsl k))
+  done
+
+let test_bits_misc () =
+  check_int "popcount 0" 0 (Bits.popcount 0);
+  check_int "popcount 0b1011" 3 (Bits.popcount 0b1011);
+  check_int "log2_ceil 1" 0 (Bits.log2_ceil 1);
+  check_int "log2_ceil 5" 3 (Bits.log2_ceil 5);
+  check_int "log2_ceil 8" 3 (Bits.log2_ceil 8);
+  check_bool "is_pow2 64" true (Bits.is_pow2 64);
+  check_bool "is_pow2 48" false (Bits.is_pow2 48);
+  check_int "lowest_set 12" 4 (Bits.lowest_set 12)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_basic () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  check_int "count" 10 (Stats.Hist.count h);
+  Alcotest.(check (float 0.001)) "mean" 5.5 (Stats.Hist.mean h);
+  check_int "p50" 5 (Stats.Hist.percentile h 50.0);
+  check_int "p100" 10 (Stats.Hist.percentile h 100.0);
+  check_int "max" 10 (Stats.Hist.max_value h)
+
+let test_hist_large_values () =
+  let h = Stats.Hist.create () in
+  let vals = [ 100; 1_000; 10_000; 100_000; 1_000_000 ] in
+  List.iter (Stats.Hist.add h) vals;
+  (* percentile is bucketed: allow ~3% relative error *)
+  let p = Stats.Hist.percentile h 100.0 in
+  check_bool "p100 close to 1e6" true
+    (abs (p - 1_000_000) < 1_000_000 / 30)
+
+let test_hist_percentile_monotone () =
+  let h = Stats.Hist.create () in
+  let r = Rng.create 11 in
+  for _ = 1 to 1_000 do
+    Stats.Hist.add h (Rng.int r 1_000_000)
+  done;
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Stats.Hist.percentile h p in
+      check_bool "monotone percentiles" true (v >= !prev);
+      prev := v)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ]
+
+let test_hist_merge_clear () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  Stats.Hist.add a 5;
+  Stats.Hist.add b 10;
+  Stats.Hist.merge_into ~src:a ~dst:b;
+  check_int "merged count" 2 (Stats.Hist.count b);
+  check_int "merged max" 10 (Stats.Hist.max_value b);
+  Stats.Hist.clear b;
+  check_int "cleared" 0 (Stats.Hist.count b)
+
+let test_monitor_windows () =
+  let m = Stats.Monitor.create ~window:100 in
+  Stats.Monitor.record m ~now:10 5;
+  Stats.Monitor.record m ~now:50 5;
+  Stats.Monitor.record m ~now:150 7;
+  Stats.Monitor.record m ~now:320 1;
+  check_int "total" 18 (Stats.Monitor.total m);
+  Alcotest.(check (list (pair int int)))
+    "closed windows"
+    [ (0, 10); (100, 7); (200, 0) ]
+    (Stats.Monitor.windows m)
+
+let test_monitor_rate () =
+  let m = Stats.Monitor.create ~window:100 in
+  Stats.Monitor.record m ~now:0 50;
+  Stats.Monitor.record m ~now:110 0;
+  Alcotest.(check (float 0.0001)) "rate of closed window" 0.5
+    (Stats.Monitor.current_rate m ~now:110)
+
+let test_mops () =
+  (* 1M ops in 1e9 cycles at 1 GHz = 1 second -> 1 Mops *)
+  Alcotest.(check (float 0.0001)) "mops" 1.0
+    (Stats.mops ~ops:1_000_000 ~cycles:1_000_000_000 ~ghz:1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Simthread                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_thread_delay () =
+  let e = Engine.create () in
+  let finished_at = ref 0 in
+  Simthread.spawn e (fun ctx ->
+      Simthread.delay ctx 100;
+      Simthread.delay ctx 50;
+      finished_at := Simthread.now ctx);
+  Engine.run_all e;
+  check_int "delays accumulate" 150 !finished_at
+
+let test_thread_charge_commit () =
+  let e = Engine.create () in
+  let observed = ref (-1) in
+  Simthread.spawn e (fun ctx ->
+      Simthread.charge ctx 30;
+      Simthread.charge ctx 12;
+      check_int "pending" 42 (Simthread.pending ctx);
+      check_int "local now includes pending" 42 (Simthread.now ctx);
+      check_int "engine clock unmoved" 0 (Engine.now e);
+      Simthread.commit ctx;
+      observed := Engine.now e);
+  Engine.run_all e;
+  check_int "commit flushed to engine" 42 !observed
+
+let test_thread_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Simthread.spawn e ~name:"a" (fun ctx ->
+      Simthread.delay ctx 10;
+      log := ("a", Simthread.now ctx) :: !log;
+      Simthread.delay ctx 20;
+      log := ("a", Simthread.now ctx) :: !log);
+  Simthread.spawn e ~name:"b" (fun ctx ->
+      Simthread.delay ctx 15;
+      log := ("b", Simthread.now ctx) :: !log);
+  Engine.run_all e;
+  Alcotest.(check (list (pair string int)))
+    "interleaved by simulated time"
+    [ ("a", 10); ("b", 15); ("a", 30) ]
+    (List.rev !log)
+
+let test_thread_condvar () =
+  let e = Engine.create () in
+  let cv = Simthread.Condvar.create () in
+  let log = ref [] in
+  Simthread.spawn e ~name:"waiter" (fun ctx ->
+      Simthread.Condvar.wait ctx cv;
+      log := ("woke", Simthread.now ctx) :: !log);
+  Simthread.spawn e ~name:"signaller" (fun ctx ->
+      Simthread.delay ctx 500;
+      Simthread.Condvar.signal cv;
+      log := ("signalled", Simthread.now ctx) :: !log);
+  Engine.run_all e;
+  Alcotest.(check (list (pair string int)))
+    "wait until signalled"
+    [ ("signalled", 500); ("woke", 500) ]
+    (List.rev !log)
+
+let test_thread_condvar_fifo () =
+  let e = Engine.create () in
+  let cv = Simthread.Condvar.create () in
+  let woke = ref [] in
+  for i = 0 to 2 do
+    Simthread.spawn e (fun ctx ->
+        Simthread.delay ctx i;
+        Simthread.Condvar.wait ctx cv;
+        woke := i :: !woke)
+  done;
+  Simthread.spawn e (fun ctx ->
+      Simthread.delay ctx 100;
+      check_int "three waiters" 3 (Simthread.Condvar.waiters cv);
+      Simthread.Condvar.broadcast cv);
+  Engine.run_all e;
+  Alcotest.(check (list int)) "FIFO wakeup" [ 0; 1; 2 ] (List.rev !woke)
+
+let test_thread_suspend_resume_once () =
+  let e = Engine.create () in
+  let resume_ref = ref None in
+  Simthread.spawn e (fun ctx ->
+      Simthread.suspend ctx (fun resume -> resume_ref := Some resume));
+  Engine.run e ~until:10;
+  (match !resume_ref with
+  | None -> Alcotest.fail "suspend did not register"
+  | Some resume ->
+    resume ();
+    Engine.run_all e;
+    Alcotest.check_raises "double resume rejected"
+      (Invalid_argument "Simthread: resume invoked twice") resume)
+
+let test_thread_spawn_at () =
+  let e = Engine.create () in
+  let started = ref (-1) in
+  Simthread.spawn e ~at:77 (fun ctx -> started := Simthread.now ctx);
+  Engine.run_all e;
+  check_int "spawn at" 77 !started
+
+(* qcheck: engine dispatches any schedule set in nondecreasing time order *)
+let prop_engine_order =
+  QCheck.Test.make ~name:"engine dispatches in time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun t -> Engine.schedule e ~at:t (fun () -> seen := t :: !seen))
+        times;
+      Engine.run_all e;
+      let sorted = List.sort compare times in
+      List.rev !seen = sorted)
+
+let prop_hist_percentile_bounds =
+  QCheck.Test.make ~name:"hist percentile within sample bounds" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 1_000_000))
+    (fun samples ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) samples;
+      let p50 = Stats.Hist.percentile h 50.0 in
+      let mx = List.fold_left max 0 samples in
+      p50 >= 0 && p50 <= mx)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "many events" `Quick test_engine_many_events;
+          QCheck_alcotest.to_alcotest prop_engine_order;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "clz" `Quick test_bits_clz;
+          Alcotest.test_case "misc" `Quick test_bits_misc;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "hist basic" `Quick test_hist_basic;
+          Alcotest.test_case "hist large" `Quick test_hist_large_values;
+          Alcotest.test_case "hist monotone" `Quick test_hist_percentile_monotone;
+          Alcotest.test_case "hist merge/clear" `Quick test_hist_merge_clear;
+          Alcotest.test_case "monitor windows" `Quick test_monitor_windows;
+          Alcotest.test_case "monitor rate" `Quick test_monitor_rate;
+          Alcotest.test_case "mops" `Quick test_mops;
+          QCheck_alcotest.to_alcotest prop_hist_percentile_bounds;
+        ] );
+      ( "simthread",
+        [
+          Alcotest.test_case "delay" `Quick test_thread_delay;
+          Alcotest.test_case "charge/commit" `Quick test_thread_charge_commit;
+          Alcotest.test_case "interleaving" `Quick test_thread_interleaving;
+          Alcotest.test_case "condvar" `Quick test_thread_condvar;
+          Alcotest.test_case "condvar fifo" `Quick test_thread_condvar_fifo;
+          Alcotest.test_case "suspend/resume once" `Quick test_thread_suspend_resume_once;
+          Alcotest.test_case "spawn at" `Quick test_thread_spawn_at;
+        ] );
+    ]

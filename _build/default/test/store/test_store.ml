@@ -1,0 +1,276 @@
+open Mutps_sim
+open Mutps_mem
+open Mutps_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_bytes = Alcotest.(check string)
+
+(* Run [f] inside a simulated thread on core [core]; returns after the whole
+   simulation drains. *)
+let run_sim ?(cores = 4) fns =
+  let engine = Engine.create () in
+  let hier = Hierarchy.create (Hierarchy.small_geometry ~cores) in
+  List.iteri
+    (fun core f ->
+      Simthread.spawn engine ~name:(Printf.sprintf "core%d" core) (fun ctx ->
+          f (Env.make ~ctx ~hier ~core)))
+    fns;
+  Engine.run_all engine;
+  engine
+
+let fresh_slab () =
+  let layout = Layout.create () in
+  Slab.create layout ()
+
+(* ------------------------------------------------------------------ *)
+(* Slab                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_slab_classes () =
+  check_int "16 min class" 16 (Slab.class_of_size 1);
+  check_int "16" 16 (Slab.class_of_size 16);
+  check_int "32" 32 (Slab.class_of_size 17);
+  check_int "1024" 1024 (Slab.class_of_size 1000)
+
+let test_slab_alloc_distinct () =
+  let s = fresh_slab () in
+  let a = Slab.alloc s 64 and b = Slab.alloc s 64 in
+  check_bool "distinct addresses" true (a <> b);
+  check_bool "no overlap" true (abs (a - b) >= 64);
+  check_int "live" 2 (Slab.live_blocks s)
+
+let test_slab_free_reuse () =
+  let s = fresh_slab () in
+  let a = Slab.alloc s 100 in
+  Slab.free s ~addr:a ~size:100;
+  let b = Slab.alloc s 100 in
+  check_int "freed block reused" a b;
+  check_int "live" 1 (Slab.live_blocks s)
+
+let test_slab_classes_isolated () =
+  let s = fresh_slab () in
+  let a = Slab.alloc s 16 in
+  Slab.free s ~addr:a ~size:16;
+  let b = Slab.alloc s 64 in
+  check_bool "different class does not reuse" true (a <> b)
+
+let test_slab_rejects () =
+  let s = fresh_slab () in
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Slab: size must be positive") (fun () ->
+      ignore (Slab.alloc s 0))
+
+(* ------------------------------------------------------------------ *)
+(* Item                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_item_roundtrip () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.of_string "hello world") in
+  let got = ref "" in
+  ignore
+    (run_sim
+       [
+         (fun env -> got := Bytes.to_string (Item.read env item));
+       ]);
+  check_bytes "read back" "hello world" !got;
+  check_int "size" 11 (Item.size item);
+  check_bool "even version" true (Item.version item land 1 = 0)
+
+let test_item_write_then_read () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 64 'a') in
+  let got = ref "" in
+  ignore
+    (run_sim
+       [
+         (fun env ->
+           Item.write env item (Bytes.make 64 'b') slab;
+           got := Bytes.to_string (Item.read env item));
+       ]);
+  check_bytes "updated" (String.make 64 'b') !got;
+  check_int "version bumped twice" 2 (Item.version item)
+
+let test_item_atomic_small () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.of_string "12345678") in
+  ignore
+    (run_sim
+       [ (fun env -> Item.write env item (Bytes.of_string "abcdefgh") slab) ]);
+  (* atomic path bumps version by 2 in one step and never leaves it odd *)
+  check_int "version" 2 (Item.version item);
+  check_bytes "value" "abcdefgh" (Bytes.to_string (Item.peek item))
+
+let test_item_realloc_on_growth () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 8 'x') in
+  let a0 = Item.addr item in
+  ignore
+    (run_sim [ (fun env -> Item.write env item (Bytes.make 500 'y') slab) ]);
+  check_bool "address changed on class growth" true (Item.addr item <> a0);
+  check_int "new size" 500 (Item.size item)
+
+let test_item_same_class_in_place () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 100 'x') in
+  let a0 = Item.addr item in
+  ignore
+    (run_sim [ (fun env -> Item.write env item (Bytes.make 110 'y') slab) ]);
+  check_int "same class stays in place" a0 (Item.addr item)
+
+let test_item_writers_serialize () =
+  (* Two writers to the same large item: both must complete, final value is
+     one of theirs, and the loser records a contended acquire. *)
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 256 '0') in
+  ignore
+    (run_sim
+       [
+         (fun env -> Item.write env item (Bytes.make 256 'A') slab);
+         (fun env -> Item.write env item (Bytes.make 256 'B') slab);
+       ]);
+  let v = Bytes.to_string (Item.peek item) in
+  check_bool "one writer won last" true
+    (v = String.make 256 'A' || v = String.make 256 'B');
+  check_int "two updates" 4 (Item.version item);
+  check_bool "contention observed" true (Item.contended_acquires item >= 1)
+
+let test_item_reader_sees_consistent () =
+  (* A reader overlapping a writer must return either the old or the new
+     value, never a torn mix. *)
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 1024 'o') in
+  let seen = ref [] in
+  ignore
+    (run_sim
+       [
+         (fun env ->
+           for _ = 1 to 5 do
+             Item.write env item (Bytes.make 1024 'n') slab
+           done);
+         (fun env ->
+           for _ = 1 to 20 do
+             seen := Bytes.to_string (Item.read env item) :: !seen
+           done);
+       ]);
+  List.iter
+    (fun s ->
+      check_bool "untorn" true
+        (s = String.make 1024 'o' || s = String.make 1024 'n'))
+    !seen
+
+let test_item_contention_cost () =
+  (* The more writers hammer one item, the longer the simulation takes per
+     op — the seqlock must serialize. *)
+  let time_with n =
+    let slab = fresh_slab () in
+    let item = Item.create slab ~value:(Bytes.make 64 'x') in
+    let fns =
+      List.init n (fun _ env ->
+          for _ = 1 to 50 do
+            Item.write env item (Bytes.make 64 'y') slab
+          done)
+    in
+    let e = run_sim ~cores:(max n 1) fns in
+    Engine.now e
+  in
+  let t1 = time_with 1 and t4 = time_with 4 in
+  check_bool "4 contending writers take longer than 1" true (t4 > t1)
+
+
+let test_item_write_exclusive () =
+  let slab = fresh_slab () in
+  let item = Item.create slab ~value:(Bytes.make 64 'a') in
+  ignore
+    (run_sim
+       [ (fun env -> Item.write_exclusive env item (Bytes.make 64 'b') slab) ]);
+  check_bytes "exclusive write applied" (String.make 64 'b')
+    (Bytes.to_string (Item.peek item));
+  check_int "version bumped evenly" 2 (Item.version item);
+  check_int "no contention recorded" 0 (Item.contended_acquires item)
+
+let test_item_write_exclusive_cheaper_than_locked () =
+  (* the share-nothing path must cost less simulated time than the
+     seqlock path for the same update *)
+  let cost write_fn =
+    let slab = fresh_slab () in
+    let item = Item.create slab ~value:(Bytes.make 256 'x') in
+    let e =
+      run_sim [ (fun env ->
+          for _ = 1 to 100 do
+            write_fn env item (Bytes.make 256 'y') slab
+          done) ]
+    in
+    Engine.now e
+  in
+  let locked = cost Item.write in
+  let exclusive = cost Item.write_exclusive in
+  check_bool
+    (Printf.sprintf "exclusive (%d) < locked (%d)" exclusive locked)
+    true (exclusive < locked)
+
+let test_item_contention_scales_with_writers () =
+  (* per-op cost must grow with the number of contending writers: the
+     §2.2.2 share-everything effect *)
+  let per_op n =
+    let slab = fresh_slab () in
+    let item = Item.create slab ~value:(Bytes.make 64 'x') in
+    let ops = 40 in
+    let fns =
+      List.init n (fun _ env ->
+          for _ = 1 to ops do
+            Item.write env item (Bytes.make 64 'y') slab
+          done)
+    in
+    let e = run_sim ~cores:(max n 2) fns in
+    float_of_int (Engine.now e) /. float_of_int (n * ops)
+  in
+  let solo = per_op 1 and crowd = per_op 6 in
+  check_bool
+    (Printf.sprintf "6 writers per-op (%.0f) > 1 writer (%.0f)" crowd solo)
+    true (crowd > solo)
+
+let prop_item_roundtrip =
+  QCheck.Test.make ~name:"item write/read roundtrip" ~count:100
+    QCheck.(string_of_size (Gen.int_range 1 2048))
+    (fun s ->
+      let slab = fresh_slab () in
+      let item = Item.create slab ~value:(Bytes.of_string "seed") in
+      let got = ref "" in
+      ignore
+        (run_sim
+           [
+             (fun env ->
+               Item.write env item (Bytes.of_string s) slab;
+               got := Bytes.to_string (Item.read env item));
+           ]);
+      !got = s)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "slab",
+        [
+          Alcotest.test_case "classes" `Quick test_slab_classes;
+          Alcotest.test_case "alloc distinct" `Quick test_slab_alloc_distinct;
+          Alcotest.test_case "free/reuse" `Quick test_slab_free_reuse;
+          Alcotest.test_case "classes isolated" `Quick test_slab_classes_isolated;
+          Alcotest.test_case "rejects" `Quick test_slab_rejects;
+        ] );
+      ( "item",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_item_roundtrip;
+          Alcotest.test_case "write then read" `Quick test_item_write_then_read;
+          Alcotest.test_case "atomic small" `Quick test_item_atomic_small;
+          Alcotest.test_case "realloc on growth" `Quick test_item_realloc_on_growth;
+          Alcotest.test_case "same class in place" `Quick test_item_same_class_in_place;
+          Alcotest.test_case "writers serialize" `Quick test_item_writers_serialize;
+          Alcotest.test_case "reader consistent" `Quick test_item_reader_sees_consistent;
+          Alcotest.test_case "contention cost" `Quick test_item_contention_cost;
+          Alcotest.test_case "write exclusive" `Quick test_item_write_exclusive;
+          Alcotest.test_case "exclusive cheaper" `Quick test_item_write_exclusive_cheaper_than_locked;
+          Alcotest.test_case "contention scales" `Quick test_item_contention_scales_with_writers;
+          QCheck_alcotest.to_alcotest prop_item_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+open Mutps_sim
+open Mutps_workload
+module Request = Mutps_queue.Request
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.02))
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let r = Rng.create 1 in
+  for _ = 1 to 50_000 do
+    let rank = Zipf.next z r in
+    check_bool "in range" true (rank >= 0 && rank < 1000)
+  done
+
+let test_zipf_skew_strength () =
+  (* with theta .99 over 1000 ranks, rank 0 should receive > 5% of draws
+     and far more than an average rank *)
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let r = Rng.create 2 in
+  let counts = Array.make 1000 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let rank = Zipf.next z r in
+    counts.(rank) <- counts.(rank) + 1
+  done;
+  let f0 = float_of_int counts.(0) /. float_of_int n in
+  check_bool (Printf.sprintf "rank0 share %.3f > 0.05" f0) true (f0 > 0.05);
+  check_bool "monotone-ish head" true (counts.(0) > counts.(10));
+  check_bool "head dominates tail" true (counts.(0) > 20 * counts.(900))
+
+let test_zipf_theta_zero_uniform () =
+  let z = Zipf.create ~n:100 ~theta:0.0 in
+  let r = Rng.create 3 in
+  let counts = Array.make 100 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let rank = Zipf.next z r in
+    counts.(rank) <- counts.(rank) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "uniform within 20%" true
+        (abs (c - (n / 100)) < n / 100 / 5))
+    counts
+
+let test_zipf_ratio_matches_law () =
+  (* P(rank 1)/P(rank 0) should be ~ (1/2)^theta *)
+  let theta = 0.8 in
+  let z = Zipf.create ~n:10_000 ~theta in
+  let r = Rng.create 4 in
+  let c0 = ref 0 and c1 = ref 0 in
+  for _ = 1 to 500_000 do
+    match Zipf.next z r with
+    | 0 -> incr c0
+    | 1 -> incr c1
+    | _ -> ()
+  done;
+  let ratio = float_of_int !c1 /. float_of_int !c0 in
+  let expected = Float.pow 0.5 theta in
+  check_bool
+    (Printf.sprintf "ratio %.3f ~ %.3f" ratio expected)
+    true
+    (Float.abs (ratio -. expected) < 0.05)
+
+let test_zipf_rejects () =
+  Alcotest.check_raises "theta >= 1"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0));
+  Alcotest.check_raises "n <= 0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Opgen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let count_kinds gen n =
+  let g = ref 0 and p = ref 0 and s = ref 0 and d = ref 0 in
+  for _ = 1 to n do
+    match (Opgen.next gen).Opgen.kind with
+    | Request.Get -> incr g
+    | Request.Put -> incr p
+    | Request.Scan -> incr s
+    | Request.Delete -> incr d
+  done;
+  (!g, !p, !s, !d)
+
+let test_mix_fractions () =
+  let spec = Ycsb.a ~keyspace:1000 ~value_size:64 () in
+  let gen = Opgen.make spec ~seed:7 in
+  let n = 50_000 in
+  let g, p, s, d = count_kinds gen n in
+  check_float "gets ~50%" 0.5 (float_of_int g /. float_of_int n);
+  check_float "puts ~50%" 0.5 (float_of_int p /. float_of_int n);
+  check_int "no scans" 0 s;
+  check_int "no deletes" 0 d
+
+let test_ycsb_b_c_e () =
+  let n = 50_000 in
+  let gen = Opgen.make (Ycsb.b ~keyspace:1000 ~value_size:8 ()) ~seed:1 in
+  let g, _, _, _ = count_kinds gen n in
+  check_float "B: 95% gets" 0.95 (float_of_int g /. float_of_int n);
+  let gen = Opgen.make (Ycsb.c ~keyspace:1000 ~value_size:8 ()) ~seed:1 in
+  let g, p, s, d = count_kinds gen n in
+  check_int "C: all gets" n g;
+  check_int "C: no others" 0 (p + s + d);
+  let gen = Opgen.make (Ycsb.e ~keyspace:1000 ~value_size:8 ()) ~seed:1 in
+  let _, p, s, _ = count_kinds gen n in
+  check_float "E: 95% scans" 0.95 (float_of_int s /. float_of_int n);
+  check_float "E: 5% puts" 0.05 (float_of_int p /. float_of_int n)
+
+let test_keys_within_keyspace () =
+  let spec = Ycsb.a ~keyspace:500 ~value_size:8 () in
+  let gen = Opgen.make spec ~seed:9 in
+  for _ = 1 to 10_000 do
+    let op = Opgen.next gen in
+    check_bool "key in range" true
+      (op.Opgen.key >= 0L && op.Opgen.key < 500L)
+  done
+
+let test_determinism () =
+  let spec = Ycsb.a ~keyspace:1000 ~value_size:64 () in
+  let g1 = Opgen.make spec ~seed:42 and g2 = Opgen.make spec ~seed:42 in
+  for _ = 1 to 1000 do
+    let a = Opgen.next g1 and b = Opgen.next g2 in
+    check_bool "same stream" true (a = b)
+  done
+
+let test_hottest_keys_are_hot () =
+  (* the generator must actually concentrate mass on hottest_keys *)
+  let keyspace = 10_000 in
+  let spec = Ycsb.c ~keyspace ~value_size:8 () in
+  let gen = Opgen.make spec ~seed:11 in
+  let hot = Opgen.hottest_keys ~keyspace 10 in
+  let hot_set = Array.to_list hot in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if List.mem (Opgen.next gen).Opgen.key hot_set then incr hits
+  done;
+  let share = float_of_int !hits /. float_of_int n in
+  check_bool
+    (Printf.sprintf "top-10 of 10k keys gets %.1f%% > 10%%" (100. *. share))
+    true (share > 0.10)
+
+let test_scan_lengths () =
+  let spec = Ycsb.scan_only ~keyspace:1000 ~scan_len:50 ~value_size:8 () in
+  let gen = Opgen.make spec ~seed:13 in
+  let total = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    let op = Opgen.next gen in
+    check_bool "scan kind" true (op.Opgen.kind = Request.Scan);
+    check_bool "positive count" true (op.Opgen.scan_count >= 1);
+    check_bool "bounded" true (op.Opgen.scan_count < 100);
+    total := !total + op.Opgen.scan_count
+  done;
+  let avg = float_of_int !total /. float_of_int n in
+  check_bool (Printf.sprintf "avg %.1f ~ 50" avg) true (Float.abs (avg -. 50.0) < 2.0)
+
+let test_etc_size_bands () =
+  (* sizes are a per-key property: check the band fractions across keys *)
+  let spec = Etc.spec ~keyspace:100_000 ~get_ratio:0.5 () in
+  let small = ref 0 and mid = ref 0 and big = ref 0 in
+  let n = 100_000 in
+  for k = 0 to n - 1 do
+    let size = Opgen.size_for_key spec (Int64.of_int k) in
+    if size <= 13 then incr small
+    else if size <= 300 then incr mid
+    else incr big
+  done;
+  let f x = float_of_int !x /. float_of_int n in
+  check_float "40% small" 0.40 (f small);
+  check_float "55% mid" 0.55 (f mid);
+  check_float "5% big" 0.05 (f big)
+
+let test_sizes_stable_per_key () =
+  let spec = Etc.spec ~keyspace:1000 ~get_ratio:0.0 () in
+  let gen = Opgen.make spec ~seed:17 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 20_000 do
+    let op = Opgen.next gen in
+    if op.Opgen.kind = Request.Put then begin
+      (match Hashtbl.find_opt seen op.Opgen.key with
+      | Some size -> check_int "stable size per key" size op.Opgen.size
+      | None -> Hashtbl.replace seen op.Opgen.key op.Opgen.size);
+      check_int "matches size_for_key"
+        (Opgen.size_for_key spec op.Opgen.key)
+        op.Opgen.size
+    end
+  done
+
+let test_twitter_tables () =
+  check_float "c12 put ratio" 0.80 (Twitter.put_ratio Twitter.Cluster_12);
+  check_int "c19 avg size" 101 (Twitter.avg_value_size Twitter.Cluster_19);
+  check_float "c31 alpha" 0.0 (Twitter.zipf_alpha Twitter.Cluster_31);
+  (* generated streams must match the published put ratios and mean sizes *)
+  List.iter
+    (fun cluster ->
+      let spec = Twitter.spec ~keyspace:10_000 cluster in
+      let gen = Opgen.make spec ~seed:23 in
+      let n = 100_000 in
+      let puts = ref 0 and size_sum = ref 0 in
+      for _ = 1 to n do
+        let op = Opgen.next gen in
+        if op.Opgen.kind = Request.Put then begin
+          incr puts;
+          size_sum := !size_sum + op.Opgen.size
+        end
+      done;
+      let put_frac = float_of_int !puts /. float_of_int n in
+      Alcotest.(check (float 0.02))
+        (Twitter.name cluster ^ " put ratio")
+        (Twitter.put_ratio cluster) put_frac;
+      let mean = float_of_int !size_sum /. float_of_int !puts in
+      let expect = float_of_int (Twitter.avg_value_size cluster) in
+      check_bool
+        (Printf.sprintf "%s mean size %.0f ~ %.0f" (Twitter.name cluster) mean expect)
+        true
+        (Float.abs (mean -. expect) /. expect < 0.25))
+    Twitter.all
+
+let test_spec_validation () =
+  Alcotest.check_raises "mix over 1"
+    (Invalid_argument "Opgen: mix fractions exceed 1") (fun () ->
+      ignore
+        (Opgen.make
+           {
+             Opgen.name = "bad";
+             keyspace = 10;
+             key_dist = Opgen.Uniform;
+             size_dist = Opgen.Fixed 8;
+             mix = { Opgen.get = 0.9; put = 0.9; scan = 0.0 };
+             scan_len = 1;
+           }
+           ~seed:1))
+
+let prop_ops_well_formed =
+  QCheck.Test.make ~name:"all generated ops are well formed" ~count:50
+    QCheck.(triple (int_range 1 10_000) bool (int_range 1 1024))
+    (fun (keyspace, skewed, value_size) ->
+      let spec = Ycsb.a ~keyspace ~skewed ~value_size () in
+      let gen = Opgen.make spec ~seed:(keyspace + value_size) in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let op = Opgen.next gen in
+        if not (op.Opgen.key >= 0L && op.Opgen.key < Int64.of_int keyspace)
+        then ok := false;
+        match op.Opgen.kind with
+        | Request.Put -> if op.Opgen.size <> value_size then ok := false
+        | Request.Get -> if op.Opgen.size <> 0 then ok := false
+        | Request.Scan | Request.Delete -> ()
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew strength" `Quick test_zipf_skew_strength;
+          Alcotest.test_case "theta 0 uniform" `Quick test_zipf_theta_zero_uniform;
+          Alcotest.test_case "ratio matches law" `Quick test_zipf_ratio_matches_law;
+          Alcotest.test_case "rejects" `Quick test_zipf_rejects;
+        ] );
+      ( "opgen",
+        [
+          Alcotest.test_case "mix fractions" `Quick test_mix_fractions;
+          Alcotest.test_case "ycsb b/c/e" `Quick test_ycsb_b_c_e;
+          Alcotest.test_case "keys in keyspace" `Quick test_keys_within_keyspace;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "hottest keys hot" `Quick test_hottest_keys_are_hot;
+          Alcotest.test_case "scan lengths" `Quick test_scan_lengths;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+          QCheck_alcotest.to_alcotest prop_ops_well_formed;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "etc bands" `Quick test_etc_size_bands;
+          Alcotest.test_case "sizes stable per key" `Quick test_sizes_stable_per_key;
+          Alcotest.test_case "twitter" `Quick test_twitter_tables;
+        ] );
+    ]
