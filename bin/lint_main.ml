@@ -1,0 +1,57 @@
+(* Driver for the determinism & charge-discipline lint (lib/lint).
+
+   Usage: mutps_lint [DIR-OR-FILE ...]   (default: lib bin bench examples)
+
+   Emits "file:line:col: [RULE] message" per finding and exits non-zero
+   when any finding or parse error is produced.  Wired to `dune build
+   @lint`; see DESIGN.md "Determinism invariants". *)
+
+module Lint = Mutps_lint.Lint
+
+let rec collect acc path =
+  let base = Filename.basename path in
+  if base = "_build" || (String.length base > 0 && base.[0] = '.') then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left (fun acc f -> collect acc (Filename.concat path f)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  List.iter (Printf.eprintf "mutps_lint: no such path %s\n%!") missing;
+  let files =
+    List.fold_left collect [] (List.filter Sys.file_exists roots)
+    |> List.sort compare
+  in
+  let errors = ref (List.length missing) in
+  let findings =
+    List.concat_map
+      (fun f ->
+        match Lint.check_file f with
+        | Ok fs -> fs
+        | Error msg ->
+          incr errors;
+          Printf.eprintf "mutps_lint: %s\n%!" msg;
+          [])
+      files
+    |> List.sort Lint.compare_finding
+  in
+  List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+  let n = List.length findings in
+  if n > 0 || !errors > 0 then begin
+    Printf.printf "mutps_lint: %d finding%s, %d error%s in %d files\n" n
+      (if n = 1 then "" else "s")
+      !errors
+      (if !errors = 1 then "" else "s")
+      (List.length files);
+    exit 1
+  end
+  else
+    Printf.printf "mutps_lint: clean (%d files, rules R1-R4)\n"
+      (List.length files)

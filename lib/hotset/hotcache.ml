@@ -14,8 +14,8 @@ type t = {
   base : int;
   bytes : int;
   epoch_addr : int;
-  mutable keys : int64 array; (* sorted mode: sorted keys; probed: slots *)
-  mutable items : Item.t option array;
+  keys : int64 array; (* sorted mode: sorted keys; probed: slots *)
+  items : Item.t option array;
   mutable size : int;
   mutable epoch : int;
 }

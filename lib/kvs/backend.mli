@@ -1,0 +1,23 @@
+(** Shared server substrate: one simulated machine (engine + hierarchy +
+    address layout), the item store, the index, and the network link.
+    Every system (μTPS-H/T, BaseKV, eRPC-KV) is assembled on top of one of
+    these. *)
+
+type t = {
+  config : Config.t;
+  engine : Mutps_sim.Engine.t;
+  hier : Mutps_mem.Hierarchy.t;
+  layout : Mutps_mem.Layout.t;
+  slab : Mutps_store.Slab.t;
+  index : Mutps_index.Index_intf.t;
+  link : Mutps_net.Link.t;
+}
+
+val create : Config.t -> t
+
+val populate :
+  ?size_of:(int64 -> int) -> t -> keyspace:int -> value_size:int -> unit
+(** Pre-populate the store with every key in [\[0, keyspace)] (silent: no
+    simulation charges, like a load phase before measurement).  [size_of]
+    overrides the per-key value size for mixed-size workloads (ETC,
+    Twitter); default is the fixed [value_size]. *)

@@ -1,6 +1,5 @@
 type t = {
   backend : Backend.t;
-  rpc : Mutps_net.Reconf_rpc.t;
   transport : Mutps_net.Transport.t;
   mutable stats : Rtc.stats array;
 }
@@ -13,7 +12,7 @@ let create (config : Config.t) =
       ~link:backend.Backend.link ~max_workers:config.Config.cores
       ~workers:config.Config.cores ()
   in
-  { backend; rpc; transport = Mutps_net.Reconf_rpc.transport rpc; stats = [||] }
+  { backend; transport = Mutps_net.Reconf_rpc.transport rpc; stats = [||] }
 
 let backend t = t.backend
 let transport t = t.transport

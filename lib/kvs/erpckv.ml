@@ -1,6 +1,5 @@
 type t = {
   backend : Backend.t;
-  erpc : Mutps_net.Erpc.t;
   transport : Mutps_net.Transport.t;
   mutable stats : Rtc.stats array;
 }
@@ -12,7 +11,7 @@ let create (config : Config.t) =
       ~hier:backend.Backend.hier ~layout:backend.Backend.layout
       ~link:backend.Backend.link ~workers:config.Config.cores ()
   in
-  { backend; erpc; transport = Mutps_net.Erpc.transport erpc; stats = [||] }
+  { backend; transport = Mutps_net.Erpc.transport erpc; stats = [||] }
 
 let backend t = t.backend
 let transport t = t.transport

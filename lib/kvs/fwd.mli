@@ -1,0 +1,27 @@
+(** Unit of CR→MR forwarding: the compact request plus completion fields
+    the MR layer fills in.  Responses travel back by tail-pointer piggyback
+    (§3.4): the MR thread never posts to the NIC, it records where in the
+    CR worker's response buffer it put the data and the CR thread posts the
+    send after reaping the completed batch.
+
+    The mutable [resp_*] fields are registered shared-mutable state in the
+    lint's R3 rule table: MR writes them before the completion store, CR
+    may only read them after reaping (which commits). *)
+
+type t = {
+  seq : int;  (** rx slot sequence (the 32-bit [buf] field) *)
+  cr : int;  (** owning CR worker (response buffer owner) *)
+  msg : Mutps_net.Message.t;
+  prefix : (int64 * Mutps_store.Item.t) list;
+      (** scan cooperation: entries the CR layer already copied *)
+  mutable resp_addr : int;
+  mutable resp_bytes : int;
+  mutable resp_value : bytes option;
+}
+
+val make :
+  seq:int -> cr:int -> msg:Mutps_net.Message.t ->
+  prefix:(int64 * Mutps_store.Item.t) list -> t
+
+val ring_bytes : int
+(** Bytes one forwarded request occupies on the CR-MR ring (§4). *)

@@ -1,4 +1,3 @@
-module Engine = Mutps_sim.Engine
 module Simthread = Mutps_sim.Simthread
 module Env = Mutps_mem.Env
 module Hierarchy = Mutps_mem.Hierarchy

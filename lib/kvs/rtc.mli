@@ -1,0 +1,14 @@
+(** Run-to-completion worker pool: each worker handles its requests start
+    to finish (poll → parse → index → data → respond), with batching and
+    prefetching enabled, matching the paper's BaseKV.  Parameterized by
+    transport and lock mode, this pool is both BaseKV (reconfigurable RPC +
+    share-everything locking) and eRPC-KV (eRPC + share-nothing exclusive
+    writes). *)
+
+type stats = { mutable ops : int; mutable batches : int }
+
+val start :
+  Backend.t -> Mutps_net.Transport.t -> lock:Exec.lock_mode ->
+  workers:int -> stats array
+(** Spawn [workers] RTC worker threads; returns one live stats record per
+    worker. *)

@@ -1,0 +1,427 @@
+(* AST-level determinism & charge-discipline analyzer for the simulation.
+
+   Walks every implementation file with [Ast_iterator] (compiler-libs) and
+   enforces the contracts that keep the DES deterministic and every memory
+   touch charged through [Env]/[Simthread]:
+
+   R1  no wall-clock / ambient nondeterminism: [Sys.time], [Unix.*time*],
+       [Stdlib.Random], randomized hash tables, and [Hashtbl.iter]/[fold]
+       (whose order can leak into simulated state) are forbidden — only
+       [Mutps_sim.Rng] may produce randomness.
+   R2  charged memory: outside [lib/mem], CPU-side traffic must flow
+       through [Env.load]/[store]/[prefetch_batch]; direct
+       [Hierarchy.load]/[store]/[prefetch_batch] calls are forbidden.
+   R3  commit discipline: reads of registered shared-mutable fields
+       (seqlock versions, ring cursors, forwarding completion fields) must
+       be lexically dominated by a commit-family call ([Env.commit],
+       [Simthread.commit]/[delay]/[yield]/[suspend], or a queue operation
+       that commits internally) in the enclosing function.
+   R4  effect safety: [Simthread.delay]/[suspend]/[yield]/[commit]/[charge]
+       only from code that holds a simulated-thread context (a [ctx]
+       parameter, a [Simthread.spawn] callback, or an [Env.t]'s [.ctx]
+       field); no [Obj.magic]; no physical (in)equality.
+
+   Any finding can be suppressed at the expression with
+   [[@lint.allow "R3"]], at the binding with [[@@lint.allow "R3"]], or for
+   the rest of the file with [[@@@lint.allow "R3"]] (several rule names may
+   be given in one string, space- or comma-separated; "all" matches every
+   rule). *)
+
+module SS = Set.Make (String)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let finding_to_string f = Format.asprintf "%a" pp_finding f
+
+let compare_finding a b =
+  compare (a.file, a.line, a.col, a.rule, a.msg)
+    (b.file, b.line, b.col, b.rule, b.msg)
+
+(* ------------------------------------------------------------------ *)
+(* Rule tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* R1: ambient time / randomness sources. *)
+let wallclock_idents =
+  [ "Sys.time"; "Unix.time"; "Unix.gettimeofday"; "Unix.localtime";
+    "Unix.gmtime"; "Unix.sleep"; "Unix.sleepf" ]
+
+(* R1: hash-table traversals whose order depends on internal layout. *)
+let unordered_traversals = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+(* R2: CPU-side hierarchy traffic that must be charged through Env. *)
+let hierarchy_traffic = [ "Hierarchy.load"; "Hierarchy.store"; "Hierarchy.prefetch_batch" ]
+
+(* R3: registered shared-mutable fields.  Reads must follow a commit in
+   the enclosing function so the reader observes other threads' effects up
+   to its own simulated time. *)
+let shared_fields =
+  [
+    ("version", "Item seqlock version");
+    ("head", "ring producer cursor");
+    ("tail", "ring completion cursor");
+    ("reclaimed", "ring reclaim cursor");
+    ("resp_addr", "Fwd completion field");
+    ("resp_bytes", "Fwd completion field");
+    ("resp_value", "Fwd completion field");
+  ]
+
+(* R3: calls that flush the caller's accumulated cycles (directly or, for
+   the queue operations, internally) and therefore dominate a subsequent
+   shared-state read. *)
+let commit_family =
+  [
+    "Env.commit"; "Simthread.commit"; "Simthread.delay"; "Simthread.yield";
+    "Simthread.suspend"; "Condvar.wait"; "Ring.push"; "Ring.peek";
+    "Ring.take_completed"; "Crmr.push"; "Crmr.next_batch";
+    "Crmr.take_completed"; "Env.assert_committed";
+  ]
+
+(* R4: operations that require a simulated-thread context. *)
+let simthread_ops =
+  [
+    "Simthread.delay"; "Simthread.yield"; "Simthread.suspend";
+    "Simthread.commit"; "Simthread.charge"; "Condvar.wait";
+  ]
+
+let forbidden_obj = [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip_stdlib p =
+  if String.length p > 7 && String.sub p 0 7 = "Stdlib." then
+    String.sub p 7 (String.length p - 7)
+  else p
+
+(* [matches "Hierarchy.load" path] accepts both the alias form
+   ("Hierarchy.load") and the fully qualified one
+   ("Mutps_mem.Hierarchy.load"). *)
+let matches target path =
+  path = target
+  || (String.length path > String.length target
+      && String.sub path
+           (String.length path - String.length target - 1)
+           (String.length target + 1)
+         = "." ^ target)
+
+let matches_any targets path = List.exists (fun t -> matches t path) targets
+
+let path_of_lid lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+(* Parse the payload of a [lint.allow] attribute: a string constant holding
+   space- or comma-separated rule names. *)
+let allow_of_payload (p : Parsetree.payload) =
+  match p with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun r -> r <> "")
+    |> SS.of_list
+  | _ -> SS.empty
+
+let allow_of_attrs (attrs : Parsetree.attributes) =
+  List.fold_left
+    (fun acc (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "lint.allow" then
+        SS.union acc (allow_of_payload a.attr_payload)
+      else acc)
+    SS.empty attrs
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type scope = { mutable committed : bool; sim : bool }
+
+type state = {
+  file : string;  (** path used in reports *)
+  rule_path : string;  (** path used for directory-scoped exemptions *)
+  mutable findings : finding list;
+  mutable scopes : scope list;  (** innermost function first *)
+  mutable allows : SS.t list;  (** suppression stack *)
+  mutable force_sim : bool;
+      (** the next lambda visited is a [Simthread.spawn] callback *)
+}
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let in_dir dir st =
+  contains_sub ~sub:(dir ^ "/") st.rule_path
+  || String.length st.rule_path > String.length dir
+     && String.sub st.rule_path 0 (String.length dir + 1) = dir ^ "/"
+
+let cur_scope st =
+  match st.scopes with s :: _ -> s | [] -> assert false
+
+let allowed st rule =
+  List.exists (fun s -> SS.mem rule s || SS.mem "all" s) st.allows
+
+let report st rule (loc : Location.t) msg =
+  if not (allowed st rule) then
+    st.findings <-
+      {
+        rule;
+        file = st.file;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        msg;
+      }
+      :: st.findings
+
+let rec pattern_binds_ctx (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt = ("ctx" | "_ctx"); _ } -> true
+  | Ppat_alias (p, { txt = ("ctx" | "_ctx"); _ }) -> pattern_binds_ctx p || true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_binds_ctx p
+  | Ppat_tuple ps -> List.exists pattern_binds_ctx ps
+  | _ -> false
+
+(* First positional argument of a Simthread call: an [Env.t]'s [.ctx] field
+   also proves the caller holds a thread context. *)
+let arg_is_ctx_field (args : (Asttypes.arg_label * Parsetree.expression) list) =
+  match
+    List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args
+  with
+  | Some (_, { pexp_desc = Pexp_field (_, { txt; _ }); _ }) -> (
+    match Longident.last txt with "ctx" -> true | _ -> false)
+  | _ -> false
+
+let check_ident st (loc : Location.t) path =
+  let p = strip_stdlib path in
+  (* R1: wall clock and ambient randomness *)
+  if List.mem p wallclock_idents then
+    report st "R1" loc
+      (Printf.sprintf
+         "%s reads the wall clock; simulated time must come from Engine.now \
+          / Simthread.now"
+         p);
+  if String.length p > 7 && String.sub p 0 7 = "Random." then
+    report st "R1" loc
+      (Printf.sprintf
+         "%s is ambient randomness; only Mutps_sim.Rng (seeded, splittable) \
+          may produce random values"
+         p);
+  if List.mem p unordered_traversals then
+    report st "R1" loc
+      (Printf.sprintf
+         "%s traverses in unspecified order, which can leak into simulated \
+          state; sort the keys (e.g. Hashtbl.to_seq + List.sort) or use an \
+          ordered map"
+         p);
+  (* R2: uncharged memory traffic *)
+  if (not (in_dir "lib/mem" st)) && matches_any hierarchy_traffic path then
+    report st "R2" loc
+      (Printf.sprintf
+         "%s bypasses the charge discipline; route traffic through Env.load \
+          / Env.store / Env.prefetch_batch so cycles land in the thread's \
+          accumulator"
+         path);
+  (* R4: Obj escape hatches *)
+  if List.mem p forbidden_obj then
+    report st "R4" loc (p ^ " defeats the type system; forbidden in the simulation")
+
+let check_apply st (loc : Location.t) path args =
+  let p = strip_stdlib path in
+  (* R1: randomized hash tables *)
+  (if matches "Hashtbl.create" p then
+     let randomized =
+       List.exists
+         (fun ((l : Asttypes.arg_label), (e : Parsetree.expression)) ->
+           match l with
+           | Labelled "random" | Optional "random" -> (
+             match e.pexp_desc with
+             | Pexp_construct ({ txt = Lident "false"; _ }, None) -> false
+             | _ -> true)
+           | _ -> false)
+         args
+     in
+     if randomized then
+       report st "R1" loc
+         "Hashtbl.create ~random:true seeds iteration order from the \
+          process; use the default deterministic layout");
+  (* R4: physical equality *)
+  (match p with
+  | "==" | "!=" ->
+    report st "R4" loc
+      "physical (in)equality on simulation values is \
+       representation-dependent; use structural comparison or an explicit id"
+  | _ -> ());
+  (* R4: Simthread operations need a thread context *)
+  if
+    matches_any simthread_ops path
+    && (not (in_dir "lib/sim" st))
+    && (not (cur_scope st).sim)
+    && not (arg_is_ctx_field args)
+  then
+    report st "R4" loc
+      (Printf.sprintf
+         "%s is only legal from a simulated thread (a [ctx] parameter, a \
+          Simthread.spawn callback, or an Env.t's .ctx)"
+         path)
+
+let commit_dominators st path =
+  if matches_any commit_family path then (cur_scope st).committed <- true
+
+let check_field_read st (loc : Location.t) lid =
+  let name = try Longident.last lid with _ -> "" in
+  match List.assoc_opt name shared_fields with
+  | Some what ->
+    if not (cur_scope st).committed then
+      report st "R3" loc
+        (Printf.sprintf
+           "read of shared-mutable field .%s (%s) is not dominated by a \
+            commit in the enclosing function; call Env.commit / \
+            Simthread.commit (or delay/yield) first so the thread observes \
+            other threads' writes"
+           name what)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_allows st set f =
+  if SS.is_empty set then f ()
+  else begin
+    st.allows <- set :: st.allows;
+    Fun.protect ~finally:(fun () -> st.allows <- List.tl st.allows) f
+  end
+
+let with_scope st scope f =
+  st.scopes <- scope :: st.scopes;
+  Fun.protect ~finally:(fun () -> st.scopes <- List.tl st.scopes) f
+
+let is_spawn path = matches "Simthread.spawn" path
+
+let iterator st =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    with_allows st (allow_of_attrs e.pexp_attributes) @@ fun () ->
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+      check_ident st loc (path_of_lid txt);
+      default_iterator.expr it e
+    | Pexp_fun (_, _, pat, _) ->
+      let parent = cur_scope st in
+      let sim = parent.sim || st.force_sim || pattern_binds_ctx pat in
+      st.force_sim <- false;
+      with_scope st { committed = parent.committed; sim } (fun () ->
+          default_iterator.expr it e)
+    | Pexp_function _ ->
+      let parent = cur_scope st in
+      let sim = parent.sim || st.force_sim in
+      st.force_sim <- false;
+      with_scope st { committed = parent.committed; sim } (fun () ->
+          default_iterator.expr it e)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      let path = path_of_lid txt in
+      check_ident st loc path;
+      check_apply st loc path args;
+      if is_spawn path then
+        (* the function argument of spawn runs as a simulated thread *)
+        List.iter
+          (fun ((_, a) : Asttypes.arg_label * Parsetree.expression) ->
+            (match a.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> st.force_sim <- true
+            | _ -> ());
+            it.expr it a;
+            st.force_sim <- false)
+          args
+      else List.iter (fun (_, a) -> it.expr it a) args;
+      commit_dominators st path
+    | Pexp_apply _ ->
+      default_iterator.expr it e;
+      (* an unknown applied expression may commit internally; stay exact
+         only for direct calls *)
+      ()
+    | Pexp_field (_, { txt; loc }) ->
+      check_field_read st loc txt;
+      default_iterator.expr it e
+    | _ -> default_iterator.expr it e
+  in
+  let value_binding it (vb : Parsetree.value_binding) =
+    with_allows st (allow_of_attrs vb.pvb_attributes) @@ fun () ->
+    default_iterator.value_binding it vb
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    match si.pstr_desc with
+    | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
+      (* [@@@lint.allow "..."] suppresses for the rest of the file *)
+      st.allows <- allow_of_payload a.attr_payload :: st.allows
+    | Pstr_value _ ->
+      (* each top-level binding gets a fresh dominance scope *)
+      with_scope st { committed = false; sim = false } (fun () ->
+          default_iterator.structure_item it si)
+    | _ -> default_iterator.structure_item it si
+  in
+  { default_iterator with expr; value_binding; structure_item }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_implementation path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let check_structure ?(file = "<string>") ?(rule_path = file)
+    (str : Parsetree.structure) =
+  let st =
+    {
+      file;
+      rule_path;
+      findings = [];
+      scopes = [ { committed = false; sim = false } ];
+      allows = [];
+      force_sim = false;
+    }
+  in
+  let it = iterator st in
+  it.structure it str;
+  List.sort compare_finding st.findings
+
+let check_file ?rule_path path =
+  let rule_path = match rule_path with Some p -> p | None -> path in
+  match parse_implementation path with
+  | str -> Ok (check_structure ~file:path ~rule_path str)
+  | exception Syntaxerr.Error _ ->
+    Error (Printf.sprintf "%s: syntax error" path)
+  | exception Sys_error m -> Error m
+
+let check_string ?(file = "<string>") ?(rule_path = file) src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> Ok (check_structure ~file ~rule_path str)
+  | exception Syntaxerr.Error _ ->
+    Error (Printf.sprintf "%s: syntax error" file)

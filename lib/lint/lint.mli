@@ -1,0 +1,43 @@
+(** Determinism & charge-discipline analyzer for the simulation sources.
+
+    Parses implementation files with compiler-libs and enforces four rule
+    families, each individually suppressible with [[\@lint.allow "R<n>"]]
+    (expression), [[\@\@lint.allow "R<n>"]] (binding) or
+    [[\@\@\@lint.allow "R<n>"]] (rest of file):
+
+    - [R1] — no wall clock, no ambient randomness, no unordered hash-table
+      traversal whose order can leak into simulated state.
+    - [R2] — outside [lib/mem], memory traffic must be charged through
+      [Env]; direct [Hierarchy.load]/[store]/[prefetch_batch] is forbidden.
+    - [R3] — reads of registered shared-mutable fields (seqlock versions,
+      ring cursors, forwarding completion fields) must be dominated by a
+      commit-family call in the enclosing function.
+    - [R4] — [Simthread] effects only from simulated-thread contexts; no
+      [Obj.magic]; no physical equality. *)
+
+type finding = {
+  rule : string;  (** "R1" .. "R4" *)
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Renders ["file:line:col: [RULE] message"]. *)
+
+val finding_to_string : finding -> string
+val compare_finding : finding -> finding -> int
+
+val check_file : ?rule_path:string -> string -> (finding list, string) result
+(** Lint one [.ml] file.  [rule_path] overrides the path used for
+    directory-scoped exemptions (e.g. the [lib/mem] R2 exemption) — useful
+    for fixture files standing in for sources elsewhere in the tree.
+    [Error] is a parse/IO failure, not a finding. *)
+
+val check_string :
+  ?file:string -> ?rule_path:string -> string -> (finding list, string) result
+(** Same, over source text (for tests). *)
+
+val check_structure :
+  ?file:string -> ?rule_path:string -> Parsetree.structure -> finding list

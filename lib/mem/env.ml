@@ -16,3 +16,16 @@ let prefetch_batch t addrs =
 let compute t n = Simthread.charge t.ctx n
 let commit t = Simthread.commit t.ctx
 let now t = Simthread.now t.ctx
+
+let assert_committed t what =
+  if
+    Mutps_sim.Engine.debug_checks (Simthread.engine t.ctx)
+    && Simthread.pending t.ctx > 0
+  then
+    failwith
+      (Printf.sprintf
+         "Env.assert_committed: %s reads shared simulation state with %d \
+          uncommitted cycles (thread %s)"
+         what
+         (Simthread.pending t.ctx)
+         (Simthread.name t.ctx))

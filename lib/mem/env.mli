@@ -27,3 +27,9 @@ val commit : t -> unit
     observes other threads' effects up to its own current time. *)
 
 val now : t -> int
+
+val assert_committed : t -> string -> unit
+(** [assert_committed t what] — runtime arm of the lint's R3 rule: when
+    {!Mutps_sim.Engine.debug_checks} is on, fail if the thread still holds
+    uncommitted cycles at a shared-mutable-state read (seqlock versions,
+    ring cursors).  [what] names the read site.  No-op in normal runs. *)

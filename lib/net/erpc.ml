@@ -3,10 +3,10 @@ module Env = Mutps_mem.Env
 module Layout = Mutps_mem.Layout
 module Hierarchy = Mutps_mem.Hierarchy
 
-type config = { ring_bytes : int; resp_bytes : int; doorbell_cycles : int }
+type config = { ring_bytes : int; resp_buf_bytes : int; doorbell_cycles : int }
 
 let default_config =
-  { ring_bytes = 1024 * 1024; resp_bytes = 64 * 1024; doorbell_cycles = 25 }
+  { ring_bytes = 1024 * 1024; resp_buf_bytes = 64 * 1024; doorbell_cycles = 25 }
 
 type slot = {
   addr : int;
@@ -54,7 +54,7 @@ let create ?(config = default_config) ~engine ~hier ~layout ~link ~workers () =
   in
   let resp_region =
     Layout.region layout ~name:"erpc-resp-bufs"
-      ~size:(workers * config.resp_bytes)
+      ~size:(workers * config.resp_buf_bytes)
   in
   {
     config;
@@ -65,7 +65,7 @@ let create ?(config = default_config) ~engine ~hier ~layout ~link ~workers () =
     rings = Array.init workers mk_ring;
     resp_base =
       Array.init workers (fun _ ->
-          Layout.alloc resp_region ~align:64 config.resp_bytes);
+          Layout.alloc resp_region ~align:64 config.resp_buf_bytes);
     resp_cursor = Array.make workers 0;
     slots = Hashtbl.create 4096;
     on_response = None;
@@ -125,8 +125,8 @@ let poll t env ~worker =
 
 let resp_alloc t ~worker ~bytes =
   let bytes = align16 (max bytes 16) in
-  if bytes > t.config.resp_bytes then invalid_arg "Erpc.resp_alloc: too big";
-  if t.resp_cursor.(worker) + bytes > t.config.resp_bytes then
+  if bytes > t.config.resp_buf_bytes then invalid_arg "Erpc.resp_alloc: too big";
+  if t.resp_cursor.(worker) + bytes > t.config.resp_buf_bytes then
     t.resp_cursor.(worker) <- 0;
   let addr = t.resp_base.(worker) + t.resp_cursor.(worker) in
   t.resp_cursor.(worker) <- t.resp_cursor.(worker) + bytes;

@@ -12,7 +12,7 @@ type t
 
 type config = {
   ring_bytes : int;  (** per-worker rx ring (default 1 MB) *)
-  resp_bytes : int;
+  resp_buf_bytes : int;
   doorbell_cycles : int;
 }
 

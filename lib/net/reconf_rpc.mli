@@ -14,7 +14,7 @@ type t
 
 type config = {
   ring_bytes : int;  (** rx ring capacity (default 4 MB — sized to the LLC) *)
-  resp_bytes : int;  (** per-worker response buffer (default 64 KB) *)
+  resp_buf_bytes : int;  (** per-worker response buffer (default 64 KB) *)
   doorbell_cycles : int;  (** MMIO cost of posting a send *)
 }
 

@@ -1,5 +1,3 @@
-module Env = Mutps_mem.Env
-
 type 'a t = {
   rings : 'a Ring.t array array; (* [cr].[mr] *)
   max_cr : int;

@@ -10,12 +10,32 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable stopped : bool;
+  mutable debug_checks : bool;
+  mutable parked : int;
 }
 
 let dummy = { time = max_int; seq = max_int; fn = ignore }
 
 let create () =
-  { clock = 0; heap = Array.make 256 dummy; size = 0; next_seq = 0; stopped = false }
+  {
+    clock = 0;
+    heap = Array.make 256 dummy;
+    size = 0;
+    next_seq = 0;
+    stopped = false;
+    debug_checks = false;
+    parked = 0;
+  }
+
+let set_debug_checks t b = t.debug_checks <- b
+let debug_checks t = t.debug_checks
+let parked t = t.parked
+let note_park t = t.parked <- t.parked + 1
+
+let note_resume t =
+  t.parked <- t.parked - 1;
+  if t.debug_checks && t.parked < 0 then
+    invalid_arg "Engine: more resumes than parked threads"
 
 let now t = t.clock
 let pending t = t.size

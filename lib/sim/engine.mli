@@ -33,3 +33,24 @@ val run_all : t -> unit
 val stop : t -> unit
 (** Abort the current [run]/[run_all] after the in-flight event returns.
     Remaining events stay queued. *)
+
+(** {1 Runtime verification}
+
+    With [debug_checks] enabled, the substrate cross-validates the static
+    lint's invariants dynamically: {!Mutps_mem.Env.assert_committed} fails
+    on shared-state reads with uncommitted cycles, and {!Simthread}
+    accounts parked/resumed threads so lost or doubled wake-ups surface.
+    Off by default; the checks are branch-cheap but sit on hot paths. *)
+
+val set_debug_checks : t -> bool -> unit
+val debug_checks : t -> bool
+
+val parked : t -> int
+(** Threads currently parked in {!Simthread.suspend} (tracked only while
+    [debug_checks] is on; 0 otherwise). *)
+
+val note_park : t -> unit
+(** Used by {!Simthread}'s effect handler; not for general use. *)
+
+val note_resume : t -> unit
+(** Used by {!Simthread}'s effect handler; not for general use. *)

@@ -57,11 +57,14 @@ let spawn ?at ?(name = "thread") engine fn =
             | Suspend (c, register) ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  let dbg = Engine.debug_checks c.engine in
+                  if dbg then Engine.note_park c.engine;
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
                       invalid_arg "Simthread: resume invoked twice";
                     resumed := true;
+                    if dbg then Engine.note_resume c.engine;
                     Engine.schedule_after c.engine ~delay:0 (fun () ->
                         continue k ())
                   in

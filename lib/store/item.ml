@@ -18,13 +18,15 @@ let create slab ~value =
 let addr t = t.addr
 let size t = Bytes.length t.value
 let total_bytes t = header_bytes + Bytes.length t.value
-let version t = t.version
-let locked t = t.version land 1 = 1
+(* uncharged introspection for stats and tests, not simulated reads *)
+let version t = t.version [@@lint.allow "R3"]
+let locked t = t.version land 1 = 1 [@@lint.allow "R3"]
 let peek t = t.value
 let contended_acquires t = t.contended
 
 let rec read env t =
   Env.commit env;
+  Env.assert_committed env "Item.read";
   let v1 = t.version in
   if v1 land 1 = 1 then begin
     (* writer in progress: re-poll the header *)
@@ -54,6 +56,7 @@ let update_payload t value slab =
 
 let rec write env t value slab =
   Env.commit env;
+  Env.assert_committed env "Item.write";
   if t.version land 1 = 1 then begin
     (* spin on the held lock with CAS: every failed attempt dirties the
        header line, invalidating the holder's copy — the cacheline
@@ -88,6 +91,8 @@ let rec write env t value slab =
     t.version <- t.version + 1
   end
 
+(* share-nothing path: the owning thread is the only writer, so the
+   version read needs no commit to observe other threads (R3 exempt) *)
 let write_exclusive env t value slab =
   if t.version land 1 = 1 then
     invalid_arg "Item.write_exclusive: item is locked";
@@ -95,3 +100,4 @@ let write_exclusive env t value slab =
   update_payload t value slab;
   t.version <- t.version + 2;
   Env.commit env
+[@@lint.allow "R3"]

@@ -1,0 +1,8 @@
+(* lint fixture: every binding here must trigger R1 *)
+
+let now () = Sys.time ()
+let stamp () = Unix.gettimeofday ()
+let roll () = Random.int 6
+let tbl : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+let sum t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+let dump t = Hashtbl.iter (fun k v -> Printf.printf "%d=%d\n" k v) t

@@ -1,0 +1,10 @@
+(* lint fixture: uncharged hierarchy traffic outside lib/mem; each body
+   must trigger R2 *)
+
+let sneak_read hier ~addr = Hierarchy.load hier ~core:0 ~addr ~size:8
+
+let sneak_write hier ~addr =
+  ignore (Mutps_mem.Hierarchy.store hier ~core:1 ~addr ~size:64)
+
+let sneak_prefetch hier addrs =
+  ignore (Hierarchy.prefetch_batch hier ~core:0 addrs)

@@ -1,0 +1,11 @@
+(* lint fixture: uncommitted reads of registered shared-mutable fields;
+   each read must trigger R3 *)
+
+type ring = { mutable head : int; mutable tail : int; mutable reclaimed : int }
+type item = { mutable version : int }
+
+let occupancy r = r.head - r.tail
+
+let racy_read env it =
+  Env.load env ~addr:0 ~size:8;
+  it.version

@@ -1,0 +1,10 @@
+(* lint fixture: effect-safety violations; each body must trigger R4 *)
+
+(* no simulated-thread context in scope *)
+let tick thread_state = Simthread.delay thread_state 5
+
+let park q = Simthread.suspend q (fun resume -> ignore resume)
+
+let cast (x : int) : bytes = Obj.magic x
+
+let same_box a b = a == b

@@ -1,0 +1,14 @@
+(* lint fixture: deterministic counterparts; must be R1-clean *)
+
+let rng = Mutps_sim.Rng.create 42
+let roll () = Mutps_sim.Rng.int rng 6
+let tbl : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let sum t =
+  Hashtbl.to_seq t |> List.of_seq |> List.sort compare
+  |> List.fold_left (fun acc (_, v) -> acc + v) 0
+
+let timed f engine =
+  let t0 = Mutps_sim.Engine.now engine in
+  f ();
+  Mutps_sim.Engine.now engine - t0

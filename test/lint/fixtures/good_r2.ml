@@ -1,0 +1,9 @@
+(* lint fixture: charged traffic through Env; must be R2-clean *)
+
+let read env ~addr = Env.load env ~addr ~size:8
+let write env ~addr = Env.store env ~addr ~size:64
+let fetch env addrs = Env.prefetch_batch env addrs
+
+(* creation and geometry inspection are not traffic *)
+let machine () = Hierarchy.create (Hierarchy.default_geometry ~cores:4)
+let ways hier = Hierarchy.llc_ways hier

@@ -1,0 +1,16 @@
+(* lint fixture: commit-dominated or explicitly exempted shared reads;
+   must be R3-clean *)
+
+type ring = { mutable head : int; mutable tail : int }
+type item = { mutable version : int }
+
+let occupancy env r =
+  Env.commit env;
+  r.head - r.tail
+
+let seqlock_read env it =
+  Simthread.delay env.ctx 10;
+  it.version
+
+(* uncharged introspection, deliberately exempted *)
+let peek_version it = it.version [@@lint.allow "R3"]

@@ -1,0 +1,17 @@
+(* lint fixture: Simthread effects from legal contexts; must be R4-clean *)
+
+(* a ctx parameter proves we are inside a simulated thread *)
+let tick ctx = Simthread.delay ctx 5
+
+(* a Simthread.spawn callback runs as a simulated thread *)
+let start engine =
+  Simthread.spawn engine (fun c ->
+      Simthread.delay c 10;
+      Simthread.yield c)
+
+(* an Env.t's .ctx field also carries the thread context *)
+type env = { ctx : int }
+
+let commit e = Simthread.commit e.ctx
+
+let compare_keys a b = Int64.equal a b

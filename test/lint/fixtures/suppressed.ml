@@ -1,0 +1,8 @@
+[@@@lint.allow "R1"]
+
+(* file-wide suppression: these would otherwise all be R1 findings *)
+let t0 = Sys.time ()
+let roll () = Random.int 6
+
+(* but other rules still fire below: R4 on Obj.magic *)
+let cast (x : int) : bytes = Obj.magic x

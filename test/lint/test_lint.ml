@@ -1,0 +1,197 @@
+(* Tests for the determinism & charge-discipline lint (lib/lint) and the
+   determinism regression the lint exists to protect: two runs with the
+   same seed must produce byte-identical stats digests, with the runtime
+   [debug_checks] verifier enabled. *)
+
+module Lint = Mutps_lint.Lint
+module Engine = Mutps_sim.Engine
+open Mutps_experiments
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* dune runtest runs us inside test/lint; dune exec from the workspace
+   root — accept either *)
+let fixture_dir =
+  if Sys.file_exists "fixtures" then "fixtures" else "test/lint/fixtures"
+
+let findings ?rule_path file =
+  match Lint.check_file ?rule_path (Filename.concat fixture_dir file) with
+  | Ok fs -> fs
+  | Error msg -> Alcotest.fail msg
+
+let count rule fs =
+  List.length (List.filter (fun (f : Lint.finding) -> f.Lint.rule = rule) fs)
+
+(* --- fixture checks: each rule must fire on its bad file and stay silent
+   on its good twin --- *)
+
+let test_r1_bad () =
+  let fs = findings "bad_r1.ml" in
+  check_int "R1 findings" 6 (count "R1" fs);
+  check_int "only R1" 6 (List.length fs)
+
+let test_r1_good () = check_int "clean" 0 (List.length (findings "good_r1.ml"))
+
+let test_r2_bad () =
+  let fs = findings "bad_r2.ml" in
+  check_int "R2 findings" 3 (count "R2" fs);
+  check_int "only R2" 3 (List.length fs)
+
+let test_r2_good () = check_int "clean" 0 (List.length (findings "good_r2.ml"))
+
+let test_r2_mem_exempt () =
+  (* the same traffic is legal when the file lives under lib/mem *)
+  let fs = findings ~rule_path:"lib/mem/hierarchy_helper.ml" "bad_r2.ml" in
+  check_int "exempt under lib/mem" 0 (List.length fs)
+
+let test_r3_bad () =
+  let fs = findings "bad_r3.ml" in
+  check_int "R3 findings" 3 (count "R3" fs);
+  check_int "only R3" 3 (List.length fs)
+
+let test_r3_good () = check_int "clean" 0 (List.length (findings "good_r3.ml"))
+
+let test_r4_bad () =
+  let fs = findings "bad_r4.ml" in
+  check_int "R4 findings" 4 (count "R4" fs);
+  check_int "only R4" 4 (List.length fs)
+
+let test_r4_good () = check_int "clean" 0 (List.length (findings "good_r4.ml"))
+
+let test_file_suppression () =
+  (* [@@@lint.allow "R1"] silences R1 for the file but not other rules *)
+  let fs = findings "suppressed.ml" in
+  check_int "R1 suppressed" 0 (count "R1" fs);
+  check_int "R4 still fires" 1 (count "R4" fs)
+
+let test_finding_format () =
+  match findings "bad_r2.ml" with
+  | f :: _ ->
+    let s = Lint.finding_to_string f in
+    let prefix = Filename.concat fixture_dir "bad_r2.ml" ^ ":" in
+    Alcotest.(check bool)
+      "file:line: [RULE] shape" true
+      (String.length s > String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+      && count "R2" [ f ] = 1)
+  | [] -> Alcotest.fail "expected findings"
+
+let test_check_string () =
+  match Lint.check_string "let t = Sys.time ()" with
+  | Ok fs -> check_int "inline source" 1 (count "R1" fs)
+  | Error m -> Alcotest.fail m
+
+let test_syntax_error () =
+  match Lint.check_string "let let let" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
+(* --- determinism regression: a small fig2a-style config (uniform gets),
+   run twice with the same seed under debug_checks, must agree to the last
+   bit --- *)
+
+let tiny_scale =
+  {
+    Harness.keyspace = 2_000;
+    cores = 4;
+    clients = 16;
+    window = 2;
+    warmup = 200_000;
+    measure = 600_000;
+  }
+
+let digest_of (m : Harness.measurement) =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%.12g|%.12g|%.12g|%d|%.12g" m.Harness.mops
+          m.Harness.p50_us m.Harness.p99_us m.Harness.completed
+          m.Harness.cr_hit_rate))
+
+let run_once system =
+  let spec =
+    Mutps_workload.Ycsb.get_only_uniform ~keyspace:tiny_scale.Harness.keyspace
+      ~value_size:64 ()
+  in
+  let m =
+    Harness.measure ~calibrate:false
+      ~customize:(fun b -> Engine.set_debug_checks b.Harness.engine true)
+      system tiny_scale spec
+  in
+  Alcotest.(check bool) "made progress" true (m.Harness.completed > 0);
+  digest_of m
+
+let test_determinism_basekv () =
+  check_string "identical digests (BaseKV)" (run_once Harness.Basekv)
+    (run_once Harness.Basekv)
+
+let test_determinism_mutps () =
+  check_string "identical digests (uTPS)" (run_once Harness.Mutps)
+    (run_once Harness.Mutps)
+
+(* the runtime verifier itself: an uncommitted shared-state read must trip
+   Env.assert_committed when debug_checks is on, and pass silently off *)
+let test_debug_checks_trip () =
+  let engine = Engine.create () in
+  Engine.set_debug_checks engine true;
+  let hier =
+    Mutps_mem.Hierarchy.create
+      (Mutps_mem.Hierarchy.small_geometry ~cores:2)
+  in
+  let tripped = ref false in
+  Mutps_sim.Simthread.spawn engine (fun ctx ->
+      let env = Mutps_mem.Env.make ~ctx ~hier ~core:0 in
+      Mutps_mem.Env.compute env 100;
+      (* pending cycles not committed: the verifier must object *)
+      match Mutps_mem.Env.assert_committed env "test-site" with
+      | () -> ()
+      | exception Failure _ -> tripped := true);
+  Engine.run_all engine;
+  Alcotest.(check bool) "uncommitted read detected" true !tripped;
+  (* same read with checks off is silent *)
+  let engine2 = Engine.create () in
+  Mutps_sim.Simthread.spawn engine2 (fun ctx ->
+      let env = Mutps_mem.Env.make ~ctx ~hier ~core:0 in
+      Mutps_mem.Env.compute env 100;
+      Mutps_mem.Env.assert_committed env "test-site");
+  Engine.run_all engine2
+
+let test_parked_accounting () =
+  let engine = Engine.create () in
+  Engine.set_debug_checks engine true;
+  let cv = Mutps_sim.Simthread.Condvar.create () in
+  Mutps_sim.Simthread.spawn engine (fun ctx ->
+      Mutps_sim.Simthread.Condvar.wait ctx cv);
+  Engine.run ~until:10 engine;
+  check_int "one thread parked" 1 (Engine.parked engine);
+  Mutps_sim.Simthread.Condvar.signal cv;
+  Engine.run_all engine;
+  check_int "resumed exactly once" 0 (Engine.parked engine)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 bad" `Quick test_r1_bad;
+          Alcotest.test_case "R1 good" `Quick test_r1_good;
+          Alcotest.test_case "R2 bad" `Quick test_r2_bad;
+          Alcotest.test_case "R2 good" `Quick test_r2_good;
+          Alcotest.test_case "R2 lib/mem exempt" `Quick test_r2_mem_exempt;
+          Alcotest.test_case "R3 bad" `Quick test_r3_bad;
+          Alcotest.test_case "R3 good" `Quick test_r3_good;
+          Alcotest.test_case "R4 bad" `Quick test_r4_bad;
+          Alcotest.test_case "R4 good" `Quick test_r4_good;
+          Alcotest.test_case "file suppression" `Quick test_file_suppression;
+          Alcotest.test_case "finding format" `Quick test_finding_format;
+          Alcotest.test_case "check_string" `Quick test_check_string;
+          Alcotest.test_case "syntax error" `Quick test_syntax_error;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "BaseKV digest" `Slow test_determinism_basekv;
+          Alcotest.test_case "uTPS digest" `Slow test_determinism_mutps;
+          Alcotest.test_case "debug_checks trips" `Quick test_debug_checks_trip;
+          Alcotest.test_case "parked accounting" `Quick test_parked_accounting;
+        ] );
+    ]

@@ -2,7 +2,6 @@ open Mutps_sim
 open Mutps_mem
 open Mutps_net
 module Request = Mutps_queue.Request
-module Opgen = Mutps_workload.Opgen
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
