@@ -1,12 +1,23 @@
 (* Driver for the determinism & charge-discipline lint (lib/lint).
 
-   Usage: mutps_lint [DIR-OR-FILE ...]   (default: lib bin bench examples)
+   Usage: mutps_lint [--format text|json] [--intra-only] [DIR-OR-FILE ...]
+                                          (default roots: lib bin bench examples)
 
-   Emits "file:line:col: [RULE] message" per finding and exits non-zero
-   when any finding or parse error is produced.  Wired to `dune build
-   @lint`; see DESIGN.md "Determinism invariants". *)
+   Runs in project mode: every file is parsed once, checked with the
+   intra-procedural rules (R1/R2/R4 plus everything but the lexical R3),
+   and the whole set is then analyzed as one closed world by the
+   interprocedural pass (lib/lint/interp.ml), which refines R3 across
+   call sites and catches R2 leaks through sanctioned raw-access helpers.
+   [--intra-only] restores the purely lexical R3 rule and skips the
+   project pass — useful when linting a lone file out of context.
+
+   Emits "file:line:col: [RULE] message" per finding (the shape the CI
+   problem matcher parses), or a JSON array with [--format json], and
+   exits non-zero when any finding or parse error is produced.  Wired to
+   `dune build @lint`; see DESIGN.md "Determinism invariants". *)
 
 module Lint = Mutps_lint.Lint
+module Interp = Mutps_lint.Interp
 
 let rec collect acc path =
   let base = Filename.basename path in
@@ -17,11 +28,56 @@ let rec collect acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json findings =
+  print_string "[";
+  List.iteri
+    (fun i (f : Lint.finding) ->
+      Printf.printf "%s\n  { \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+                     \"rule\": \"%s\", \"message\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (json_escape f.Lint.file) f.Lint.line f.Lint.col
+        (json_escape f.Lint.rule) (json_escape f.Lint.msg))
+    findings;
+  print_string (if findings = [] then "]\n" else "\n]\n")
+
 let () =
+  let format = ref `Text and intra_only = ref false in
   let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ -> [ "lib"; "bin"; "bench"; "examples" ]
+    let rec parse acc = function
+      | "--format" :: "json" :: rest ->
+        format := `Json;
+        parse acc rest
+      | "--format" :: "text" :: rest ->
+        format := `Text;
+        parse acc rest
+      | "--format" :: _ ->
+        prerr_endline "mutps_lint: --format expects 'text' or 'json'";
+        exit 2
+      | "--intra-only" :: rest ->
+        intra_only := true;
+        parse acc rest
+      | r :: rest -> parse (r :: acc) rest
+      | [] -> List.rev acc
+    in
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | roots -> roots
   in
   let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
   List.iter (Printf.eprintf "mutps_lint: no such path %s\n%!") missing;
@@ -30,28 +86,43 @@ let () =
     |> List.sort compare
   in
   let errors = ref (List.length missing) in
-  let findings =
-    List.concat_map
+  (* parse once; share the AST between the intra and project passes *)
+  let parsed =
+    List.filter_map
       (fun f ->
-        match Lint.check_file f with
-        | Ok fs -> fs
-        | Error msg ->
+        match Lint.parse_implementation f with
+        | str -> Some (f, f, str)
+        | exception Syntaxerr.Error _ ->
           incr errors;
-          Printf.eprintf "mutps_lint: %s\n%!" msg;
-          [])
+          Printf.eprintf "mutps_lint: %s: syntax error\n%!" f;
+          None
+        | exception Sys_error m ->
+          incr errors;
+          Printf.eprintf "mutps_lint: %s\n%!" m;
+          None)
       files
-    |> List.sort Lint.compare_finding
   in
-  List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+  let intra =
+    List.concat_map
+      (fun (file, rule_path, str) ->
+        Lint.check_structure ~file ~rule_path ~intra_r3:!intra_only str)
+      parsed
+  in
+  let interp = if !intra_only then [] else Interp.check_project parsed in
+  let findings = List.sort Lint.compare_finding (intra @ interp) in
+  (match !format with
+  | `Json -> print_json findings
+  | `Text ->
+    List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings);
   let n = List.length findings in
   if n > 0 || !errors > 0 then begin
-    Printf.printf "mutps_lint: %d finding%s, %d error%s in %d files\n" n
+    Printf.eprintf "mutps_lint: %d finding%s, %d error%s in %d files\n" n
       (if n = 1 then "" else "s")
       !errors
       (if !errors = 1 then "" else "s")
       (List.length files);
     exit 1
   end
-  else
-    Printf.printf "mutps_lint: clean (%d files, rules R1-R4)\n"
+  else if !format = `Text then
+    Printf.printf "mutps_lint: clean (%d files, rules R1-R4 + interprocedural)\n"
       (List.length files)

@@ -4,6 +4,30 @@
 open Cmdliner
 open Mutps_experiments
 
+(* --sanitize: run under the simulated-time race sanitizer (lib/san),
+   print findings to stderr, exit non-zero if any.  3-5x slower. *)
+let sanitize_term =
+  let doc =
+    "Attach the happens-before race sanitizer to every simulated engine; \
+     report data races and lockset violations on stderr and fail if any \
+     are found (3-5x slower)."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let with_sanitizer sanitize f =
+  if not sanitize then f ()
+  else begin
+    let (), reports = Mutps_san.San.sanitized f in
+    List.iter
+      (fun r -> Printf.eprintf "sanitizer: %s\n%!" (Mutps_san.San.report_to_string r))
+      reports;
+    match reports with
+    | [] -> Printf.eprintf "sanitizer: no races detected\n%!"
+    | _ :: _ ->
+      Printf.eprintf "sanitizer: %d finding(s)\n%!" (List.length reports);
+      exit 3
+  end
+
 let scale_term =
   let keyspace =
     let doc = "Pre-populated keys (paper: 10M)." in
@@ -56,10 +80,11 @@ let run_cmd =
     let doc = "Experiments to run (see $(b,list)); 'all' runs everything." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run scale names =
+  let run scale sanitize names =
     let names =
       if List.mem "all" names then Registry.names () else names
     in
+    with_sanitizer sanitize @@ fun () ->
     List.iter
       (fun name ->
         match Registry.find name with
@@ -71,7 +96,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one or more of the paper's tables/figures")
-    Term.(const run $ scale_term $ names)
+    Term.(const run $ scale_term $ sanitize_term $ names)
 
 (* --- serve: one ad-hoc measurement --- *)
 
@@ -102,7 +127,8 @@ let serve_cmd =
   let dlb =
     Arg.(value & flag & info [ "dlb" ] ~doc:"Offload the CR-MR queue to a DLB-style hardware queue (uTPS only).")
   in
-  let run scale system index value_size theta get_ratio dlb =
+  let run scale sanitize system index value_size theta get_ratio dlb =
+    with_sanitizer sanitize @@ fun () ->
     let spec =
       {
         Mutps_workload.Opgen.name = "custom";
@@ -128,8 +154,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run one system under a custom workload and print its measurement")
     Term.(
-      const run $ scale_term $ system $ index $ value_size $ theta
-      $ get_ratio $ dlb)
+      const run $ scale_term $ sanitize_term $ system $ index $ value_size
+      $ theta $ get_ratio $ dlb)
 
 let () =
   let info =

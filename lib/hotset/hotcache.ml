@@ -18,6 +18,7 @@ type t = {
   items : Item.t option array;
   mutable size : int;
   mutable epoch : int;
+  mutable san_obj : int; (* sanitizer sync object; -1 until first use *)
 }
 
 let create layout ~mode ~max_items =
@@ -39,7 +40,20 @@ let create layout ~mode ~max_items =
     items = Array.make slots None;
     size = 0;
     epoch = 0;
+    san_obj = -1;
   }
+
+(* Sanitizer model: the epoch-switched hot set behaves like a
+   reader-writer lock — lookups acquire/release the cache object around
+   their probes, and the manager brackets its region rewrite + [publish]
+   with the same object (via [sync_obj]).  The epoch word is a sync
+   range. *)
+let sync_obj t env =
+  if t.san_obj < 0 && Env.sanitizing env then begin
+    t.san_obj <- Env.sync_obj env ("hotcache@" ^ string_of_int t.base);
+    Env.sync_range env ~lo:t.epoch_addr ~hi:(t.epoch_addr + 8) ~on:true
+  end;
+  t.san_obj
 
 let mode t = t.mode
 let size t = t.size
@@ -125,12 +139,19 @@ let find_probed t env key =
   go 0
 
 let find t env key =
+  Env.tagged env "Hotcache.find" @@ fun () ->
   if t.size = 0 then None
   else begin
+    let obj = sync_obj t env in
+    Env.acquire env obj;
     Env.load env ~addr:t.epoch_addr ~size:8;
-    match t.mode with
-    | Sorted -> find_sorted t env key
-    | Probed -> find_probed t env key
+    let found =
+      match t.mode with
+      | Sorted -> find_sorted t env key
+      | Probed -> find_probed t env key
+    in
+    Env.release env obj;
+    found
   end
 
 let mem_silent t key =
@@ -165,9 +186,12 @@ let mem_silent t key =
       go 0
 
 let cached_range t env ~lo ~n =
+  Env.tagged env "Hotcache.cached_range" @@ fun () ->
   match t.mode with
   | Probed -> invalid_arg "Hotcache.cached_range: requires Sorted mode"
   | Sorted ->
+    let obj = sync_obj t env in
+    Env.acquire env obj;
     Env.load env ~addr:t.epoch_addr ~size:8;
     (* binary search for the first key >= lo *)
     let a = ref 0 and b = ref t.size in
@@ -186,4 +210,5 @@ let cached_range t env ~lo ~n =
       | None -> ());
       incr i
     done;
+    Env.release env obj;
     List.rev !out

@@ -24,6 +24,12 @@ val epoch : t -> int
 val region_base : t -> int
 val region_bytes : t -> int
 
+val sync_obj : t -> Mutps_mem.Env.t -> int
+(** Sanitizer sync object of this cache ([-1] when no sanitizer).  The
+    manager brackets its region rewrite + {!publish} with
+    {!Mutps_mem.Env.acquire}/{!Mutps_mem.Env.release} on it; lookups
+    acquire/release it internally. *)
+
 val publish : t -> (int64 * Mutps_store.Item.t) array -> unit
 (** Install a new hot set (silent: the manager thread charges its own
     rebuild costs).  Duplicate keys keep the first occurrence.  Raises

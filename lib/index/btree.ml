@@ -319,6 +319,7 @@ let check_invariants t =
   if total <> t.count then fail "count %d <> leaf total %d" t.count total
 
 let ops t =
+  Index_intf.sanitized
   {
     Index_intf.name = "btree";
     kind = Index_intf.Tree;

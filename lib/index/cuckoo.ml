@@ -221,6 +221,7 @@ let remove t env key =
     | None -> false)
 
 let ops t =
+  Index_intf.sanitized
   {
     Index_intf.name = "cuckoo";
     kind = Index_intf.Hash;

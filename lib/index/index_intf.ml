@@ -26,3 +26,38 @@ type t = {
   insert_silent : int64 -> Item.t -> unit;
   count : unit -> int;
 }
+
+(* Sanitizer model: both index structures stand in for internally
+   synchronized concurrent structures (the paper's per-partition hash /
+   latched B+tree), so the race detector treats each instance as one sync
+   object: every charged operation acquires at entry and releases at exit.
+   Raw [Env] accesses to index memory outside these wrappers — or
+   operations racing with structures that bypass them — still surface.
+   [insert_silent] and [count] make no charged accesses and stay bare. *)
+let sanitized ops =
+  let obj = ref (-1) in
+  let guard env site f =
+    Env.tagged env site @@ fun () ->
+    if !obj < 0 && Env.sanitizing env then
+      obj := Env.sync_obj env ("index@" ^ ops.name);
+    Env.acquire env !obj;
+    let v = f () in
+    Env.release env !obj;
+    v
+  in
+  {
+    ops with
+    lookup =
+      (fun env k -> guard env (ops.name ^ ".lookup") (fun () -> ops.lookup env k));
+    batch_lookup =
+      (fun env ks ->
+        guard env (ops.name ^ ".batch_lookup") (fun () -> ops.batch_lookup env ks));
+    insert =
+      (fun env k v ->
+        guard env (ops.name ^ ".insert") (fun () -> ops.insert env k v));
+    remove =
+      (fun env k -> guard env (ops.name ^ ".remove") (fun () -> ops.remove env k));
+    range =
+      (fun env ~lo ~n ->
+        guard env (ops.name ^ ".range") (fun () -> ops.range env ~lo ~n));
+  }

@@ -20,12 +20,14 @@ let respond_item env (tr : Transport.t) ~worker ~seq item =
   let value = Item.read env item in
   let bytes = ack_bytes + Bytes.length value in
   let resp_addr = tr.Transport.resp_alloc ~worker ~bytes in
-  Env.store env ~addr:resp_addr ~size:bytes;
+  Env.tagged env "Exec.respond_item" (fun () ->
+      Env.store env ~addr:resp_addr ~size:bytes);
   tr.Transport.post_response env ~seq ~resp_addr ~bytes ~value:(Some value)
 
 let respond_missing env (tr : Transport.t) ~worker ~seq =
   let resp_addr = tr.Transport.resp_alloc ~worker ~bytes:ack_bytes in
-  Env.store env ~addr:resp_addr ~size:ack_bytes;
+  Env.tagged env "Exec.respond_missing" (fun () ->
+      Env.store env ~addr:resp_addr ~size:ack_bytes);
   tr.Transport.post_response env ~seq ~resp_addr ~bytes:ack_bytes ~value:None
 
 let respond_ack = respond_missing
@@ -45,7 +47,8 @@ let do_put env tr ~lock ~index ~slab ~worker ~seq (msg : Message.t) item_opt =
   in
   (* fetch the payload bytes from the network buffer *)
   let payload_addr = tr.Transport.slot_addr seq + 16 in
-  Env.load env ~addr:payload_addr ~size:(Bytes.length value);
+  Env.tagged env "Exec.do_put" (fun () ->
+      Env.load env ~addr:payload_addr ~size:(Bytes.length value));
   (match item_opt with
   | Some item -> (
     match lock with
@@ -86,5 +89,6 @@ let do_scan env tr ~index ~worker ~seq ~key ~count ?(skip = fun _ -> false)
       if not (List.mem k prefix_keys) then add_item (k, item))
     rest;
   let resp_addr = tr.Transport.resp_alloc ~worker ~bytes:(min !bytes 32_768) in
-  Env.store env ~addr:resp_addr ~size:(min !bytes 32_768);
+  Env.tagged env "Exec.do_scan" (fun () ->
+      Env.store env ~addr:resp_addr ~size:(min !bytes 32_768));
   tr.Transport.post_response env ~seq ~resp_addr ~bytes:!bytes ~value:None

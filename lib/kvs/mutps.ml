@@ -478,8 +478,14 @@ let worker_body t w ctx =
 (* --- manager thread (§3.2.2 hot-set refresh) --- *)
 
 let refresh_hotset t env =
+  Env.tagged env "Mutps.refresh_hotset" @@ fun () ->
+  let hot_obj = Hotcache.sync_obj t.hotcache env in
   let k = min t.hot_target t.backend.Backend.config.Config.hot_k in
-  if k = 0 then Hotcache.publish t.hotcache [||]
+  if k = 0 then begin
+    Env.acquire env hot_obj;
+    Hotcache.publish t.hotcache [||];
+    Env.release env hot_obj
+  end
   else begin
     let top = Tracker.rebuild t.tracker ~k in
     let entries = ref [] in
@@ -490,10 +496,14 @@ let refresh_hotset t env =
         | None -> ())
       top;
     let entries = Array.of_list (List.rev !entries) in
-    (* building the new cache writes its region *)
+    (* building the new cache writes its region; bracket the rewrite with
+       the cache's sync object so lookups in flight before this slice are
+       happens-before ordered with it (the epoch switch of §3.2.2) *)
+    Env.acquire env hot_obj;
     Env.store env ~addr:(Hotcache.region_base t.hotcache)
       ~size:(max 64 (Array.length entries * 16));
-    Hotcache.publish t.hotcache entries
+    Hotcache.publish t.hotcache entries;
+    Env.release env hot_obj
   end
 
 let manager_body t ctx =

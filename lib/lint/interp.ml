@@ -1,0 +1,536 @@
+(* Interprocedural charge-discipline analysis (project mode).
+
+   [Lint] judges each function in isolation, which is blunt across
+   function boundaries in two directions:
+
+   - R3 (commit discipline) demands a commit-family call lexically before
+     every shared-field read, even when every *call site* of the enclosing
+     function is itself commit-dominated (e.g. [Ring.complete], whose only
+     callers run right after a committing [Crmr.next_batch]).
+   - R2 (charged memory) flags only *direct* [Hierarchy] traffic, so a
+     function can leak uncharged traffic by calling — rather than
+     containing — a helper whose raw access was sanctioned with a local
+     suppression.
+
+   This pass builds a call graph over the closed world handed to
+   {!check_project} (the whole tree: lib, bin, bench, examples) and
+   computes three relations:
+
+   - [commits f] — f's body reaches a commit-family call at lambda depth
+     zero, directly or by calling a committing function.  Same
+     branch-insensitive, traversal-order approximation as the intra pass.
+   - [exposed f] (least fixpoint) — f can be *entered* with uncommitted
+     cycles: it has no syntactic call site in the world (an entry point,
+     or a function only ever passed as a closure), or some call site is
+     not commit-dominated and its caller is itself exposed.  A
+     shared-field read is reported only when it is not lexically dominated
+     *and* its function is exposed; this subsumes and refines intra R3.
+   - [reaches f] — f transitively performs Hierarchy traffic without an
+     intervening Env charge: seeded by direct (typically suppressed)
+     [Hierarchy.load]/[store]/[prefetch_batch] calls outside [lib/mem] and
+     propagated through calls that do not pass through [lib/mem].  A call
+     from [lib/] into a reaching function is an R2 finding: the callee was
+     sanctioned to touch the hierarchy raw, the caller was not.
+
+   Approximations, all shared with (or no worse than) the intra pass:
+   call sites are syntactic applications of resolvable names ("Module.fn",
+   or an unqualified name bound at the top level of the same file); calls
+   through closures, record fields and functors are opaque; a bare
+   (unapplied) reference to a known function marks it exposed, since the
+   closure may run anywhere.  Lambdas passed to [Env.tagged] run exactly
+   once, inline, so their bodies are analyzed transparently at the
+   caller's depth; every other lambda saves and restores the domination
+   state, exactly as intra scoping does. *)
+
+module SS = Set.Make (String)
+open Lint.Internal
+
+(* ------------------------------------------------------------------ *)
+(* Per-function event streams                                          *)
+(* ------------------------------------------------------------------ *)
+
+type ev =
+  | Call of { path : string; loc : Location.t; r2_ok : bool }
+      (** syntactic application of a named target *)
+  | Mention of string  (** bare reference: the target escapes as a closure *)
+  | Read of { field : string; what : string; loc : Location.t; r3_ok : bool }
+  | Open_lam of bool  (** [true] = transparent (runs inline exactly once) *)
+  | Close_lam
+
+type fn = {
+  key : string;  (** "Module.binding" (or "Module.Sub.binding") *)
+  f_file : string;
+  f_rule : string;  (** rule path, for directory-scoped decisions *)
+  events : ev list;  (** traversal order *)
+  in_mem : bool;  (** defined under lib/mem (sanctioned raw access) *)
+}
+
+let in_dir dir rule_path =
+  let pre = dir ^ "/" and mid = "/" ^ dir ^ "/" in
+  let starts p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let rec contains i =
+    i + String.length mid <= String.length rule_path
+    && (String.sub rule_path i (String.length mid) = mid || contains (i + 1))
+  in
+  starts pre rule_path || contains 0
+
+let module_name_of_file file =
+  String.capitalize_ascii Filename.(remove_extension (basename file))
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk one binding body, producing its event stream.  [allows0] carries
+   the binding- and file-level suppressions already in force. *)
+let extract_events ~allows0 (body : Parsetree.expression) =
+  let buf = ref [] in
+  let allows = ref allows0 in
+  let allowed r =
+    List.exists (fun s -> SS.mem r s || SS.mem "all" s) !allows
+  in
+  let emit e = buf := e :: !buf in
+  let rec walk (e : Parsetree.expression) =
+    let att = allow_of_attrs e.pexp_attributes in
+    if SS.is_empty att then walk_desc e
+    else begin
+      allows := att :: !allows;
+      Fun.protect ~finally:(fun () -> allows := List.tl !allows) (fun () ->
+          walk_desc e)
+    end
+  and walk_desc (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter walk default;
+      emit (Open_lam false);
+      walk body;
+      emit Close_lam
+    | Pexp_function cases ->
+      emit (Open_lam false);
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter walk c.pc_guard;
+          walk c.pc_rhs)
+        cases;
+      emit Close_lam
+    | Pexp_newtype (_, body) -> walk body
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      let path = strip_stdlib (path_of_lid txt) in
+      (match (path, args) with
+      | "@@", [ (_, l); (_, r) ] -> walk_infix_app l r
+      | "|>", [ (_, l); (_, r) ] -> walk_infix_app r l
+      | _ -> walk_app path loc args)
+    | Pexp_apply (f, args) ->
+      (* call through a closure / field: opaque target *)
+      walk f;
+      List.iter (fun (_, a) -> walk a) args
+    | Pexp_field (inner, { txt; loc }) ->
+      walk inner;
+      let name = try Longident.last txt with _ -> "" in
+      (match List.assoc_opt name shared_fields with
+      | Some what ->
+        emit (Read { field = name; what; loc; r3_ok = allowed "R3" })
+      | None -> ())
+    | Pexp_ident { txt; _ } ->
+      emit (Mention (strip_stdlib (path_of_lid txt)))
+    | Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          let att = allow_of_attrs vb.pvb_attributes in
+          if SS.is_empty att then walk vb.pvb_expr
+          else begin
+            allows := att :: !allows;
+            Fun.protect
+              ~finally:(fun () -> allows := List.tl !allows)
+              (fun () -> walk vb.pvb_expr)
+          end)
+        vbs;
+      walk body
+    | _ ->
+      (* generic recursion over sub-expressions *)
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e -> walk e);
+        }
+      in
+      Ast_iterator.default_iterator.expr it e
+  (* [f_expr applied-to arg] spelt with @@ or |>: recover the call shape *)
+  and walk_infix_app f_expr arg =
+    match f_expr.Parsetree.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, fargs) ->
+      walk_app
+        (strip_stdlib (path_of_lid txt))
+        loc
+        (fargs @ [ (Asttypes.Nolabel, arg) ])
+    | Pexp_ident { txt; loc } ->
+      walk_app (strip_stdlib (path_of_lid txt)) loc [ (Asttypes.Nolabel, arg) ]
+    | _ ->
+      walk f_expr;
+      walk arg
+  and walk_app path loc args =
+    (* [Env.tagged env "site" (fun () -> ...)]: the lambda runs inline,
+       exactly once — analyze it at the caller's depth so commits and
+       reads inside it belong to the enclosing function *)
+    let transparent = matches "Env.tagged" path in
+    List.iter
+      (fun ((_, a) : Asttypes.arg_label * Parsetree.expression) ->
+        match a.pexp_desc with
+        | (Pexp_fun _ | Pexp_function _) when transparent ->
+          emit (Open_lam true);
+          (let rec strip (e : Parsetree.expression) =
+             match e.pexp_desc with
+             | Pexp_fun (_, d, _, b) ->
+               Option.iter walk d;
+               strip b
+             | Pexp_newtype (_, b) -> strip b
+             | _ -> walk e
+           in
+           strip a);
+          emit Close_lam
+        | _ -> walk a)
+      args;
+    (* the call itself comes after its arguments, mirroring the intra
+       pass (commit_dominators runs after the argument traversal) *)
+    emit (Call { path; loc; r2_ok = allowed "R2" })
+  in
+  (* parameter chain of the binding is the function's own body: walk it
+     transparently (no lambda frame) *)
+  let rec strip_params (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter walk default;
+      strip_params body
+    | Pexp_newtype (_, body) -> strip_params body
+    | Pexp_constraint (body, _) -> strip_params body
+    | _ -> walk e
+  in
+  strip_params body;
+  List.rev !buf
+
+(* Collect the top-level bindings of one parsed file (including bindings
+   in nested [module X = struct ... end]), respecting [@@@lint.allow]. *)
+let extract_file ~file ~rule_path (str : Parsetree.structure) =
+  let modname = module_name_of_file file in
+  let in_mem = in_dir "lib/mem" rule_path in
+  let fns = ref [] in
+  let anon = ref 0 in
+  let rec items ~prefix ~file_allows str =
+    let file_allows = ref file_allows in
+    List.iter
+      (fun (si : Parsetree.structure_item) ->
+        match si.pstr_desc with
+        | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
+          file_allows := allow_of_payload a.attr_payload :: !file_allows
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              let name =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> txt
+                | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _)
+                  ->
+                  txt
+                | _ ->
+                  incr anon;
+                  Printf.sprintf "<toplevel:%d>" !anon
+              in
+              let allows0 =
+                let a = allow_of_attrs vb.pvb_attributes in
+                if SS.is_empty a then !file_allows else a :: !file_allows
+              in
+              fns :=
+                {
+                  key = prefix ^ name;
+                  f_file = file;
+                  f_rule = rule_path;
+                  events = extract_events ~allows0 vb.pvb_expr;
+                  in_mem;
+                }
+                :: !fns)
+            vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure s; _ };
+              _;
+            } ->
+          items ~prefix:(prefix ^ sub ^ ".") ~file_allows:!file_allows s
+        | _ -> ())
+      str
+  in
+  items ~prefix:(modname ^ ".") ~file_allows:[] str;
+  List.rev !fns
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type index = {
+  by_key : (string, fn) Hashtbl.t;
+  by_short : (string * string, fn) Hashtbl.t;  (** (file, binding name) *)
+  keys : string list;
+  ambiguous : SS.t;  (** module-name collisions: never resolved *)
+}
+
+let build_index fns =
+  let by_key = Hashtbl.create 256 and by_short = Hashtbl.create 256 in
+  let ambiguous = ref SS.empty in
+  let keys = ref [] in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem by_key f.key then ambiguous := SS.add f.key !ambiguous
+      else begin
+        Hashtbl.replace by_key f.key f;
+        keys := f.key :: !keys
+      end;
+      let short =
+        match String.rindex_opt f.key '.' with
+        | Some i -> String.sub f.key (i + 1) (String.length f.key - i - 1)
+        | None -> f.key
+      in
+      Hashtbl.replace by_short (f.f_file, short) f)
+    fns;
+  { by_key; by_short; keys = List.rev !keys; ambiguous = !ambiguous }
+
+(* Resolve a call path written in [file] to a known function, or None for
+   targets outside the closed world (stdlib, closures, locals). *)
+let resolve idx ~file path =
+  if path = "" then None
+  else if not (String.contains path '.') then
+    Hashtbl.find_opt idx.by_short (file, path)
+  else
+    match Hashtbl.find_opt idx.by_key path with
+    | Some f when not (SS.mem f.key idx.ambiguous) -> Some f
+    | _ -> (
+      (* alias / fully-qualified spelling: unique suffix match *)
+      match
+        List.filter
+          (fun k -> matches k path && not (SS.mem k idx.ambiguous))
+          idx.keys
+      with
+      | [ k ] -> Hashtbl.find_opt idx.by_key k
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpret a function's event stream: track lexical commit domination
+   (with lambda save/restore) and opaque-lambda depth, calling back on
+   each call, read and mention. *)
+let replay ~call_commits fn ~on_call ~on_read ~on_mention =
+  let committed = ref false in
+  let depth = ref 0 in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Open_lam true -> stack := None :: !stack
+      | Open_lam false ->
+        stack := Some !committed :: !stack;
+        incr depth
+      | Close_lam -> (
+        match !stack with
+        | None :: tl -> stack := tl
+        | Some c :: tl ->
+          stack := tl;
+          committed := c;
+          decr depth
+        | [] -> ())
+      | Read { field; what; loc; r3_ok } ->
+        on_read ~field ~what ~loc ~r3_ok ~dominated:!committed ~depth:!depth
+      | Mention p -> on_mention p
+      | Call { path; loc; r2_ok } ->
+        on_call ~path ~loc ~r2_ok ~dominated:!committed ~depth:!depth;
+        if matches_any commit_family path || call_commits path then
+          committed := true)
+    fn.events
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_project (sources : (string * string * Parsetree.structure) list) =
+  let fns =
+    List.concat_map
+      (fun (file, rule_path, str) -> extract_file ~file ~rule_path str)
+      sources
+  in
+  let idx = build_index fns in
+  (* commits(f): least fixpoint over "calls a committing function at
+     lambda depth zero" *)
+  let commits = ref SS.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        if not (SS.mem fn.key !commits) then begin
+          let c = ref false in
+          replay fn
+            ~call_commits:(fun path ->
+              match resolve idx ~file:fn.f_file path with
+              | Some g -> SS.mem g.key !commits
+              | None -> false)
+            ~on_call:(fun ~path ~loc:_ ~r2_ok:_ ~dominated:_ ~depth ->
+              if
+                depth = 0
+                && (matches_any commit_family path
+                   ||
+                   match resolve idx ~file:fn.f_file path with
+                   | Some g -> SS.mem g.key !commits
+                   | None -> false)
+              then c := true)
+            ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_ok:_ ~dominated:_
+                          ~depth:_ -> ())
+            ~on_mention:ignore;
+          if !c then begin
+            commits := SS.add fn.key !commits;
+            changed := true
+          end
+        end)
+      fns
+  done;
+  let commits = !commits in
+  (* one replay per function with the final commit set: collect resolved
+     call sites, shared-field reads and escaping mentions *)
+  let calls = Hashtbl.create 256 in (* caller key -> (callee, dominated, loc, r2_ok) list *)
+  let reads = Hashtbl.create 256 in (* caller key -> (read, dominated) list *)
+  let has_site = Hashtbl.create 256 in (* callee key -> unit *)
+  let escapes = ref SS.empty in
+  let push tbl k v =
+    Hashtbl.replace tbl k
+      (v :: (match Hashtbl.find_opt tbl k with Some l -> l | None -> []))
+  in
+  List.iter
+    (fun fn ->
+      let call_commits path =
+        match resolve idx ~file:fn.f_file path with
+        | Some g -> SS.mem g.key commits
+        | None -> false
+      in
+      replay fn ~call_commits
+        ~on_call:(fun ~path ~loc ~r2_ok ~dominated ~depth:_ ->
+          match resolve idx ~file:fn.f_file path with
+          | Some g ->
+            Hashtbl.replace has_site g.key ();
+            push calls fn.key (g, dominated, loc, r2_ok)
+          | None -> ())
+        ~on_read:(fun ~field ~what ~loc ~r3_ok ~dominated ~depth:_ ->
+          push reads fn.key (field, what, loc, r3_ok, dominated))
+        ~on_mention:(fun p ->
+          match resolve idx ~file:fn.f_file p with
+          | Some g -> escapes := SS.add g.key !escapes
+          | None -> ()))
+    fns;
+  (* exposed(f): least fixpoint from entry points and escaping closures,
+     propagated caller -> callee through undominated call sites *)
+  let exposed = Hashtbl.create 256 in
+  let work = Queue.create () in
+  let mark k =
+    if not (Hashtbl.mem exposed k) then begin
+      Hashtbl.replace exposed k ();
+      Queue.add k work
+    end
+  in
+  List.iter (fun fn -> if not (Hashtbl.mem has_site fn.key) then mark fn.key) fns;
+  SS.iter mark !escapes;
+  while not (Queue.is_empty work) do
+    let caller = Queue.pop work in
+    match Hashtbl.find_opt calls caller with
+    | None -> ()
+    | Some sites ->
+      List.iter
+        (fun ((g : fn), dominated, _, _) -> if not dominated then mark g.key)
+        sites
+  done;
+  let findings = ref [] in
+  let report rule fn (loc : Location.t) msg =
+    findings :=
+      {
+        Lint.rule;
+        file = fn.f_file;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        msg;
+      }
+      :: !findings
+  in
+  (* R3, interprocedural: an undominated read in an exposed function *)
+  List.iter
+    (fun fn ->
+      if Hashtbl.mem exposed fn.key then
+        match Hashtbl.find_opt reads fn.key with
+        | None -> ()
+        | Some rs ->
+          List.iter
+            (fun (field, what, loc, r3_ok, dominated) ->
+              if (not dominated) && not r3_ok then
+                report "R3" fn loc
+                  (Printf.sprintf
+                       "read of shared-mutable field .%s (%s): %s can run \
+                        with uncommitted cycles (it is an entry point, \
+                        escapes as a closure, or has a call site that is \
+                        not commit-dominated); commit before the read or \
+                        at every call site"
+                       field what fn.key))
+            rs)
+    fns;
+  (* R2, interprocedural: reaches(f) = performs Hierarchy traffic outside
+     lib/mem, directly or through calls that do not pass through lib/mem *)
+  let reaches = ref SS.empty in
+  List.iter
+    (fun fn ->
+      if not fn.in_mem then
+        replay fn
+          ~call_commits:(fun _ -> false)
+          ~on_call:(fun ~path ~loc:_ ~r2_ok:_ ~dominated:_ ~depth:_ ->
+            if matches_any hierarchy_traffic path then
+              reaches := SS.add fn.key !reaches)
+          ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_ok:_ ~dominated:_
+                        ~depth:_ -> ())
+          ~on_mention:ignore)
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        if not (SS.mem fn.key !reaches) then
+          match Hashtbl.find_opt calls fn.key with
+          | None -> ()
+          | Some sites ->
+            if
+              List.exists
+                (fun ((g : fn), _, _, _) ->
+                  (not g.in_mem) && SS.mem g.key !reaches)
+                sites
+            then begin
+              reaches := SS.add fn.key !reaches;
+              changed := true
+            end)
+      fns
+  done;
+  List.iter
+    (fun fn ->
+      if in_dir "lib" fn.f_rule then
+        match Hashtbl.find_opt calls fn.key with
+        | None -> ()
+        | Some sites ->
+          List.iter
+            (fun ((g : fn), _, loc, r2_ok) ->
+              if (not g.in_mem) && SS.mem g.key !reaches && not r2_ok then
+                report "R2" fn loc
+                  (Printf.sprintf
+                     "call to %s reaches uncharged Hierarchy traffic (a \
+                      sanctioned raw access further down the call graph); \
+                      route this path through Env.load / Env.store / \
+                      Env.prefetch_batch so the cycles land in the \
+                      thread's accumulator"
+                     g.key))
+            sites)
+    fns;
+  List.sort_uniq Lint.compare_finding !findings

@@ -1,0 +1,27 @@
+(** Interprocedural charge-discipline analysis.
+
+    Builds a call graph over a closed world of parsed implementation files
+    and refines two of {!Lint}'s rules across function boundaries:
+
+    - [R3] — a read of a registered shared-mutable field is reported only
+      when it is not lexically commit-dominated {e and} its enclosing
+      function is {e exposed}: reachable with uncommitted cycles because
+      it is an entry point, escapes as a closure, or has a call site that
+      is not commit-dominated (least fixpoint over the call graph).  This
+      subsumes the intra-procedural rule and proves helpers whose every
+      call site has already committed (run project drivers with
+      [~intra_r3:false] to avoid double reports).
+    - [R2] — a call (from [lib/]) into a function that transitively
+      performs raw [Hierarchy] traffic outside [lib/mem] — i.e. a leak
+      through a helper whose own direct access was locally suppressed —
+      is reported at the call site.
+
+    Both report kinds reuse the rule names ["R3"]/["R2"], so the usual
+    [[\@lint.allow]] suppressions apply at the read or call site. *)
+
+val check_project :
+  (string * string * Parsetree.structure) list -> Lint.finding list
+(** [check_project sources] analyzes [(file, rule_path, ast)] triples as
+    one closed world and returns the interprocedural findings, sorted.
+    Parse with {!Lint.parse_implementation} so the per-file (intra) and
+    project passes share one AST per file. *)

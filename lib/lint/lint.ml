@@ -158,6 +158,9 @@ type scope = { mutable committed : bool; sim : bool }
 type state = {
   file : string;  (** path used in reports *)
   rule_path : string;  (** path used for directory-scoped exemptions *)
+  intra_r3 : bool;
+      (** check R3 with the lexical (enclosing-function) rule; project mode
+          turns this off and runs the interprocedural pass instead *)
   mutable findings : finding list;
   mutable scopes : scope list;  (** innermost function first *)
   mutable allows : SS.t list;  (** suppression stack *)
@@ -291,7 +294,7 @@ let check_field_read st (loc : Location.t) lid =
   let name = try Longident.last lid with _ -> "" in
   match List.assoc_opt name shared_fields with
   | Some what ->
-    if not (cur_scope st).committed then
+    if st.intra_r3 && not (cur_scope st).committed then
       report st "R3" loc
         (Printf.sprintf
            "read of shared-mutable field .%s (%s) is not dominated by a \
@@ -395,11 +398,12 @@ let parse_implementation path =
       Parse.implementation lexbuf)
 
 let check_structure ?(file = "<string>") ?(rule_path = file)
-    (str : Parsetree.structure) =
+    ?(intra_r3 = true) (str : Parsetree.structure) =
   let st =
     {
       file;
       rule_path;
+      intra_r3;
       findings = [];
       scopes = [ { committed = false; sim = false } ];
       allows = [];
@@ -410,18 +414,31 @@ let check_structure ?(file = "<string>") ?(rule_path = file)
   it.structure it str;
   List.sort compare_finding st.findings
 
-let check_file ?rule_path path =
+let check_file ?rule_path ?intra_r3 path =
   let rule_path = match rule_path with Some p -> p | None -> path in
   match parse_implementation path with
-  | str -> Ok (check_structure ~file:path ~rule_path str)
+  | str -> Ok (check_structure ~file:path ~rule_path ?intra_r3 str)
   | exception Syntaxerr.Error _ ->
     Error (Printf.sprintf "%s: syntax error" path)
   | exception Sys_error m -> Error m
 
-let check_string ?(file = "<string>") ?(rule_path = file) src =
+let check_string ?(file = "<string>") ?(rule_path = file) ?intra_r3 src =
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
-  | str -> Ok (check_structure ~file ~rule_path str)
+  | str -> Ok (check_structure ~file ~rule_path ?intra_r3 str)
   | exception Syntaxerr.Error _ ->
     Error (Printf.sprintf "%s: syntax error" file)
+
+(* Shared vocabulary for the interprocedural pass (Interp). *)
+module Internal = struct
+  let matches = matches
+  let matches_any = matches_any
+  let path_of_lid = path_of_lid
+  let strip_stdlib = strip_stdlib
+  let commit_family = commit_family
+  let shared_fields = shared_fields
+  let hierarchy_traffic = hierarchy_traffic
+  let allow_of_attrs = allow_of_attrs
+  let allow_of_payload = allow_of_payload
+end

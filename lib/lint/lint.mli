@@ -29,15 +29,48 @@ val pp_finding : Format.formatter -> finding -> unit
 val finding_to_string : finding -> string
 val compare_finding : finding -> finding -> int
 
-val check_file : ?rule_path:string -> string -> (finding list, string) result
+val check_file :
+  ?rule_path:string -> ?intra_r3:bool -> string -> (finding list, string) result
 (** Lint one [.ml] file.  [rule_path] overrides the path used for
     directory-scoped exemptions (e.g. the [lib/mem] R2 exemption) — useful
     for fixture files standing in for sources elsewhere in the tree.
-    [Error] is a parse/IO failure, not a finding. *)
+    [intra_r3] (default [true]) selects the lexical R3 rule; project-mode
+    drivers pass [false] and run {!Interp.check_project}, whose
+    interprocedural rule subsumes it.  [Error] is a parse/IO failure, not a
+    finding. *)
 
 val check_string :
-  ?file:string -> ?rule_path:string -> string -> (finding list, string) result
+  ?file:string ->
+  ?rule_path:string ->
+  ?intra_r3:bool ->
+  string ->
+  (finding list, string) result
 (** Same, over source text (for tests). *)
 
 val check_structure :
-  ?file:string -> ?rule_path:string -> Parsetree.structure -> finding list
+  ?file:string ->
+  ?rule_path:string ->
+  ?intra_r3:bool ->
+  Parsetree.structure ->
+  finding list
+
+val parse_implementation : string -> Parsetree.structure
+(** Parse one implementation file (raises [Syntaxerr.Error] / [Sys_error]);
+    lets drivers parse once and share the AST with {!Interp}. *)
+
+(**/**)
+
+(** Rule vocabulary shared with the interprocedural pass ({!Interp}). *)
+module Internal : sig
+  val matches : string -> string -> bool
+  val matches_any : string list -> string -> bool
+  val path_of_lid : Longident.t -> string
+  val strip_stdlib : string -> string
+  val commit_family : string list
+  val shared_fields : (string * string) list
+  val hierarchy_traffic : string list
+  val allow_of_attrs : Parsetree.attributes -> Set.Make(String).t
+  val allow_of_payload : Parsetree.payload -> Set.Make(String).t
+end
+
+(**/**)

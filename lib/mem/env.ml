@@ -1,21 +1,102 @@
 module Simthread = Mutps_sim.Simthread
+module Engine = Mutps_sim.Engine
 
-type t = { ctx : Simthread.ctx; hier : Hierarchy.t; core : int }
+type t = {
+  ctx : Simthread.ctx;
+  hier : Hierarchy.t;
+  core : int;
+  mutable tag : string;
+}
 
-let make ~ctx ~hier ~core = { ctx; hier; core }
+let make ~ctx ~hier ~core = { ctx; hier; core; tag = "" }
+
+let san t = Engine.sanitizer (Simthread.engine t.ctx)
+let tid t = Simthread.san_id t.ctx
+
+let record t ~write ~addr ~size =
+  match san t with
+  | None -> ()
+  | Some s ->
+    s.Engine.san_access ~tid:(tid t) ~site:t.tag ~time:(Simthread.now t.ctx)
+      ~write ~lo:addr ~hi:(addr + size)
 
 let load t ~addr ~size =
-  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size)
+  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size);
+  record t ~write:false ~addr ~size
 
 let store t ~addr ~size =
-  Simthread.charge t.ctx (Hierarchy.store t.hier ~core:t.core ~addr ~size)
+  Simthread.charge t.ctx (Hierarchy.store t.hier ~core:t.core ~addr ~size);
+  record t ~write:true ~addr ~size
 
+(* Speculative-read support for seqlock-style validated reads: charge the
+   load now, record it only once validation succeeds — a read that fails
+   validation is retried and never observed, so pairing it against the
+   concurrent write that bumped the version would flag the protocol's
+   anticipated (and resolved) conflict as a race. *)
+let load_speculative t ~addr ~size =
+  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size)
+
+let note_read t ~addr ~size = record t ~write:false ~addr ~size
+
+(* Prefetches are hints: a real CPU prefetch cannot race, and the data it
+   warms is re-accessed through [load] under the owning structure's
+   synchronization, so the sanitizer ignores them. *)
 let prefetch_batch t addrs =
   Simthread.charge t.ctx (Hierarchy.prefetch_batch t.hier ~core:t.core addrs)
 
 let compute t n = Simthread.charge t.ctx n
 let commit t = Simthread.commit t.ctx
 let now t = Simthread.now t.ctx
+
+let tagged t site f =
+  let outer = t.tag in
+  t.tag <- site;
+  Fun.protect ~finally:(fun () -> t.tag <- outer) f
+
+let sync_obj t name =
+  match san t with None -> -1 | Some s -> s.Engine.san_obj name
+
+let acquire t obj =
+  if obj >= 0 then
+    match san t with
+    | None -> ()
+    | Some s -> s.Engine.san_acquire ~tid:(tid t) ~obj
+
+let release t obj =
+  if obj >= 0 then
+    match san t with
+    | None -> ()
+    | Some s -> s.Engine.san_release ~tid:(tid t) ~obj
+
+let lock t obj =
+  if obj >= 0 then
+    match san t with
+    | None -> ()
+    | Some s -> s.Engine.san_lock ~tid:(tid t) ~obj
+
+let unlock t obj =
+  if obj >= 0 then
+    match san t with
+    | None -> ()
+    | Some s -> s.Engine.san_unlock ~tid:(tid t) ~obj
+
+let sync_range t ~lo ~hi ~on =
+  match san t with
+  | None -> ()
+  | Some s -> s.Engine.san_sync_range ~lo ~hi ~on
+
+let protect t ~obj ~lo ~hi =
+  if obj >= 0 then
+    match san t with
+    | None -> ()
+    | Some s -> s.Engine.san_protect ~obj ~lo ~hi
+
+let unprotect t ~lo ~hi =
+  match san t with
+  | None -> ()
+  | Some s -> s.Engine.san_unprotect ~lo ~hi
+
+let sanitizing t = match san t with None -> false | Some _ -> true
 
 let assert_committed t what =
   if

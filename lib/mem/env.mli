@@ -5,7 +5,12 @@
     memory traffic through these helpers, which charge hierarchy latencies
     into the thread's cycle accumulator. *)
 
-type t = { ctx : Mutps_sim.Simthread.ctx; hier : Hierarchy.t; core : int }
+type t = {
+  ctx : Mutps_sim.Simthread.ctx;
+  hier : Hierarchy.t;
+  core : int;
+  mutable tag : string;  (** Current access-site label for sanitizer reports. *)
+}
 
 val make : ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
 
@@ -27,6 +32,54 @@ val commit : t -> unit
     observes other threads' effects up to its own current time. *)
 
 val now : t -> int
+
+(** {1 Race sanitizer plumbing}
+
+    Thin pass-throughs to the hooks of {!Mutps_sim.Engine.sanitizer}, all
+    no-ops (one branch) when no sanitizer is attached.  [load] and [store]
+    above record their address ranges automatically; [prefetch_batch] does
+    not (prefetches are hints and cannot race).  Structures that provide
+    their own synchronization (rings, seqlocks, the index, the hot cache)
+    bracket their operations with {!acquire}/{!release} on a named object
+    and register their control words via {!sync_range}. *)
+
+val load_speculative : t -> addr:int -> size:int -> unit
+(** Charge a read without recording it for the sanitizer.  For validated
+    (seqlock-style) reads: pair with {!note_read} once validation
+    succeeds, so retried reads are not flagged against the writer that
+    invalidated them. *)
+
+val note_read : t -> addr:int -> size:int -> unit
+(** Record a read for the sanitizer without charging (second half of a
+    {!load_speculative}). *)
+
+val tagged : t -> string -> (unit -> 'a) -> 'a
+(** [tagged t site f] labels accesses made during [f] with [site] in
+    sanitizer reports; restores the outer label on exit. *)
+
+val sanitizing : t -> bool
+
+val sync_obj : t -> string -> int
+(** Intern a sync object; [-1] when no sanitizer is attached (all the
+    calls below accept [-1] and do nothing). *)
+
+val acquire : t -> int -> unit
+val release : t -> int -> unit
+
+val lock : t -> int -> unit
+val unlock : t -> int -> unit
+(** Like acquire/release, and additionally track the object in the
+    thread's lockset for {!protect} checking. *)
+
+val sync_range : t -> lo:int -> hi:int -> on:bool -> unit
+(** Mark/unmark simulated bytes as synchronization words (exempt from
+    race pairing; their transfer discipline is modelled by the object
+    edges instead). *)
+
+val protect : t -> obj:int -> lo:int -> hi:int -> unit
+val unprotect : t -> lo:int -> hi:int -> unit
+(** Bytes writable only while holding [obj] (item payloads vs. their
+    version lock). *)
 
 val assert_committed : t -> string -> unit
 (** [assert_committed t what] — runtime arm of the lint's R3 rule: when

@@ -20,6 +20,7 @@ type 'a t = {
   mutable tail : int; (* completion pointer *)
   mutable read : int; (* consumer cursor: tail <= read <= head *)
   mutable reclaimed : int; (* producer cursor over completed batches *)
+  mutable san_obj : int; (* sanitizer sync object; -1 until first use *)
 }
 
 let create ?(hw_offload = false) layout ~name ~slots ~batch ~value_bytes =
@@ -48,6 +49,7 @@ let create ?(hw_offload = false) layout ~name ~slots ~batch ~value_bytes =
     tail = 0;
     read = 0;
     reclaimed = 0;
+    san_obj = -1;
   }
 
 let slots t = t.cap
@@ -55,92 +57,130 @@ let batch t = t.batch
 
 let slot_addr t i = t.slots_addr + ((i land t.mask) * t.slot_bytes)
 
+(* Sanitizer model: the ring is a sync object — every operation acquires
+   at entry and releases at exit, mirroring the acquire/release semantics
+   of its cursor protocol, so slot payloads handed from producer to
+   consumer (and reclaimed back) are happens-before ordered.  The cursor
+   words themselves are sync ranges, exempt from race pairing. *)
+let san_init env t =
+  if t.san_obj < 0 && Env.sanitizing env then begin
+    t.san_obj <- Env.sync_obj env ("ring@" ^ string_of_int t.head_addr);
+    Env.sync_range env ~lo:t.head_addr ~hi:(t.head_addr + 8) ~on:true;
+    Env.sync_range env ~lo:t.tail_addr ~hi:(t.tail_addr + 8) ~on:true
+  end
+
 let push t env values =
+  Env.tagged env "Ring.push" @@ fun () ->
   let n = Array.length values in
   if n = 0 || n > t.batch then invalid_arg "Ring.push: bad batch size";
   Env.commit env;
   Env.assert_committed env "Ring.push";
-  if t.hw_offload then begin
-    (* DLB-style: the device owns the queue state; one fixed-cost enqueue *)
-    Env.compute env hw_op_cycles;
-    if t.head - t.reclaimed >= t.cap then false
-    else begin
-      t.buf.(t.head land t.mask) <- Some (Array.copy values);
-      t.head <- t.head + 1;
-      true
+  san_init env t;
+  Env.acquire env t.san_obj;
+  let pushed =
+    if t.hw_offload then begin
+      (* DLB-style: the device owns the queue state; one fixed-cost enqueue *)
+      Env.compute env hw_op_cycles;
+      if t.head - t.reclaimed >= t.cap then false
+      else begin
+        t.buf.(t.head land t.mask) <- Some (Array.copy values);
+        t.head <- t.head + 1;
+        true
+      end
     end
-  end
-  else begin
-    (* Check occupancy against the producer's reclaim cursor: a slot stays
-       busy until its completion has been taken, since the batch it holds is
-       what take_completed hands back. *)
-    Env.load env ~addr:t.tail_addr ~size:8;
-    if t.head - t.reclaimed >= t.cap then false
     else begin
-      Env.store env ~addr:(slot_addr t t.head) ~size:(n * t.value_bytes);
-      Env.store env ~addr:t.head_addr ~size:8;
-      t.buf.(t.head land t.mask) <- Some (Array.copy values);
-      t.head <- t.head + 1;
-      true
+      (* Check occupancy against the producer's reclaim cursor: a slot stays
+         busy until its completion has been taken, since the batch it holds
+         is what take_completed hands back. *)
+      Env.load env ~addr:t.tail_addr ~size:8;
+      if t.head - t.reclaimed >= t.cap then false
+      else begin
+        Env.store env ~addr:(slot_addr t t.head) ~size:(n * t.value_bytes);
+        Env.store env ~addr:t.head_addr ~size:8;
+        t.buf.(t.head land t.mask) <- Some (Array.copy values);
+        t.head <- t.head + 1;
+        true
+      end
     end
-  end
+  in
+  Env.release env t.san_obj;
+  pushed
 
 let peek t env =
+  Env.tagged env "Ring.peek" @@ fun () ->
   Env.commit env;
   Env.assert_committed env "Ring.peek";
-  if t.hw_offload then begin
-    Env.compute env hw_op_cycles;
-    if t.read >= t.head then None
+  san_init env t;
+  Env.acquire env t.san_obj;
+  let batch =
+    if t.hw_offload then begin
+      Env.compute env hw_op_cycles;
+      if t.read >= t.head then None
+      else begin
+        let i = t.read in
+        let values =
+          match t.buf.(i land t.mask) with Some v -> v | None -> assert false
+        in
+        t.read <- t.read + 1;
+        Some values
+      end
+    end
     else begin
-      let i = t.read in
+      Env.load env ~addr:t.head_addr ~size:8;
+      if t.read >= t.head then None
+      else begin
+        let i = t.read in
+        let values =
+          match t.buf.(i land t.mask) with
+          | Some v -> v
+          | None -> assert false
+        in
+        Env.load env ~addr:(slot_addr t i)
+          ~size:(Array.length values * t.value_bytes);
+        t.read <- t.read + 1;
+        Some values
+      end
+    end
+  in
+  Env.release env t.san_obj;
+  batch
+
+(* the consumer is the only tail writer and [peek] committed before the
+   batch was taken, so this tail read needs no fresh commit: every caller
+   is commit-dominated, which the interprocedural R3 pass proves *)
+let complete t env =
+  Env.tagged env "Ring.complete" @@ fun () ->
+  if t.tail >= t.read then
+    invalid_arg "Ring.complete: nothing peeked to complete";
+  san_init env t;
+  Env.acquire env t.san_obj;
+  if t.hw_offload then Env.compute env hw_op_cycles
+  else Env.store env ~addr:t.tail_addr ~size:8;
+  t.tail <- t.tail + 1;
+  Env.release env t.san_obj
+
+let take_completed t env =
+  Env.tagged env "Ring.take_completed" @@ fun () ->
+  Env.commit env;
+  Env.assert_committed env "Ring.take_completed";
+  san_init env t;
+  Env.acquire env t.san_obj;
+  if t.hw_offload then Env.compute env (hw_op_cycles / 4)
+  else Env.load env ~addr:t.tail_addr ~size:8;
+  let batch =
+    if t.reclaimed >= t.tail then None
+    else begin
+      let i = t.reclaimed in
       let values =
         match t.buf.(i land t.mask) with Some v -> v | None -> assert false
       in
-      t.read <- t.read + 1;
+      t.buf.(i land t.mask) <- None;
+      t.reclaimed <- t.reclaimed + 1;
       Some values
     end
-  end
-  else begin
-    Env.load env ~addr:t.head_addr ~size:8;
-    if t.read >= t.head then None
-    else begin
-      let i = t.read in
-      let values =
-        match t.buf.(i land t.mask) with
-        | Some v -> v
-        | None -> assert false
-      in
-      Env.load env ~addr:(slot_addr t i) ~size:(Array.length values * t.value_bytes);
-      t.read <- t.read + 1;
-      Some values
-    end
-  end
-
-(* the consumer is the only tail writer and [peek] committed before the
-   batch was taken, so this tail read needs no fresh commit (R3 exempt) *)
-let complete t env =
-  if t.tail >= t.read then
-    invalid_arg "Ring.complete: nothing peeked to complete";
-  if t.hw_offload then Env.compute env hw_op_cycles
-  else Env.store env ~addr:t.tail_addr ~size:8;
-  t.tail <- t.tail + 1
-[@@lint.allow "R3"]
-
-let take_completed t env =
-  Env.commit env;
-  Env.assert_committed env "Ring.take_completed";
-  if t.hw_offload then Env.compute env (hw_op_cycles / 4)
-  else Env.load env ~addr:t.tail_addr ~size:8;
-  if t.reclaimed >= t.tail then None
-  else begin
-    let i = t.reclaimed in
-    let values =
-      match t.buf.(i land t.mask) with Some v -> v | None -> assert false
-    in
-    t.buf.(i land t.mask) <- None;
-    t.reclaimed <- t.reclaimed + 1;
-    Some values
-  end
+  in
+  Env.release env t.san_obj;
+  batch
 
 (* uncharged introspection for stats, drain checks and tests *)
 let is_empty t = t.head = t.tail [@@lint.allow "R3"]

@@ -1,0 +1,380 @@
+module Engine = Mutps_sim.Engine
+
+type kind = Race | Unlocked
+
+type access = {
+  a_thread : string;
+  a_site : string;
+  a_time : int;
+  a_write : bool;
+}
+
+type report = {
+  kind : kind;
+  lo : int;
+  hi : int;
+  first : access option;
+  second : access;
+}
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s %s@%s at t=%d"
+    (if a.a_write then "write" else "read")
+    a.a_thread
+    (if a.a_site = "" then "?" else a.a_site)
+    a.a_time
+
+let pp_report fmt r =
+  match r.kind, r.first with
+  | Race, Some first ->
+    Format.fprintf fmt "race on bytes [%d,%d): %a unordered with %a" r.lo r.hi
+      pp_access first pp_access r.second
+  | Unlocked, _ ->
+    Format.fprintf fmt "unlocked write to protected bytes [%d,%d): %a" r.lo
+      r.hi pp_access r.second
+  | Race, None ->
+    Format.fprintf fmt "race on bytes [%d,%d): %a" r.lo r.hi pp_access
+      r.second
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+(* A recorded access: [epoch] is the accessor's own clock component at the
+   time of access, so a later thread T orders after it iff
+   [epoch <= C_T(tid)] (the FastTrack epoch test). *)
+type arec = {
+  r_tid : int;
+  r_epoch : int;
+  r_site : string;
+  r_time : int;
+  r_lo : int;
+  r_hi : int;
+}
+
+type cell = { mutable cwrites : arec list; mutable creads : arec list }
+
+type thread = {
+  t_name : string;
+  t_clock : Vclock.t;
+  mutable t_locks : int list;
+}
+
+type t = {
+  mutable threads : thread array;
+  mutable nthreads : int;
+  objs : (string, int) Hashtbl.t;
+  mutable obj_clocks : Vclock.t array;
+  mutable nobjs : int;
+  sched_line : Vclock.t;
+  mutable sched_pending : (int * Vclock.t) list;
+  shadow : (int, cell) Hashtbl.t;
+  syncs : (int, (int * int) list) Hashtbl.t;  (* line -> sync byte ranges *)
+  prots : (int, (int * int * int) list) Hashtbl.t;  (* line -> obj,lo,hi *)
+  seen : (string, unit) Hashtbl.t;  (* report dedup by site pair *)
+  mutable rev_reports : report list;
+}
+
+let create () =
+  {
+    threads = [||];
+    nthreads = 0;
+    objs = Hashtbl.create 64;
+    obj_clocks = [||];
+    nobjs = 0;
+    sched_line = Vclock.create ();
+    sched_pending = [];
+    shadow = Hashtbl.create 4096;
+    syncs = Hashtbl.create 256;
+    prots = Hashtbl.create 256;
+    seen = Hashtbl.create 64;
+    rev_reports = [];
+  }
+
+let reports t = List.rev t.rev_reports
+
+let grow_array arr n dummy =
+  if n <= Array.length arr then arr
+  else begin
+    let bigger = Array.make (max n (2 * max 4 (Array.length arr))) dummy in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let dummy_thread = { t_name = ""; t_clock = Vclock.create (); t_locks = [] }
+
+let add_thread t name =
+  let tid = t.nthreads in
+  t.threads <- grow_array t.threads (tid + 1) dummy_thread;
+  let th = { t_name = name; t_clock = Vclock.create (); t_locks = [] } in
+  Vclock.incr th.t_clock tid;
+  t.threads.(tid) <- th;
+  t.nthreads <- tid + 1;
+  tid
+
+let thread t tid =
+  if tid < 0 || tid >= t.nthreads then None else Some t.threads.(tid)
+
+let intern_obj t name =
+  match Hashtbl.find_opt t.objs name with
+  | Some id -> id
+  | None ->
+    let id = t.nobjs in
+    t.obj_clocks <- grow_array t.obj_clocks (id + 1) (Vclock.create ());
+    t.obj_clocks.(id) <- Vclock.create ();
+    t.nobjs <- id + 1;
+    Hashtbl.replace t.objs name id;
+    id
+
+let acquire t ~tid ~obj =
+  match thread t tid with
+  | None -> ()
+  | Some th ->
+    if obj >= 0 && obj < t.nobjs then
+      Vclock.join th.t_clock t.obj_clocks.(obj)
+
+let release t ~tid ~obj =
+  match thread t tid with
+  | None -> ()
+  | Some th ->
+    if obj >= 0 && obj < t.nobjs then begin
+      Vclock.join t.obj_clocks.(obj) th.t_clock;
+      Vclock.incr th.t_clock tid
+    end
+
+let lock t ~tid ~obj =
+  acquire t ~tid ~obj;
+  match thread t tid with
+  | None -> ()
+  | Some th -> th.t_locks <- obj :: th.t_locks
+
+let unlock t ~tid ~obj =
+  (match thread t tid with
+  | None -> ()
+  | Some th ->
+    let rec drop_one = function
+      | [] -> []
+      | o :: rest -> if o = obj then rest else o :: drop_one rest
+    in
+    th.t_locks <- drop_one th.t_locks);
+  release t ~tid ~obj
+
+let sched_release t ~tid ~time =
+  match thread t tid with
+  | None -> ()
+  | Some th ->
+    t.sched_pending <- (time, Vclock.copy th.t_clock) :: t.sched_pending;
+    Vclock.incr th.t_clock tid
+
+let sched_acquire t ~tid ~time =
+  match thread t tid with
+  | None -> ()
+  | Some th ->
+    let ready, future =
+      List.partition (fun (u, _) -> u <= time) t.sched_pending
+    in
+    if ready <> [] then begin
+      List.iter (fun (_, c) -> Vclock.join t.sched_line c) ready;
+      t.sched_pending <- future
+    end;
+    Vclock.join th.t_clock t.sched_line
+
+(* --- shadow map --- *)
+
+let line_shift = 6
+let line_of addr = addr asr line_shift
+
+(* Subtract the line's registered sync ranges from [lo, hi). *)
+let clip_sync t ~line ~lo ~hi =
+  match Hashtbl.find_opt t.syncs line with
+  | None -> [ (lo, hi) ]
+  | Some ranges ->
+    List.fold_left
+      (fun segs (slo, shi) ->
+        List.concat_map
+          (fun (l, h) ->
+            if shi <= l || slo >= h then [ (l, h) ]
+            else
+              (if slo > l then [ (l, slo) ] else [])
+              @ if shi < h then [ (shi, h) ] else [])
+          segs)
+      [ (lo, hi) ]
+      ranges
+
+let overlaps r ~lo ~hi = r.r_lo < hi && lo < r.r_hi
+
+(* FastTrack epoch test: the recorded access happens-before the current
+   thread's position iff the recorder's own component is covered. *)
+let ordered_for cur_clock r = r.r_epoch <= Vclock.get cur_clock r.r_tid
+
+let emit t kind ~lo ~hi ~first ~second =
+  let key =
+    Printf.sprintf "%s|%s|%b|%s|%b"
+      (match kind with Race -> "race" | Unlocked -> "unlocked")
+      (match first with Some a -> a.a_site ^ "/" ^ a.a_thread | None -> "")
+      (match first with Some a -> a.a_write | None -> false)
+      (second.a_site ^ "/" ^ second.a_thread)
+      second.a_write
+  in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.rev_reports <- { kind; lo; hi; first; second } :: t.rev_reports
+  end
+
+let access_of t r ~write =
+  let name =
+    match thread t r.r_tid with None -> "<?>" | Some th -> th.t_name
+  in
+  { a_thread = name; a_site = r.r_site; a_time = r.r_time; a_write = write }
+
+let max_recs = 16
+
+let cell_for t line =
+  match Hashtbl.find_opt t.shadow line with
+  | Some c -> c
+  | None ->
+    let c = { cwrites = []; creads = [] } in
+    Hashtbl.replace t.shadow line c;
+    c
+
+let truncate_recs recs =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | r :: rest -> r :: take (n - 1) rest
+  in
+  take max_recs recs
+
+let check_protected t th ~tid ~site ~time ~line ~lo ~hi =
+  match Hashtbl.find_opt t.prots line with
+  | None -> ()
+  | Some ranges ->
+    List.iter
+      (fun (obj, plo, phi) ->
+        if plo < hi && lo < phi && not (List.mem obj th.t_locks) then
+          emit t Unlocked ~lo:(max lo plo) ~hi:(min hi phi) ~first:None
+            ~second:
+              {
+                a_thread = t.threads.(tid).t_name;
+                a_site = site;
+                a_time = time;
+                a_write = true;
+              })
+      ranges
+
+let access t ~tid ~site ~time ~write ~lo ~hi =
+  if hi > lo then
+    match thread t tid with
+    | None -> ()
+    | Some th ->
+      let cur = { r_tid = tid; r_epoch = Vclock.get th.t_clock tid;
+                  r_site = site; r_time = time; r_lo = lo; r_hi = hi } in
+      let first_line = line_of lo and last_line = line_of (hi - 1) in
+      for line = first_line to last_line do
+        let llo = max lo (line lsl line_shift)
+        and lhi = min hi ((line + 1) lsl line_shift) in
+        List.iter
+          (fun (slo, shi) ->
+            let seg = { cur with r_lo = slo; r_hi = shi } in
+            if write then
+              check_protected t th ~tid ~site ~time ~line ~lo:slo ~hi:shi;
+            let c = cell_for t line in
+            (* any overlapping prior write races with either kind *)
+            List.iter
+              (fun w ->
+                if
+                  w.r_tid <> tid
+                  && overlaps w ~lo:slo ~hi:shi
+                  && not (ordered_for th.t_clock w)
+                then
+                  emit t Race ~lo:(max slo w.r_lo) ~hi:(min shi w.r_hi)
+                    ~first:(Some (access_of t w ~write:true))
+                    ~second:(access_of t seg ~write))
+              c.cwrites;
+            if write then begin
+              (* a write also races with unordered prior reads *)
+              List.iter
+                (fun r ->
+                  if
+                    r.r_tid <> tid
+                    && overlaps r ~lo:slo ~hi:shi
+                    && not (ordered_for th.t_clock r)
+                  then
+                    emit t Race ~lo:(max slo r.r_lo) ~hi:(min shi r.r_hi)
+                      ~first:(Some (access_of t r ~write:false))
+                      ~second:(access_of t seg ~write:true))
+                c.creads;
+              (* the new write supersedes records it fully covers *)
+              let covered r = slo <= r.r_lo && r.r_hi <= shi in
+              c.cwrites <-
+                truncate_recs (seg :: List.filter (fun w -> not (covered w)) c.cwrites);
+              c.creads <- List.filter (fun r -> not (covered r)) c.creads
+            end
+            else begin
+              let stale r =
+                r.r_tid = tid && slo <= r.r_lo && r.r_hi <= shi
+              in
+              c.creads <-
+                truncate_recs (seg :: List.filter (fun r -> not (stale r)) c.creads)
+            end)
+          (clip_sync t ~line ~lo:llo ~hi:lhi)
+      done
+
+let range_iter_lines ~lo ~hi fn =
+  if hi > lo then
+    for line = line_of lo to line_of (hi - 1) do
+      fn line (max lo (line lsl line_shift)) (min hi ((line + 1) lsl line_shift))
+    done
+
+let sync_range t ~lo ~hi ~on =
+  range_iter_lines ~lo ~hi (fun line llo lhi ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.syncs line) in
+      let without = List.filter (fun (l, h) -> l <> llo || h <> lhi) cur in
+      Hashtbl.replace t.syncs line
+        (if on then (llo, lhi) :: without else without))
+
+let protect t ~obj ~lo ~hi =
+  range_iter_lines ~lo ~hi (fun line llo lhi ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.prots line) in
+      Hashtbl.replace t.prots line ((obj, llo, lhi) :: cur))
+
+let unprotect t ~lo ~hi =
+  range_iter_lines ~lo ~hi (fun line llo lhi ->
+      match Hashtbl.find_opt t.prots line with
+      | None -> ()
+      | Some cur ->
+        Hashtbl.replace t.prots line
+          (List.filter (fun (_, l, h) -> not (l = llo && h = lhi)) cur))
+
+let hooks t : Engine.sanitizer =
+  {
+    Engine.san_thread = (fun name -> add_thread t name);
+    san_access =
+      (fun ~tid ~site ~time ~write ~lo ~hi ->
+        access t ~tid ~site ~time ~write ~lo ~hi);
+    san_acquire = (fun ~tid ~obj -> acquire t ~tid ~obj);
+    san_release = (fun ~tid ~obj -> release t ~tid ~obj);
+    san_sched_acquire = (fun ~tid ~time -> sched_acquire t ~tid ~time);
+    san_sched_release = (fun ~tid ~time -> sched_release t ~tid ~time);
+    san_obj = (fun name -> intern_obj t name);
+    san_lock = (fun ~tid ~obj -> lock t ~tid ~obj);
+    san_unlock = (fun ~tid ~obj -> unlock t ~tid ~obj);
+    san_sync_range = (fun ~lo ~hi ~on -> sync_range t ~lo ~hi ~on);
+    san_protect = (fun ~obj ~lo ~hi -> protect t ~obj ~lo ~hi);
+    san_unprotect = (fun ~lo ~hi -> unprotect t ~lo ~hi);
+  }
+
+let install engine =
+  let t = create () in
+  Engine.set_sanitizer engine (Some (hooks t));
+  t
+
+let sanitized f =
+  let instances = ref [] in
+  Engine.set_sanitizer_factory
+    (Some
+       (fun () ->
+         let t = create () in
+         instances := t :: !instances;
+         hooks t));
+  let finally () = Engine.set_sanitizer_factory None in
+  let result = Fun.protect ~finally f in
+  (result, List.concat_map reports (List.rev !instances))

@@ -1,0 +1,66 @@
+(** Simulated-time race sanitizer: a vector-clock happens-before detector
+    over the DES (DESIGN.md §5, "Determinism invariants").
+
+    Every charged [Env] access is recorded against a shadow map of the
+    simulated address space; happens-before edges come from the engine's
+    real synchronization points.  Two edge families keep the relation from
+    collapsing into the total dispatch order (which would make the checker
+    vacuous):
+
+    - {e object edges} (untimed, real dispatch order): each shared
+      structure — a {!Mutps_queue.Ring}, an {!Mutps_store.Item} seqlock,
+      the index, the hot cache — is a sync object whose operations
+      acquire at entry and release at exit, modelling the synchronization
+      its header words provide on real hardware.  The header words
+      themselves are registered as {e sync ranges} and exempted from race
+      pairing.
+    - {e schedule edges} (simulated-time-indexed): a thread releases at
+      every commit stamped with the committed time, and acquires at slice
+      start, inheriting only releases stamped at or before the slice's
+      start.  Accesses in overlapping uncommitted windows stay unordered —
+      exactly the windows in which the simulation could observe
+      half-written state.
+
+    A lockset check additionally flags writes to protected bytes (item
+    payloads) made without the protecting version lock held.
+
+    Keep the sanitizer off in benchmark runs: it adds a vector-clock
+    operation per slice and a shadow-map probe per access (3-5x
+    slowdown). *)
+
+type kind = Race | Unlocked
+
+type access = {
+  a_thread : string;
+  a_site : string;  (** [Env] caller tag; ["?"] when untagged. *)
+  a_time : int;  (** Simulated timestamp of the access. *)
+  a_write : bool;
+}
+
+type report = {
+  kind : kind;
+  lo : int;
+  hi : int;  (** Overlapping simulated byte range [\[lo, hi)]. *)
+  first : access option;  (** [None] for lockset findings. *)
+  second : access;
+}
+
+val report_to_string : report -> string
+val pp_report : Format.formatter -> report -> unit
+
+type t
+
+val create : unit -> t
+
+val hooks : t -> Mutps_sim.Engine.sanitizer
+
+val install : Mutps_sim.Engine.t -> t
+(** [install engine] attaches a fresh detector to [engine]. *)
+
+val reports : t -> report list
+(** Deduplicated findings (one per site pair), in detection order. *)
+
+val sanitized : (unit -> 'a) -> 'a * report list
+(** [sanitized f] runs [f] with a global engine factory installed so every
+    engine created inside [f] gets its own detector, and returns [f ()]'s
+    result plus all findings across those engines.  Not reentrant. *)

@@ -1,0 +1,33 @@
+type t = { mutable v : int array }
+
+let create () = { v = [||] }
+let copy t = { v = Array.copy t.v }
+
+let get t tid = if tid < Array.length t.v then t.v.(tid) else 0
+
+let grow t n =
+  if n > Array.length t.v then begin
+    let bigger = Array.make n 0 in
+    Array.blit t.v 0 bigger 0 (Array.length t.v);
+    t.v <- bigger
+  end
+
+let incr t tid =
+  if tid < 0 then invalid_arg "Vclock.incr: negative tid";
+  grow t (tid + 1);
+  t.v.(tid) <- t.v.(tid) + 1
+
+let join dst src =
+  grow dst (Array.length src.v);
+  Array.iteri
+    (fun i x -> if x > dst.v.(i) then dst.v.(i) <- x)
+    src.v
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > get b i then ok := false) a.v;
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.v)))

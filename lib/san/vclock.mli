@@ -1,0 +1,28 @@
+(** Vector clocks over simulated-thread ids.
+
+    A clock maps thread ids to event counts; clocks grow on demand as
+    higher thread ids appear, with absent entries reading as 0.  The
+    happens-before partial order is pointwise [<=]; {!join} is the
+    pointwise max, i.e. the least upper bound. *)
+
+type t
+
+val create : unit -> t
+(** The zero clock (bottom of the order). *)
+
+val copy : t -> t
+
+val get : t -> int -> int
+(** [get c tid] — [tid]'s component; 0 when never set. *)
+
+val incr : t -> int -> unit
+(** Bump [tid]'s component by one. *)
+
+val join : t -> t -> unit
+(** [join dst src] — [dst] becomes the pointwise max of the two. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: [leq a b] means every event in [a] is covered by
+    [b] — i.e. [a] happens-before-or-equals [b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -4,6 +4,33 @@
 
 type event = { time : int; seq : int; fn : unit -> unit }
 
+(* Hooks for an optional happens-before sanitizer (lib/san).  The engine
+   only carries the closures; their semantics live with the implementor.
+   A record of closures avoids a dependency cycle: lib/san depends on
+   lib/sim, while instrumented layers (mem, store, queue, ...) reach the
+   sanitizer through their engine handle. *)
+type sanitizer = {
+  san_thread : string -> int;
+      (* register a simulated thread, returns its id *)
+  san_access :
+    tid:int -> site:string -> time:int -> write:bool -> lo:int -> hi:int -> unit;
+      (* a charged data access to simulated bytes [lo, hi) *)
+  san_acquire : tid:int -> obj:int -> unit;
+  san_release : tid:int -> obj:int -> unit;
+      (* untimed (real-dispatch-order) edges through a sync object *)
+  san_sched_acquire : tid:int -> time:int -> unit;
+  san_sched_release : tid:int -> time:int -> unit;
+      (* simulated-time-indexed edges at commit boundaries *)
+  san_obj : string -> int;  (* intern a sync object by name *)
+  san_lock : tid:int -> obj:int -> unit;
+  san_unlock : tid:int -> obj:int -> unit;
+  san_sync_range : lo:int -> hi:int -> on:bool -> unit;
+      (* mark bytes as synchronization words, exempt from race pairing *)
+  san_protect : obj:int -> lo:int -> hi:int -> unit;
+  san_unprotect : lo:int -> hi:int -> unit;
+      (* lockset: writes to protected bytes must hold [obj] *)
+}
+
 type t = {
   mutable clock : int;
   mutable heap : event array;
@@ -12,9 +39,16 @@ type t = {
   mutable stopped : bool;
   mutable debug_checks : bool;
   mutable parked : int;
+  mutable sanitizer : sanitizer option;
 }
 
 let dummy = { time = max_int; seq = max_int; fn = ignore }
+
+(* Process-global factory consulted by [create], so a sanitizer can attach
+   to engines constructed deep inside experiment code without threading a
+   parameter through every layer.  See San.sanitized. *)
+let sanitizer_factory : (unit -> sanitizer) option ref = ref None
+let set_sanitizer_factory f = sanitizer_factory := f
 
 let create () =
   {
@@ -25,7 +59,12 @@ let create () =
     stopped = false;
     debug_checks = false;
     parked = 0;
+    sanitizer =
+      (match !sanitizer_factory with None -> None | Some f -> Some (f ()));
   }
+
+let set_sanitizer t s = t.sanitizer <- s
+let sanitizer t = t.sanitizer
 
 let set_debug_checks t b = t.debug_checks <- b
 let debug_checks t = t.debug_checks

@@ -54,3 +54,51 @@ val note_park : t -> unit
 
 val note_resume : t -> unit
 (** Used by {!Simthread}'s effect handler; not for general use. *)
+
+(** {1 Race sanitizer hooks}
+
+    An optional happens-before race detector (implemented in [lib/san])
+    plugs into the engine as a record of closures.  Instrumented layers —
+    {!Simthread} commit boundaries, [Env] accesses, queue and seqlock
+    synchronization — invoke the hooks through their engine handle, so the
+    engine itself stays ignorant of the detector's semantics and [lib/san]
+    incurs no dependency cycle.  [None] (the default) costs one branch per
+    hook site. *)
+
+type sanitizer = {
+  san_thread : string -> int;
+      (** Register a simulated thread by name; returns its thread id. *)
+  san_access :
+    tid:int -> site:string -> time:int -> write:bool -> lo:int -> hi:int -> unit;
+      (** A charged access to simulated bytes [\[lo, hi)] at simulated
+          [time], from the access site tagged [site]. *)
+  san_acquire : tid:int -> obj:int -> unit;
+  san_release : tid:int -> obj:int -> unit;
+      (** Untimed edges through a sync object: an acquire inherits every
+          release on the same object that already happened in real dispatch
+          order (models structures whose internal synchronization the
+          simulation does not charge). *)
+  san_sched_acquire : tid:int -> time:int -> unit;
+  san_sched_release : tid:int -> time:int -> unit;
+      (** Simulated-time-indexed edges: a release at commit stamps the
+          committed time; an acquire at slice start inherits only releases
+          stamped at or before the slice's start time. *)
+  san_obj : string -> int;  (** Intern a sync object by name. *)
+  san_lock : tid:int -> obj:int -> unit;
+  san_unlock : tid:int -> obj:int -> unit;
+      (** Lockset tracking, e.g. an {!Mutps_store.Item} version lock. *)
+  san_sync_range : lo:int -> hi:int -> on:bool -> unit;
+      (** Mark/unmark bytes as synchronization words (seqlock headers, ring
+          cursors): exempt from race pairing, they generate edges instead. *)
+  san_protect : obj:int -> lo:int -> hi:int -> unit;
+  san_unprotect : lo:int -> hi:int -> unit;
+      (** Declare bytes writable only while holding [obj]. *)
+}
+
+val set_sanitizer : t -> sanitizer option -> unit
+val sanitizer : t -> sanitizer option
+
+val set_sanitizer_factory : (unit -> sanitizer) option -> unit
+(** Process-global: when set, {!create} attaches [f ()] to every new
+    engine.  Lets a sanitizer reach engines constructed deep inside
+    experiment code; see [San.sanitized]. *)

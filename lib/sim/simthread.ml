@@ -5,6 +5,7 @@ type ctx = {
   engine : Engine.t;
   name : string;
   mutable acc : int;
+  san : int;  (* sanitizer thread id; -1 when no sanitizer is attached *)
 }
 
 type _ Effect.t +=
@@ -13,6 +14,7 @@ type _ Effect.t +=
 
 let engine ctx = ctx.engine
 let name ctx = ctx.name
+let san_id ctx = ctx.san
 let now ctx = Engine.now ctx.engine + ctx.acc
 
 let charge ctx n =
@@ -21,11 +23,28 @@ let charge ctx n =
 
 let pending ctx = ctx.acc
 
+(* Sanitizer schedule edges: a thread releases just before giving up
+   control, stamped with the simulated time at which it will resume
+   (committed cycles included), and acquires at the start of its next
+   slice, inheriting only releases stamped at or before the slice start. *)
+let san_sched_release ctx =
+  match Engine.sanitizer ctx.engine with
+  | None -> ()
+  | Some s -> s.Engine.san_sched_release ~tid:ctx.san ~time:(now ctx)
+
+let san_sched_acquire ctx =
+  match Engine.sanitizer ctx.engine with
+  | None -> ()
+  | Some s ->
+    s.Engine.san_sched_acquire ~tid:ctx.san ~time:(Engine.now ctx.engine)
+
 let commit ctx =
   if ctx.acc > 0 then begin
+    san_sched_release ctx;
     let d = ctx.acc in
     ctx.acc <- 0;
-    perform (Delay (ctx, d))
+    perform (Delay (ctx, d));
+    san_sched_acquire ctx
   end
 
 let delay ctx n =
@@ -34,16 +53,29 @@ let delay ctx n =
 
 let yield ctx =
   commit ctx;
-  perform (Delay (ctx, 0))
+  san_sched_release ctx;
+  perform (Delay (ctx, 0));
+  san_sched_acquire ctx
 
 let suspend ctx register =
   commit ctx;
-  perform (Suspend (ctx, register))
+  san_sched_release ctx;
+  perform (Suspend (ctx, register));
+  san_sched_acquire ctx
 
 let spawn ?at ?(name = "thread") engine fn =
-  let ctx = { engine; name; acc = 0 } in
+  let san =
+    match Engine.sanitizer engine with
+    | None -> -1
+    | Some s -> s.Engine.san_thread name
+  in
+  let ctx = { engine; name; acc = 0; san } in
+  let start ctx =
+    san_sched_acquire ctx;
+    fn ctx
+  in
   let body () =
-    match_with fn ctx
+    match_with start ctx
       {
         retc = (fun () -> ());
         exnc = raise;

@@ -23,6 +23,10 @@ val spawn : ?at:int -> ?name:string -> Engine.t -> (ctx -> unit) -> unit
 val engine : ctx -> Engine.t
 val name : ctx -> string
 
+val san_id : ctx -> int
+(** Sanitizer thread id assigned at {!spawn} when a sanitizer is attached
+    to the engine; [-1] otherwise.  Used by [Env] to attribute accesses. *)
+
 val now : ctx -> int
 (** Engine time plus this thread's uncommitted cycles — i.e. where this
     thread's private clock stands. *)

@@ -4,6 +4,7 @@
    [debug_checks] verifier enabled. *)
 
 module Lint = Mutps_lint.Lint
+module Interp = Mutps_lint.Interp
 module Engine = Mutps_sim.Engine
 open Mutps_experiments
 
@@ -81,6 +82,87 @@ let test_check_string () =
   match Lint.check_string "let t = Sys.time ()" with
   | Ok fs -> check_int "inline source" 1 (count "R1" fs)
   | Error m -> Alcotest.fail m
+
+(* --- interprocedural pass (project mode) --- *)
+
+(* parse inline sources into the (file, rule_path, ast) triples
+   Interp.check_project takes *)
+let project sources =
+  Interp.check_project
+    (List.map
+       (fun (file, src) ->
+         let lexbuf = Lexing.from_string src in
+         Lexing.set_filename lexbuf file;
+         (file, file, Parse.implementation lexbuf))
+       sources)
+
+let test_interp_r3_proven () =
+  (* an undominated read is fine when every call site is commit-dominated,
+     even across files *)
+  let fs =
+    project
+      [
+        ( "lib/a/helper.ml",
+          "type t = { mutable version : int }\nlet peek t = t.version" );
+        ( "lib/a/caller.ml",
+          "let use env t = Env.commit env; ignore (Helper.peek t)" );
+      ]
+  in
+  check_int "proven clean" 0 (List.length fs)
+
+let test_interp_r3_exposed () =
+  (* one undominated call site from an entry point exposes the helper *)
+  let fs =
+    project
+      [
+        ( "lib/a/helper.ml",
+          "type t = { mutable version : int }\nlet peek t = t.version" );
+        ( "lib/a/caller.ml",
+          "let use env t = Env.commit env; ignore (Helper.peek t)\n\
+           let leak t = ignore (Helper.peek t)" );
+      ]
+  in
+  check_int "exposed read flagged" 1 (count "R3" fs)
+
+let test_interp_r3_closure_escape () =
+  (* a helper that escapes as a closure can run anywhere: exposed *)
+  let fs =
+    project
+      [
+        ( "lib/a/helper.ml",
+          "type t = { mutable version : int }\nlet peek t = t.version" );
+        ( "lib/a/caller.ml", "let reg tbl = Hashtbl.replace tbl 0 Helper.peek" );
+      ]
+  in
+  check_int "escaping read flagged" 1 (count "R3" fs)
+
+let test_interp_r2_leak () =
+  (* calling a helper whose raw Hierarchy access was locally suppressed
+     leaks uncharged traffic to the caller *)
+  let fs =
+    project
+      [
+        ( "lib/store/raw.ml",
+          "let touch hier =\n\
+          \  (Hierarchy.load hier ~core:0 ~addr:0 ~size:8) [@lint.allow \
+           \"R2\"]\n\
+           let wrapper hier = touch hier" );
+      ]
+  in
+  check_int "indirect leak flagged" 1 (count "R2" fs)
+
+let test_interp_r2_env_sanctioned () =
+  (* traffic through lib/mem's Env is the sanctioned path: no findings *)
+  let fs =
+    project
+      [
+        ( "lib/mem/env.ml",
+          "let load t ~addr ~size = Hierarchy.load t.hier ~core:0 ~addr ~size"
+        );
+        ("lib/store/user.ml", "let fine env = Env.load env ~addr:0 ~size:8");
+      ]
+  in
+  check_int "Env path clean" 0 (List.length fs)
 
 let test_syntax_error () =
   match Lint.check_string "let let let" with
@@ -186,6 +268,19 @@ let () =
           Alcotest.test_case "finding format" `Quick test_finding_format;
           Alcotest.test_case "check_string" `Quick test_check_string;
           Alcotest.test_case "syntax error" `Quick test_syntax_error;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "dominated call sites proven" `Quick
+            test_interp_r3_proven;
+          Alcotest.test_case "exposed call site flagged" `Quick
+            test_interp_r3_exposed;
+          Alcotest.test_case "closure escape flagged" `Quick
+            test_interp_r3_closure_escape;
+          Alcotest.test_case "indirect R2 leak flagged" `Quick
+            test_interp_r2_leak;
+          Alcotest.test_case "Env path sanctioned" `Quick
+            test_interp_r2_env_sanctioned;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,253 @@
+(* Tests for the simulated-time race sanitizer (lib/san):
+
+   - QCheck laws of the vector-clock lattice (join is the LUB, leq is a
+     partial order, incr strictly advances).
+   - Deterministic fixtures: a deliberately racy pair of threads yields
+     exactly one report; time-separated and ring-handoff patterns yield
+     none; a raw store into a locked item payload trips the lockset
+     check.
+   - Sanitized smoke: every registered experiment, at a small scale,
+     must report zero races — the paper's protocols (seqlock items, CR-MR
+     rings, hot-cache epochs) are all exercised. *)
+
+module San = Mutps_san.San
+module Vclock = Mutps_san.Vclock
+module Engine = Mutps_sim.Engine
+module Simthread = Mutps_sim.Simthread
+module Env = Mutps_mem.Env
+module Hierarchy = Mutps_mem.Hierarchy
+module Layout = Mutps_mem.Layout
+module Item = Mutps_store.Item
+module Slab = Mutps_store.Slab
+module Ring = Mutps_queue.Ring
+
+let check_int = Alcotest.(check int)
+
+(* --- vector-clock laws --- *)
+
+(* a clock from a list of per-thread counts *)
+let clock_of_list l =
+  let c = Vclock.create () in
+  List.iteri
+    (fun tid n ->
+      for _ = 1 to n do
+        Vclock.incr c tid
+      done)
+    l;
+  c
+
+let clock_gen = QCheck.(list_of_size Gen.(int_range 0 5) (int_range 0 8))
+
+let prop_join_is_lub =
+  QCheck.Test.make ~name:"join is the least upper bound" ~count:300
+    QCheck.(triple clock_gen clock_gen clock_gen)
+    (fun (la, lb, lc) ->
+      let a = clock_of_list la and b = clock_of_list lb in
+      let j = Vclock.copy a in
+      Vclock.join j b;
+      (* upper bound *)
+      Vclock.leq a j && Vclock.leq b j
+      &&
+      (* least: any other upper bound covers the join *)
+      let c = Vclock.copy (clock_of_list lc) in
+      Vclock.join c a;
+      Vclock.join c b;
+      (* c is now an upper bound of a and b; it must cover j *)
+      Vclock.leq j c)
+
+let prop_leq_partial_order =
+  QCheck.Test.make ~name:"leq is a partial order" ~count:300
+    QCheck.(triple clock_gen clock_gen clock_gen)
+    (fun (la, lb, lc) ->
+      let a = clock_of_list la
+      and b = clock_of_list lb
+      and c = clock_of_list lc in
+      (* reflexive *)
+      Vclock.leq a a
+      (* antisymmetric (pointwise: mutual leq means equal components) *)
+      && (not (Vclock.leq a b && Vclock.leq b a)
+         || List.for_all
+              (fun tid -> Vclock.get a tid = Vclock.get b tid)
+              (List.init 8 Fun.id))
+      (* transitive *)
+      && ((not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c))
+
+let prop_incr_strictly_advances =
+  QCheck.Test.make ~name:"incr strictly advances its component" ~count:300
+    QCheck.(pair clock_gen (int_range 0 7))
+    (fun (l, tid) ->
+      let before = clock_of_list l in
+      let after = Vclock.copy before in
+      Vclock.incr after tid;
+      Vclock.leq before after
+      && (not (Vclock.leq after before))
+      && Vclock.get after tid = Vclock.get before tid + 1)
+
+(* --- deterministic fixtures --- *)
+
+let fixture f =
+  San.sanitized (fun () ->
+      let engine = Engine.create () in
+      let layout = Layout.create () in
+      let hier = Hierarchy.create (Hierarchy.small_geometry ~cores:4) in
+      let spawn name core body =
+        Simthread.spawn engine ~name (fun ctx ->
+            body (Env.make ~ctx ~hier ~core))
+      in
+      f engine layout spawn;
+      Engine.run_all engine)
+  |> snd
+
+(* two threads touch the same line inside overlapping uncommitted
+   windows: exactly one race, reported once (deduplicated) *)
+let test_racy_pair () =
+  let reports =
+    fixture (fun _engine layout spawn ->
+        let region = Layout.region layout ~name:"shared" ~size:64 in
+        let addr = Layout.alloc region ~align:64 8 in
+        spawn "writer" 0 (fun env ->
+            Env.tagged env "fixture.writer" @@ fun () ->
+            Env.compute env 1_000;
+            Env.store env ~addr ~size:8;
+            Env.commit env);
+        spawn "reader" 1 (fun env ->
+            Env.tagged env "fixture.reader" @@ fun () ->
+            Simthread.delay env.Env.ctx 500;
+            Env.load env ~addr ~size:8;
+            Env.commit env))
+  in
+  check_int "exactly one report" 1 (List.length reports);
+  match reports with
+  | [ r ] ->
+    Alcotest.(check bool) "is a race" true (r.San.kind = San.Race);
+    Alcotest.(check bool)
+      "names both sites" true
+      (match r.San.first with
+      | Some a ->
+        (a.San.a_site = "fixture.writer" || r.San.second.San.a_site = "fixture.writer")
+        && (a.San.a_site = "fixture.reader"
+           || r.San.second.San.a_site = "fixture.reader")
+      | None -> false)
+  | _ -> Alcotest.fail "expected exactly one report"
+
+(* same pair, but the reader starts long after the writer committed: the
+   schedule edge orders them — no report *)
+let test_time_separated () =
+  let reports =
+    fixture (fun _engine layout spawn ->
+        let region = Layout.region layout ~name:"shared" ~size:64 in
+        let addr = Layout.alloc region ~align:64 8 in
+        spawn "writer" 0 (fun env ->
+            Env.compute env 100;
+            Env.store env ~addr ~size:8;
+            Env.commit env);
+        spawn "reader" 1 (fun env ->
+            Simthread.delay env.Env.ctx 50_000;
+            Env.load env ~addr ~size:8;
+            Env.commit env))
+  in
+  check_int "no reports" 0 (List.length reports)
+
+(* producer/consumer slot handoff through a Ring: the ring's object edges
+   order the slot traffic even though the threads interleave — no report *)
+let test_ring_handoff () =
+  let reports =
+    fixture (fun _engine layout spawn ->
+        let ring =
+          Ring.create layout ~name:"handoff" ~slots:8 ~batch:4 ~value_bytes:16
+        in
+        spawn "producer" 0 (fun env ->
+            for _ = 1 to 5 do
+              while not (Ring.push ring env [| 1; 2; 3; 4 |]) do
+                Simthread.delay env.Env.ctx 200
+              done;
+              Env.commit env
+            done;
+            let reaped = ref 0 in
+            while !reaped < 5 do
+              (match Ring.take_completed ring env with
+              | Some _ -> incr reaped
+              | None -> Simthread.delay env.Env.ctx 200);
+              Env.commit env
+            done);
+        spawn "consumer" 1 (fun env ->
+            let consumed = ref 0 in
+            while !consumed < 5 do
+              (match Ring.peek ring env with
+              | Some _ ->
+                Ring.complete ring env;
+                incr consumed
+              | None -> Simthread.delay env.Env.ctx 150);
+              Env.commit env
+            done))
+  in
+  check_int "no reports" 0 (List.length reports)
+
+(* a raw store into an item's payload without holding its version lock
+   must trip the lockset check *)
+let test_lockset_violation () =
+  let reports =
+    fixture (fun _engine layout spawn ->
+        let slab = Slab.create layout () in
+        let item = Item.create slab ~value:(Bytes.make 32 'x') in
+        spawn "owner" 0 (fun env ->
+            (* a proper write registers the payload protection *)
+            Item.write env item (Bytes.make 32 'y') slab;
+            (* ...then scribble into the payload with no lock held *)
+            Env.tagged env "fixture.scribble" @@ fun () ->
+            Env.store env ~addr:(Item.addr item + 8) ~size:8;
+            Env.commit env))
+  in
+  check_int "exactly one report" 1 (List.length reports);
+  match reports with
+  | [ r ] ->
+    Alcotest.(check bool) "is a lockset finding" true (r.San.kind = San.Unlocked);
+    Alcotest.(check string)
+      "names the scribble" "fixture.scribble" r.San.second.San.a_site
+  | _ -> Alcotest.fail "expected exactly one report"
+
+(* --- sanitized smoke of every registered experiment --- *)
+
+let smoke_scale =
+  {
+    Mutps_experiments.Harness.keyspace = 1_500;
+    cores = 4;
+    clients = 8;
+    window = 2;
+    warmup = 100_000;
+    measure = 250_000;
+  }
+
+let test_experiment_clean (e : Mutps_experiments.Registry.entry) () =
+  let (), reports = San.sanitized (fun () -> e.Mutps_experiments.Registry.run smoke_scale) in
+  List.iter (fun r -> print_endline (San.report_to_string r)) reports;
+  check_int
+    (Printf.sprintf "%s: no races" e.Mutps_experiments.Registry.name)
+    0 (List.length reports)
+
+let () =
+  Alcotest.run "san"
+    [
+      ( "vclock",
+        [
+          QCheck_alcotest.to_alcotest prop_join_is_lub;
+          QCheck_alcotest.to_alcotest prop_leq_partial_order;
+          QCheck_alcotest.to_alcotest prop_incr_strictly_advances;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "racy pair flagged once" `Quick test_racy_pair;
+          Alcotest.test_case "time-separated pair clean" `Quick
+            test_time_separated;
+          Alcotest.test_case "ring handoff clean" `Quick test_ring_handoff;
+          Alcotest.test_case "unlocked payload write flagged" `Quick
+            test_lockset_violation;
+        ] );
+      ( "experiments",
+        List.map
+          (fun (e : Mutps_experiments.Registry.entry) ->
+            Alcotest.test_case
+              (e.Mutps_experiments.Registry.name ^ " sanitized")
+              `Slow (test_experiment_clean e))
+          Mutps_experiments.Registry.all );
+    ]
