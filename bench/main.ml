@@ -116,10 +116,47 @@ let microbenches () =
            Engine.schedule_after engine_bench ~delay:1 ignore;
            Engine.run engine_bench ~until:(Engine.now engine_bench + 2)))
   in
+  (* observability overhead: the same tagged slice dispatch with no tracer
+     (the zero-cost-when-off claim), with a profile-only collector, and
+     with a full event collector.  Each variant owns its engine so tracer
+     state never leaks between them. *)
+  let slice_dispatch ~name mk_engine =
+    let engine = mk_engine () in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Simthread.spawn engine (fun ctx ->
+               let env = Env.make ~ctx ~hier ~core:2 in
+               Env.tagged env "bench" (fun () ->
+                   Env.compute env 10;
+                   ignore
+                     ((Hierarchy.load hier ~core:2 ~addr:64 ~size:8)
+                     [@lint.allow "R2"]));
+               Env.commit env);
+           Engine.run_all engine))
+  in
+  let bench_trace_off =
+    slice_dispatch ~name:"env slice dispatch (trace off)" Engine.create
+  in
+  let bench_trace_profile =
+    slice_dispatch ~name:"env slice dispatch (profile-only tracer)"
+      (fun () ->
+        let engine = Engine.create () in
+        ignore (Mutps_trace.Trace.install ~keep_events:false engine);
+        engine)
+  in
+  let bench_trace_full =
+    slice_dispatch ~name:"env slice dispatch (full tracer)" (fun () ->
+        let engine = Engine.create () in
+        (* cap keeps a long benchmark run from growing without bound; past
+           the cap the hooks still run their full bookkeeping *)
+        ignore (Mutps_trace.Trace.install ~max_events:1_000_000 engine);
+        engine)
+  in
   Test.make_grouped ~name:"substrate"
     [
       bench_hier; bench_ring; bench_cuckoo; bench_btree; bench_zipf;
-      bench_hist; bench_engine;
+      bench_hist; bench_engine; bench_trace_off; bench_trace_profile;
+      bench_trace_full;
     ]
 
 let run_micro () =

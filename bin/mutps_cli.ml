@@ -28,6 +28,94 @@ let with_sanitizer sanitize f =
       exit 3
   end
 
+(* --trace/--metrics/--profile: the observability layer (lib/trace).
+   Installs a metrics registry plus a per-engine trace collector around the
+   run, then writes the requested artifacts. *)
+let obs_term =
+  let trace =
+    let doc =
+      "Write a Chrome/Perfetto trace-event JSON of the run to $(docv): one \
+       process per simulated engine, one slice track per simulated thread, \
+       plus counter tracks sampled from the metrics registry.  Open it in \
+       ui.perfetto.dev."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Dump the metrics registry (per-subsystem counters and gauges, read \
+       at end of run) to $(docv): CSV, or JSON when the name ends in .json."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let profile =
+    let doc =
+      "Write a collapsed-stack cycle profile (charged simulated cycles \
+       aggregated by thread and site) to $(docv); feed it to flamegraph.pl \
+       or speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let max_events =
+    let doc =
+      "Per-engine event cap for $(b,--trace) (experiments that build many \
+       systems hold every engine's events until exit; lower this to bound \
+       memory and trace size).  The profile and metrics are never truncated."
+    in
+    Arg.(value & opt int 2_000_000
+         & info [ "trace-max-events" ] ~docv:"N" ~doc)
+  in
+  let combine trace metrics profile max_events =
+    (trace, metrics, profile, max_events)
+  in
+  Term.(const combine $ trace $ metrics $ profile $ max_events)
+
+let with_observability (trace, metrics, profile, max_events) f =
+  if trace = None && metrics = None && profile = None then f ()
+  else begin
+    let module T = Mutps_trace in
+    let reg = T.Metrics.create () in
+    T.Metrics.set_current (Some reg);
+    Fun.protect ~finally:(fun () -> T.Metrics.set_current None) @@ fun () ->
+    (* with no event consumer, keep only the per-site cycle aggregates *)
+    let keep_events = trace <> None in
+    let (), collectors = T.Trace.traced ~keep_events ~max_events f in
+    (match trace with
+    | Some path ->
+      T.Perfetto.write_file path collectors;
+      let events =
+        List.fold_left
+          (fun acc c ->
+            acc + T.Trace.slice_count c + T.Trace.instant_count c
+            + T.Trace.counter_count c)
+          0 collectors
+      in
+      Printf.eprintf "trace: %d event(s) from %d engine(s) -> %s\n%!" events
+        (List.length collectors) path;
+      let dropped =
+        List.fold_left (fun acc c -> acc + T.Trace.dropped c) 0 collectors
+      in
+      if dropped > 0 then
+        Printf.eprintf
+          "trace: %d further event(s) past the per-engine cap were dropped \
+           (shorter --measure-ms or higher --trace-max-events for a \
+           complete trace)\n%!"
+          dropped
+    | None -> ());
+    (match metrics with
+    | Some path ->
+      T.Metrics.write_file reg path;
+      Printf.eprintf "metrics: %d source(s) -> %s\n%!" (T.Metrics.size reg)
+        path
+    | None -> ());
+    match profile with
+    | Some path ->
+      T.Profile.write_file path collectors;
+      Printf.eprintf "profile: %d cycle(s) attributed -> %s\n%!"
+        (T.Profile.total collectors) path
+    | None -> ()
+  end
+
 let scale_term =
   let keyspace =
     let doc = "Pre-populated keys (paper: 10M)." in
@@ -80,11 +168,12 @@ let run_cmd =
     let doc = "Experiments to run (see $(b,list)); 'all' runs everything." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run scale sanitize names =
+  let run scale sanitize obs names =
     let names =
       if List.mem "all" names then Registry.names () else names
     in
     with_sanitizer sanitize @@ fun () ->
+    with_observability obs @@ fun () ->
     List.iter
       (fun name ->
         match Registry.find name with
@@ -96,7 +185,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one or more of the paper's tables/figures")
-    Term.(const run $ scale_term $ sanitize_term $ names)
+    Term.(const run $ scale_term $ sanitize_term $ obs_term $ names)
 
 (* --- serve: one ad-hoc measurement --- *)
 
@@ -127,8 +216,9 @@ let serve_cmd =
   let dlb =
     Arg.(value & flag & info [ "dlb" ] ~doc:"Offload the CR-MR queue to a DLB-style hardware queue (uTPS only).")
   in
-  let run scale sanitize system index value_size theta get_ratio dlb =
+  let run scale sanitize obs system index value_size theta get_ratio dlb =
     with_sanitizer sanitize @@ fun () ->
+    with_observability obs @@ fun () ->
     let spec =
       {
         Mutps_workload.Opgen.name = "custom";
@@ -154,8 +244,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run one system under a custom workload and print its measurement")
     Term.(
-      const run $ scale_term $ sanitize_term $ system $ index $ value_size
-      $ theta $ get_ratio $ dlb)
+      const run $ scale_term $ sanitize_term $ obs_term $ system $ index
+      $ value_size $ theta $ get_ratio $ dlb)
 
 let () =
   let info =

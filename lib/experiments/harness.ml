@@ -94,6 +94,11 @@ type built = {
 }
 
 let build ?index ?ncr ?tweak system (scale : scale) (spec : Opgen.spec) =
+  (* label metric registrations (and thus counter tracks) with the system
+     under test — fig2-style experiments build several per run *)
+  (match Mutps_trace.Metrics.current () with
+  | Some reg -> Mutps_trace.Metrics.set_scope reg (system_name system)
+  | None -> ());
   let config = mk_config ?index ?tweak scale in
   let vsize = populate_size spec in
   match system with

@@ -33,15 +33,27 @@ type t = {
 }
 
 let create ?(params = default_params) kv =
-  {
-    params;
-    kv;
-    want_tune = false;
-    tuning = false;
-    tunes = 0;
-    events = [];
-    applied = None;
-  }
+  let t =
+    {
+      params;
+      kv;
+      want_tune = false;
+      tuning = false;
+      tunes = 0;
+      events = [];
+      applied = None;
+    }
+  in
+  (match Mutps_trace.Metrics.current () with
+  | None -> ()
+  | Some reg ->
+    let module M = Mutps_trace.Metrics in
+    let eid = Engine.id (Mutps.backend kv).Backend.engine in
+    M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem:"autotuner"
+      ~name:"tunes" (fun () -> float_of_int t.tunes);
+    M.register reg ~kind:M.Gauge ~engine_id:eid ~subsystem:"autotuner"
+      ~name:"tuning" (fun () -> if t.tuning then 1.0 else 0.0));
+  t
 
 let params t = t.params
 let trigger t = t.want_tune <- true
@@ -61,7 +73,14 @@ let record t rate =
       ways = Mutps.mr_ways t.kv;
       rate;
     }
-    :: t.events
+    :: t.events;
+  (* each measurement window becomes a sample on a throughput counter
+     track, so the tuner's search is visible on the timeline *)
+  match Engine.tracer (engine t) with
+  | None -> ()
+  | Some tr ->
+    tr.Engine.tr_counter ~time:(Engine.now (engine t))
+      ~track:"autotuner.ops_per_cycle" ~value:rate
 
 let measure t ctx =
   let r0 = Mutps.responded t.kv in
@@ -149,7 +168,14 @@ let tune_pass t ctx =
   let best_ways, _ = trisect ~lo:1 ~hi:max_ways measure_ways in
   Mutps.set_mr_ways t.kv best_ways;
   t.applied <- Some (best_ncr, best_hot, best_ways);
-  t.tunes <- t.tunes + 1
+  t.tunes <- t.tunes + 1;
+  match Engine.tracer (engine t) with
+  | None -> ()
+  | Some tr ->
+    tr.Engine.tr_instant ~tid:(Simthread.tr_id ctx)
+      ~time:(Simthread.now ctx) ~name:"autotuner.apply"
+      ~arg:
+        (Printf.sprintf "ncr=%d hot=%d ways=%d" best_ncr best_hot best_ways)
 
 let body t ctx =
   let prev_rate = ref nan in

@@ -20,6 +20,48 @@ type t = {
   link : Mutps_net.Link.t;
 }
 
+(* Expose the substrate's statistics as metric sources when a registry is
+   installed (mutps-cli --metrics / --trace counter tracks).  Readers pull
+   whole-machine aggregates; they never touch simulation state. *)
+let register_metrics t =
+  match Mutps_trace.Metrics.current () with
+  | None -> ()
+  | Some reg ->
+    let module M = Mutps_trace.Metrics in
+    let eid = Engine.id t.engine in
+    let cores = Hierarchy.cores t.hier in
+    let agg field =
+      let total = ref 0 in
+      for core = 0 to cores - 1 do
+        total := !total + field (Hierarchy.core_stats t.hier ~core)
+      done;
+      float_of_int !total
+    in
+    let hier name field =
+      M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem:"hierarchy"
+        ~name (fun () -> agg field)
+    in
+    hier "l1_hits" (fun s -> s.Hierarchy.l1_hits);
+    hier "l2_hits" (fun s -> s.Hierarchy.l2_hits);
+    hier "llc_hits" (fun s -> s.Hierarchy.llc_hits);
+    hier "dram_fetches" (fun s -> s.Hierarchy.dram_fetches);
+    hier "invalidations_sent" (fun s -> s.Hierarchy.invalidations_sent);
+    hier "dirty_transfers" (fun s -> s.Hierarchy.dirty_transfers);
+    M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem:"nic"
+      ~name:"ddio_hits" (fun () ->
+        float_of_int (fst (Hierarchy.nic_dma_stats t.hier)));
+    M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem:"nic"
+      ~name:"ddio_misses" (fun () ->
+        float_of_int (snd (Hierarchy.nic_dma_stats t.hier)));
+    let link name read =
+      M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem:"link" ~name
+        (fun () -> float_of_int (read t.link))
+    in
+    link "rx_messages" Mutps_net.Link.rx_messages;
+    link "tx_messages" Mutps_net.Link.tx_messages;
+    link "rx_bytes" Mutps_net.Link.rx_bytes;
+    link "tx_bytes" Mutps_net.Link.tx_bytes
+
 let create (config : Config.t) =
   let engine = Engine.create () in
   let geometry =
@@ -41,7 +83,9 @@ let create (config : Config.t) =
         (Mutps_index.Btree.create layout ~seed:config.Config.seed)
   in
   let link = Mutps_net.Link.create ~config:config.Config.link () in
-  { config; engine; hier; layout; slab; index; link }
+  let t = { config; engine; hier; layout; slab; index; link } in
+  register_metrics t;
+  t
 
 (** Pre-populate the store with every key in [0, keyspace) (silent: no
     simulation charges, like a load phase before measurement).  [size_of]

@@ -41,6 +41,39 @@ type t = {
    read-heavy skew and lower for write-heavy (Figure 13a). *)
 let default_ncr cores = max 1 (min (cores - 1) (cores / 2))
 
+(* Metric sources over the accounting the server already keeps; pulled at
+   dump time and sampled into counter tracks (crmr.in_flight is the ring
+   occupancy track, hotcache.hit_rate the hot-cache one). *)
+let register_metrics t =
+  match Mutps_trace.Metrics.current () with
+  | None -> ()
+  | Some reg ->
+    let module M = Mutps_trace.Metrics in
+    let eid = Mutps_sim.Engine.id t.backend.Backend.engine in
+    let counter subsystem name read =
+      M.register reg ~kind:M.Counter ~engine_id:eid ~subsystem ~name
+        (fun () -> float_of_int (read ()))
+    in
+    let gauge subsystem name read =
+      M.register reg ~kind:M.Gauge ~engine_id:eid ~subsystem ~name
+        (fun () -> read ())
+    in
+    counter "kvs" "cr_hits" (fun () -> t.cr_hits);
+    counter "kvs" "forwarded" (fun () -> t.forwarded);
+    counter "kvs" "cr_busy_cycles" (fun () -> t.cr_busy);
+    counter "kvs" "mr_busy_cycles" (fun () -> t.mr_busy);
+    counter "kvs" "mr_ops" (fun () -> t.mr_ops);
+    counter "kvs" "mr_scans" (fun () -> t.mr_scans);
+    gauge "kvs" "ncr" (fun () -> float_of_int t.target_ncr);
+    gauge "kvs" "mr_ways" (fun () -> float_of_int t.mr_ways_);
+    gauge "crmr" "in_flight" (fun () -> float_of_int (Crmr.in_flight t.crmr));
+    gauge "hotcache" "size" (fun () -> float_of_int (Hotcache.size t.hotcache));
+    gauge "hotcache" "target" (fun () -> float_of_int t.hot_target);
+    gauge "hotcache" "hit_rate" (fun () ->
+        let seen = t.cr_hits + t.forwarded in
+        if seen = 0 then 0.0
+        else float_of_int t.cr_hits /. float_of_int seen)
+
 let create ?ncr (config : Config.t) =
   let cores = config.Config.cores in
   if cores < 2 then invalid_arg "Mutps.create: needs at least 2 worker cores";
@@ -101,6 +134,7 @@ let create ?ncr (config : Config.t) =
   in
   t.cr_list <- Array.init ncr Fun.id;
   t.mr_list <- Array.init (cores - ncr) (fun i -> ncr + i);
+  register_metrics t;
   t
 
 let backend t = t.backend
@@ -191,9 +225,18 @@ let flush_pending t env w st =
     then begin
       st.pending <- [];
       st.pending_n <- 0;
+      if Env.tracing env then
+        Env.counter env ~track:"crmr.in_flight"
+          ~value:(float_of_int (Crmr.in_flight t.crmr));
       true
     end
-    else false
+    else begin
+      (* every target ring is full: the CR layer stops polling rx *)
+      if Env.tracing env then
+        Env.instant env ~name:"crmr.backpressure"
+          ~arg:(string_of_int st.pending_n);
+      false
+    end
   end
   else true
 
@@ -438,7 +481,8 @@ let try_switch_when_idle t env w st =
     then begin
       t.current.(w) <- Mr;
       recompute_lists t;
-      apply_clos t
+      apply_clos t;
+      Env.instant env ~name:"role.switch" ~arg:"cr->mr"
     end
   | Mr, Cr ->
     if
@@ -447,7 +491,8 @@ let try_switch_when_idle t env w st =
     then begin
       t.current.(w) <- Cr;
       recompute_lists t;
-      apply_clos t
+      apply_clos t;
+      Env.instant env ~name:"role.switch" ~arg:"mr->cr"
     end
   | Cr, Cr | Mr, Mr -> ()
 
@@ -464,7 +509,11 @@ let worker_body t w ctx =
     in
     if not progressed then begin
       if t.desired.(w) <> t.current.(w) then try_switch_when_idle t env w st;
-      Simthread.delay ctx cfg.Config.poll_idle_cycles
+      (* attribute the poll backoff to an "idle" site so the profile
+         separates wasted polls from useful work *)
+      Env.tagged env "idle" (fun () ->
+          Env.compute env cfg.Config.poll_idle_cycles);
+      Simthread.commit ctx
     end
     else begin
       Simthread.commit ctx;
@@ -503,7 +552,10 @@ let refresh_hotset t env =
     Env.store env ~addr:(Hotcache.region_base t.hotcache)
       ~size:(max 64 (Array.length entries * 16));
     Hotcache.publish t.hotcache entries;
-    Env.release env hot_obj
+    Env.release env hot_obj;
+    if Env.tracing env then
+      Env.instant env ~name:"hotset.refresh"
+        ~arg:(string_of_int (Array.length entries))
   end
 
 let manager_body t ctx =

@@ -6,12 +6,15 @@ type t = {
   hier : Hierarchy.t;
   core : int;
   mutable tag : string;
+  mutable path : string;
 }
 
-let make ~ctx ~hier ~core = { ctx; hier; core; tag = "" }
+let make ~ctx ~hier ~core = { ctx; hier; core; tag = ""; path = "" }
 
 let san t = Engine.sanitizer (Simthread.engine t.ctx)
 let tid t = Simthread.san_id t.ctx
+let tr t = Engine.tracer (Simthread.engine t.ctx)
+let tr_tid t = Simthread.tr_id t.ctx
 
 let record t ~write ~addr ~size =
   match san t with
@@ -20,12 +23,23 @@ let record t ~write ~addr ~size =
     s.Engine.san_access ~tid:(tid t) ~site:t.tag ~time:(Simthread.now t.ctx)
       ~write ~lo:addr ~hi:(addr + size)
 
+(* Attribute charged cycles to the current site path for the profiler.
+   One branch when no tracer is attached. *)
+let trace_cycles t n =
+  match tr t with
+  | None -> ()
+  | Some tr -> tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:n
+
 let load t ~addr ~size =
-  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size);
+  let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
+  Simthread.charge t.ctx c;
+  trace_cycles t c;
   record t ~write:false ~addr ~size
 
 let store t ~addr ~size =
-  Simthread.charge t.ctx (Hierarchy.store t.hier ~core:t.core ~addr ~size);
+  let c = Hierarchy.store t.hier ~core:t.core ~addr ~size in
+  Simthread.charge t.ctx c;
+  trace_cycles t c;
   record t ~write:true ~addr ~size
 
 (* Speculative-read support for seqlock-style validated reads: charge the
@@ -34,7 +48,9 @@ let store t ~addr ~size =
    concurrent write that bumped the version would flag the protocol's
    anticipated (and resolved) conflict as a race. *)
 let load_speculative t ~addr ~size =
-  Simthread.charge t.ctx (Hierarchy.load t.hier ~core:t.core ~addr ~size)
+  let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
+  Simthread.charge t.ctx c;
+  trace_cycles t c
 
 let note_read t ~addr ~size = record t ~write:false ~addr ~size
 
@@ -42,16 +58,52 @@ let note_read t ~addr ~size = record t ~write:false ~addr ~size
    warms is re-accessed through [load] under the owning structure's
    synchronization, so the sanitizer ignores them. *)
 let prefetch_batch t addrs =
-  Simthread.charge t.ctx (Hierarchy.prefetch_batch t.hier ~core:t.core addrs)
+  let c = Hierarchy.prefetch_batch t.hier ~core:t.core addrs in
+  Simthread.charge t.ctx c;
+  trace_cycles t c
 
-let compute t n = Simthread.charge t.ctx n
+let compute t n =
+  Simthread.charge t.ctx n;
+  trace_cycles t n
+
 let commit t = Simthread.commit t.ctx
 let now t = Simthread.now t.ctx
 
+(* With a tracer attached, [tagged] additionally maintains the
+   semicolon-joined site path (for collapsed-stack profiles) and emits the
+   region as a completed slice on the thread's track.  Times come from
+   [Simthread.now], which includes uncommitted cycles, so nested regions
+   stay properly contained.  Without a tracer this is exactly the old
+   save/restore of [tag] — no allocation. *)
 let tagged t site f =
   let outer = t.tag in
   t.tag <- site;
-  Fun.protect ~finally:(fun () -> t.tag <- outer) f
+  match tr t with
+  | None -> Fun.protect ~finally:(fun () -> t.tag <- outer) f
+  | Some tr ->
+    let outer_path = t.path in
+    t.path <- (if outer_path = "" then site else outer_path ^ ";" ^ site);
+    let t0 = Simthread.now t.ctx in
+    Fun.protect
+      ~finally:(fun () ->
+        tr.Engine.tr_slice ~tid:(tr_tid t) ~t0 ~t1:(Simthread.now t.ctx)
+          ~name:site;
+        t.tag <- outer;
+        t.path <- outer_path)
+      f
+
+let tracing t = match tr t with None -> false | Some _ -> true
+
+let instant t ~name ~arg =
+  match tr t with
+  | None -> ()
+  | Some tr ->
+    tr.Engine.tr_instant ~tid:(tr_tid t) ~time:(Simthread.now t.ctx) ~name ~arg
+
+let counter t ~track ~value =
+  match tr t with
+  | None -> ()
+  | Some tr -> tr.Engine.tr_counter ~time:(Simthread.now t.ctx) ~track ~value
 
 let sync_obj t name =
   match san t with None -> -1 | Some s -> s.Engine.san_obj name

@@ -10,6 +10,9 @@ type t = {
   hier : Hierarchy.t;
   core : int;
   mutable tag : string;  (** Current access-site label for sanitizer reports. *)
+  mutable path : string;
+      (** Semicolon-joined stack of enclosing {!tagged} sites, maintained
+          only while a tracer is attached; feeds the cycle profiler. *)
 }
 
 val make : ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
@@ -55,9 +58,30 @@ val note_read : t -> addr:int -> size:int -> unit
 
 val tagged : t -> string -> (unit -> 'a) -> 'a
 (** [tagged t site f] labels accesses made during [f] with [site] in
-    sanitizer reports; restores the outer label on exit. *)
+    sanitizer reports; restores the outer label on exit.  With a tracer
+    attached, the region is additionally emitted as a completed slice on
+    the thread's trace track, and [site] is pushed onto {!path} so
+    charged cycles inside [f] are attributed to the full stack. *)
 
 val sanitizing : t -> bool
+
+(** {1 Observability tracer plumbing}
+
+    Thin pass-throughs to {!Mutps_sim.Engine.tracer}, all no-ops (one
+    branch, no allocation) when no tracer is attached.  [load], [store],
+    [compute], [load_speculative] and [prefetch_batch] attribute their
+    charged cycles to the current {!path} automatically. *)
+
+val tracing : t -> bool
+(** Whether a tracer is attached.  Guard any event-argument formatting
+    with this so the off path never allocates. *)
+
+val instant : t -> name:string -> arg:string -> unit
+(** Emit a point event on this thread's track at the thread's current
+    simulated time (role switches, seqlock bounces, backpressure). *)
+
+val counter : t -> track:string -> value:float -> unit
+(** Emit one sample of a named counter track (ring occupancy etc.). *)
 
 val sync_obj : t -> string -> int
 (** Intern a sync object; [-1] when no sanitizer is attached (all the

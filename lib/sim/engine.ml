@@ -31,7 +31,27 @@ type sanitizer = {
       (* lockset: writes to protected bytes must hold [obj] *)
 }
 
+(* Hooks for an optional observability tracer (lib/trace), carried the
+   same way as the sanitizer: a record of closures, so the engine stays
+   ignorant of the collector's semantics and lib/trace incurs no
+   dependency cycle.  All hooks are invoked only when a tracer is
+   attached; [None] (the default) costs one branch per site and never
+   allocates. *)
+type tracer = {
+  tr_thread : string -> int;
+      (* register a simulated thread's track, returns its trace id *)
+  tr_slice : tid:int -> t0:int -> t1:int -> name:string -> unit;
+      (* a completed span of simulated time on a thread track *)
+  tr_instant : tid:int -> time:int -> name:string -> arg:string -> unit;
+      (* a point event; tid = -1 targets the global events track *)
+  tr_counter : time:int -> track:string -> value:float -> unit;
+      (* one sample of a named counter track *)
+  tr_cycles : tid:int -> site:string -> cycles:int -> unit;
+      (* charged cycles attributed to an Env site path (profiler) *)
+}
+
 type t = {
+  id : int;
   mutable clock : int;
   mutable heap : event array;
   mutable size : int;
@@ -40,6 +60,7 @@ type t = {
   mutable debug_checks : bool;
   mutable parked : int;
   mutable sanitizer : sanitizer option;
+  mutable tracer : tracer option;
 }
 
 let dummy = { time = max_int; seq = max_int; fn = ignore }
@@ -50,21 +71,42 @@ let dummy = { time = max_int; seq = max_int; fn = ignore }
 let sanitizer_factory : (unit -> sanitizer) option ref = ref None
 let set_sanitizer_factory f = sanitizer_factory := f
 
-let create () =
-  {
-    clock = 0;
-    heap = Array.make 256 dummy;
-    size = 0;
-    next_seq = 0;
-    stopped = false;
-    debug_checks = false;
-    parked = 0;
-    sanitizer =
-      (match !sanitizer_factory with None -> None | Some f -> Some (f ()));
-  }
+(* The tracer factory receives the engine it is attaching to, so a
+   collector can read the engine clock (e.g. to pace counter sampling)
+   without any further plumbing. *)
+let tracer_factory : (t -> tracer) option ref = ref None
+let set_tracer_factory f = tracer_factory := f
 
+(* Process-wide serial so collectors and metric registries can associate
+   state with a particular engine without holding the engine itself. *)
+let next_id = ref 0
+
+let create () =
+  let id = !next_id in
+  incr next_id;
+  let t =
+    {
+      id;
+      clock = 0;
+      heap = Array.make 256 dummy;
+      size = 0;
+      next_seq = 0;
+      stopped = false;
+      debug_checks = false;
+      parked = 0;
+      sanitizer =
+        (match !sanitizer_factory with None -> None | Some f -> Some (f ()));
+      tracer = None;
+    }
+  in
+  (match !tracer_factory with None -> () | Some f -> t.tracer <- Some (f t));
+  t
+
+let id t = t.id
 let set_sanitizer t s = t.sanitizer <- s
 let sanitizer t = t.sanitizer
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
 
 let set_debug_checks t b = t.debug_checks <- b
 let debug_checks t = t.debug_checks

@@ -9,6 +9,11 @@ type t
 val create : unit -> t
 (** A fresh engine with the clock at cycle 0 and no pending events. *)
 
+val id : t -> int
+(** Process-wide serial of this engine, assigned at {!create}.  Lets
+    observability state (metric registries, trace collectors) refer to a
+    specific engine without holding it. *)
+
 val now : t -> int
 (** Current simulated time in cycles. *)
 
@@ -102,3 +107,37 @@ val set_sanitizer_factory : (unit -> sanitizer) option -> unit
 (** Process-global: when set, {!create} attaches [f ()] to every new
     engine.  Lets a sanitizer reach engines constructed deep inside
     experiment code; see [San.sanitized]. *)
+
+(** {1 Observability tracer hooks}
+
+    An optional trace collector (implemented in [lib/trace]) plugs into
+    the engine exactly like the sanitizer: a record of closures invoked by
+    instrumented layers through their engine handle.  [None] (the
+    default) costs one branch per hook site and allocates nothing — the
+    "zero-cost-when-off" contract the [bench] suite measures. *)
+
+type tracer = {
+  tr_thread : string -> int;
+      (** Register a simulated thread's track by name; returns its trace
+          id. *)
+  tr_slice : tid:int -> t0:int -> t1:int -> name:string -> unit;
+      (** A completed span [\[t0, t1\]] of simulated time on a thread
+          track (an [Env.tagged] region). *)
+  tr_instant : tid:int -> time:int -> name:string -> arg:string -> unit;
+      (** A point event (role switch, seqlock bounce, tuner decision);
+          [tid = -1] targets the collector's global events track. *)
+  tr_counter : time:int -> track:string -> value:float -> unit;
+      (** One sample of a named counter track (ring occupancy, hit
+          rates). *)
+  tr_cycles : tid:int -> site:string -> cycles:int -> unit;
+      (** Charged cycles attributed to the [Env] site path active when
+          the charge was made; feeds the per-site cycle profiler. *)
+}
+
+val set_tracer : t -> tracer option -> unit
+val tracer : t -> tracer option
+
+val set_tracer_factory : (t -> tracer) option -> unit
+(** Process-global: when set, {!create} attaches [f engine] to every new
+    engine (the factory receives the engine so a collector can pace
+    itself off the engine clock); see [Trace.traced]. *)

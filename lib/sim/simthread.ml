@@ -6,6 +6,7 @@ type ctx = {
   name : string;
   mutable acc : int;
   san : int;  (* sanitizer thread id; -1 when no sanitizer is attached *)
+  tr : int;  (* tracer track id; -1 when no tracer is attached *)
 }
 
 type _ Effect.t +=
@@ -15,6 +16,7 @@ type _ Effect.t +=
 let engine ctx = ctx.engine
 let name ctx = ctx.name
 let san_id ctx = ctx.san
+let tr_id ctx = ctx.tr
 let now ctx = Engine.now ctx.engine + ctx.acc
 
 let charge ctx n =
@@ -69,7 +71,12 @@ let spawn ?at ?(name = "thread") engine fn =
     | None -> -1
     | Some s -> s.Engine.san_thread name
   in
-  let ctx = { engine; name; acc = 0; san } in
+  let tr =
+    match Engine.tracer engine with
+    | None -> -1
+    | Some t -> t.Engine.tr_thread name
+  in
+  let ctx = { engine; name; acc = 0; san; tr } in
   let start ctx =
     san_sched_acquire ctx;
     fn ctx

@@ -27,6 +27,11 @@ val san_id : ctx -> int
 (** Sanitizer thread id assigned at {!spawn} when a sanitizer is attached
     to the engine; [-1] otherwise.  Used by [Env] to attribute accesses. *)
 
+val tr_id : ctx -> int
+(** Tracer track id assigned at {!spawn} when a tracer is attached to the
+    engine; [-1] otherwise.  Used by [Env] to attribute slices, instants
+    and charged cycles to this thread's track. *)
+
 val now : ctx -> int
 (** Engine time plus this thread's uncommitted cycles — i.e. where this
     thread's private clock stands. *)

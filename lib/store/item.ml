@@ -66,6 +66,9 @@ let rec read_loop env t =
   let v1 = t.version in
   if v1 land 1 = 1 then begin
     (* writer in progress: re-poll the header *)
+    if Env.tracing env then
+      Env.instant env ~name:"seqlock.read_bounce"
+        ~arg:("item@" ^ string_of_int t.addr);
     Env.load env ~addr:t.addr ~size:header_bytes;
     Env.compute env spin_backoff_cycles;
     read_loop env t
@@ -78,6 +81,9 @@ let rec read_loop env t =
     Env.load_speculative env ~addr ~size;
     Env.commit env;
     if t.version <> v1 then begin
+      if Env.tracing env then
+        Env.instant env ~name:"seqlock.read_bounce"
+          ~arg:("item@" ^ string_of_int t.addr);
       Env.compute env spin_backoff_cycles;
       read_loop env t
     end
@@ -113,6 +119,9 @@ let rec write_loop env t value slab =
        header line, invalidating the holder's copy — the cacheline
        ping-pong that makes contended critical sections stretch (§2.2.2) *)
     t.contended <- t.contended + 1;
+    if Env.tracing env then
+      Env.instant env ~name:"seqlock.write_contend"
+        ~arg:("item@" ^ string_of_int t.addr);
     Env.store env ~addr:t.addr ~size:header_bytes;
     Env.compute env spin_backoff_cycles;
     write_loop env t value slab

@@ -1,0 +1,98 @@
+type kind = Counter | Gauge
+
+type entry = {
+  scope : string;
+  subsystem : string;
+  name : string;
+  kind : kind;
+  engine_id : int;
+  read : unit -> float;
+}
+
+type t = { mutable rev_entries : entry list; mutable scope : string }
+
+let create () = { rev_entries = []; scope = "" }
+let set_scope t scope = t.scope <- scope
+let scope t = t.scope
+
+let register ?(kind = Gauge) ?(engine_id = -1) t ~subsystem ~name read =
+  t.rev_entries <-
+    { scope = t.scope; subsystem; name; kind; engine_id; read }
+    :: t.rev_entries
+
+let entries t = List.rev t.rev_entries
+let size t = List.length t.rev_entries
+
+(* Process-global registry consulted by subsystem constructors
+   (Backend.create, Mutps.create, Autotuner.create), following the
+   Engine.set_sanitizer_factory pattern: installing a registry before a
+   run lets every system built inside register its sources without
+   threading a parameter through the experiment code. *)
+let current_reg : t option ref = ref None
+let set_current r = current_reg := r
+let current () = !current_reg
+
+let track_name e =
+  let base = e.subsystem ^ "." ^ e.name in
+  if e.scope = "" then base else e.scope ^ "/" ^ base
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge"
+
+(* Render a value compactly and always as valid CSV/JSON: integral floats
+   without an exponent, non-finite values as 0. *)
+let value_to_string v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_csv t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "scope,subsystem,name,kind,value\n";
+  List.iter
+    (fun (e : entry) ->
+      Printf.bprintf b "%s,%s,%s,%s,%s\n" e.scope e.subsystem e.name
+        (kind_name e.kind)
+        (value_to_string (e.read ())))
+    (entries t);
+  Buffer.contents b
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (e : entry) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"scope\":\"";
+      json_escape b e.scope;
+      Buffer.add_string b "\",\"subsystem\":\"";
+      json_escape b e.subsystem;
+      Buffer.add_string b "\",\"name\":\"";
+      json_escape b e.name;
+      Buffer.add_string b "\",\"kind\":\"";
+      Buffer.add_string b (kind_name e.kind);
+      Buffer.add_string b "\",\"value\":";
+      Buffer.add_string b (value_to_string (e.read ()));
+      Buffer.add_char b '}')
+    (entries t);
+  Buffer.add_string b "]";
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (if Filename.check_suffix path ".json" then to_json t else to_csv t))

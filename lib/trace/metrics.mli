@@ -1,0 +1,65 @@
+(** Metrics registry: named per-subsystem counters and gauges, pulled at
+    dump time and sampled into counter tracks by the trace collector.
+
+    Sources are closures over each subsystem's existing accounting
+    ([Hierarchy.core_stats], [Link] byte counts, [Crmr] occupancy, μTPS
+    CR/MR accounting, [Autotuner] passes), registered by the subsystem's
+    constructor when a process-global registry is installed — the same
+    reach-without-plumbing pattern as [Engine.set_sanitizer_factory].
+    Registration and reads never charge simulated cycles and never mutate
+    simulation state, so a registry cannot perturb a run. *)
+
+type kind =
+  | Counter  (** monotonically non-decreasing (ops, hits, bytes) *)
+  | Gauge  (** instantaneous level (occupancy, sizes, splits) *)
+
+type entry = {
+  scope : string;  (** Experiment/system label active at registration. *)
+  subsystem : string;
+  name : string;
+  kind : kind;
+  engine_id : int;
+      (** {!Mutps_sim.Engine.id} of the owning engine; [-1] = any.  The
+          trace collector samples only entries of its own engine. *)
+  read : unit -> float;
+}
+
+type t
+
+val create : unit -> t
+
+val set_scope : t -> string -> unit
+(** Label subsequent registrations (e.g. with the system under test);
+    the harness sets this per built system. *)
+
+val scope : t -> string
+
+val register :
+  ?kind:kind -> ?engine_id:int -> t -> subsystem:string -> name:string ->
+  (unit -> float) -> unit
+
+val entries : t -> entry list
+(** In registration order. *)
+
+val size : t -> int
+
+val track_name : entry -> string
+(** Counter-track label: ["scope/subsystem.name"] (or without the scope
+    prefix when unset). *)
+
+val set_current : t option -> unit
+val current : unit -> t option
+(** Process-global registry consulted by subsystem constructors; see the
+    CLI's [--metrics] wiring. *)
+
+val to_csv : t -> string
+(** One row per entry, values read at call time:
+    [scope,subsystem,name,kind,value]. *)
+
+val to_json : t -> string
+
+val write_file : t -> string -> unit
+(** CSV, or JSON when [path] ends in [.json]. *)
+
+val value_to_string : float -> string
+(** Compact, always-parseable rendering (non-finite values become 0). *)

@@ -1,0 +1,12 @@
+(** Chrome/Perfetto trace-event JSON exporter.
+
+    Renders collectors as one Perfetto process per engine with one slice
+    track per simulated thread plus a tid-0 track carrying instants and
+    every counter track.  Open the file in [ui.perfetto.dev] (or
+    [chrome://tracing]); see the README's observability quickstart. *)
+
+val to_json : ?ghz:float -> Trace.t list -> string
+(** [ghz] (default 2.5, the simulated machine's clock) converts cycle
+    timestamps to trace microseconds. *)
+
+val write_file : ?ghz:float -> string -> Trace.t list -> unit

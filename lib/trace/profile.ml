@@ -1,0 +1,35 @@
+(* Collapsed-stack cycle profile over the Env site tags: one line per
+   "thread;site;..." stack with its aggregated charged cycles — the input
+   format of flamegraph.pl and speedscope, and grep-able on its own. *)
+
+let folded traces =
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun (key, cycles) ->
+          match Hashtbl.find_opt merged key with
+          | Some r -> r := !r + cycles
+          | None -> Hashtbl.add merged key (ref cycles))
+        (Trace.profile_entries tr))
+    traces;
+  Hashtbl.to_seq merged
+  |> Seq.map (fun (k, r) -> (k, !r))
+  |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_text traces =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (key, cycles) -> Printf.bprintf b "%s %d\n" key cycles)
+    (folded traces);
+  Buffer.contents b
+
+let write_file path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_text traces))
+
+let total traces =
+  List.fold_left (fun acc tr -> acc + Trace.profile_total tr) 0 traces

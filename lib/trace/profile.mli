@@ -1,0 +1,16 @@
+(** Per-site cycle profiler output: collapsed stacks over the [Env]
+    site-tag paths, answering "which code path costs what" per thread.
+
+    Feed the text to [flamegraph.pl] or speedscope, or sort by the trailing
+    count directly. *)
+
+val folded : Trace.t list -> (string * int) list
+(** Merged across collectors, sorted by stack key (deterministic). *)
+
+val to_text : Trace.t list -> string
+(** One ["thread;site;... cycles"] line per stack. *)
+
+val write_file : string -> Trace.t list -> unit
+
+val total : Trace.t list -> int
+(** Total charged cycles attributed across all collectors. *)

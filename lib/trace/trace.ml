@@ -1,0 +1,178 @@
+module Engine = Mutps_sim.Engine
+
+type slice = { s_tid : int; s_t0 : int; s_t1 : int; s_name : string }
+type instant = { i_tid : int; i_time : int; i_name : string; i_arg : string }
+type counter = { c_time : int; c_track : string; c_value : float }
+
+(* Growable vector: traces hold millions of events, so list accumulation
+   (and its final reversal) is too heavy. *)
+module Vec = struct
+  type 'a t = { mutable a : 'a array; mutable n : int; dummy : 'a }
+
+  let create dummy = { a = Array.make 64 dummy; n = 0; dummy }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let bigger = Array.make (2 * v.n) v.dummy in
+      Array.blit v.a 0 bigger 0 v.n;
+      v.a <- bigger
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let length v = v.n
+  let get v i = v.a.(i)
+
+  let iter f v =
+    for i = 0 to v.n - 1 do
+      f v.a.(i)
+    done
+end
+
+type t = {
+  engine : Engine.t;
+  keep_events : bool;
+  sample_every : int;
+  max_events : int;
+  mutable dropped : int;
+  mutable next_sample : int;
+  threads : string Vec.t;
+  slices : slice Vec.t;
+  instants : instant Vec.t;
+  counters : counter Vec.t;
+  profile : (string, int ref) Hashtbl.t;
+  mutable profile_total : int;
+}
+
+let make ?(keep_events = true) ?(sample_every = 100_000)
+    ?(max_events = 2_000_000) engine =
+  if sample_every <= 0 then invalid_arg "Trace.make: sample_every";
+  if max_events <= 0 then invalid_arg "Trace.make: max_events";
+  {
+    engine;
+    keep_events;
+    sample_every;
+    max_events;
+    dropped = 0;
+    next_sample = sample_every;
+    threads = Vec.create "";
+    slices = Vec.create { s_tid = 0; s_t0 = 0; s_t1 = 0; s_name = "" };
+    instants = Vec.create { i_tid = 0; i_time = 0; i_name = ""; i_arg = "" };
+    counters = Vec.create { c_time = 0; c_track = ""; c_value = 0.0 };
+    profile = Hashtbl.create 64;
+    profile_total = 0;
+  }
+
+let engine_id t = Engine.id t.engine
+let thread_count t = Vec.length t.threads
+let thread_name t tid = if tid < 0 then "events" else Vec.get t.threads tid
+let slice_count t = Vec.length t.slices
+let instant_count t = Vec.length t.instants
+let counter_count t = Vec.length t.counters
+let iter_slices t f = Vec.iter f t.slices
+let iter_instants t f = Vec.iter f t.instants
+let iter_counters t f = Vec.iter f t.counters
+let iter_threads t f = Vec.iter f t.threads
+let profile_total t = t.profile_total
+let dropped t = t.dropped
+
+(* Bound memory and file size on long runs: a fine-grained trace of a
+   multi-second simulation is too large to load anyway, so keep the first
+   [max_events] and count the rest.  Capping only affects what the
+   collector retains, never the simulation. *)
+let room t =
+  if
+    Vec.length t.slices + Vec.length t.instants + Vec.length t.counters
+    < t.max_events
+  then true
+  else begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+
+(* Per-site aggregated cycles, sorted by stack key so output (and the
+   digests tests take of it) is deterministic. *)
+let profile_entries t =
+  Hashtbl.to_seq t.profile
+  |> Seq.map (fun (k, r) -> (k, !r))
+  |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Pull one sample of every registered metric of this engine into the
+   counter tracks.  Piggybacks on event emission instead of scheduling
+   engine events, so an attached tracer leaves the event queue — and
+   therefore the simulation schedule — completely untouched. *)
+let maybe_sample t =
+  let now = Engine.now t.engine in
+  if now >= t.next_sample then begin
+    t.next_sample <- now + t.sample_every;
+    match Metrics.current () with
+    | None -> ()
+    | Some reg ->
+      let eid = engine_id t in
+      List.iter
+        (fun (e : Metrics.entry) ->
+          if (e.Metrics.engine_id = eid || e.Metrics.engine_id = -1)
+             && room t
+          then
+            Vec.push t.counters
+              {
+                c_time = now;
+                c_track = Metrics.track_name e;
+                c_value = e.Metrics.read ();
+              })
+        (Metrics.entries reg)
+  end
+
+let note_cycles t ~tid ~site ~cycles =
+  t.profile_total <- t.profile_total + cycles;
+  let root = thread_name t tid in
+  let key = if site = "" then root else root ^ ";" ^ site in
+  (match Hashtbl.find_opt t.profile key with
+  | Some r -> r := !r + cycles
+  | None -> Hashtbl.add t.profile key (ref cycles));
+  if t.keep_events then maybe_sample t
+
+let hooks t : Engine.tracer =
+  {
+    Engine.tr_thread =
+      (fun name ->
+        let id = Vec.length t.threads in
+        Vec.push t.threads name;
+        id);
+    tr_slice =
+      (fun ~tid ~t0 ~t1 ~name ->
+        if t.keep_events then begin
+          maybe_sample t;
+          if room t then
+            Vec.push t.slices
+              { s_tid = tid; s_t0 = t0; s_t1 = t1; s_name = name }
+        end);
+    tr_instant =
+      (fun ~tid ~time ~name ~arg ->
+        if t.keep_events && room t then
+          Vec.push t.instants
+            { i_tid = tid; i_time = time; i_name = name; i_arg = arg });
+    tr_counter =
+      (fun ~time ~track ~value ->
+        if t.keep_events && room t then
+          Vec.push t.counters { c_time = time; c_track = track; c_value = value });
+    tr_cycles = (fun ~tid ~site ~cycles -> note_cycles t ~tid ~site ~cycles);
+  }
+
+let install ?keep_events ?sample_every ?max_events engine =
+  let t = make ?keep_events ?sample_every ?max_events engine in
+  Engine.set_tracer engine (Some (hooks t));
+  t
+
+let traced ?keep_events ?sample_every ?max_events f =
+  let instances = ref [] in
+  Engine.set_tracer_factory
+    (Some
+       (fun engine ->
+         let t = make ?keep_events ?sample_every ?max_events engine in
+         instances := t :: !instances;
+         hooks t));
+  let finally () = Engine.set_tracer_factory None in
+  let result = Fun.protect ~finally f in
+  (result, List.rev !instances)

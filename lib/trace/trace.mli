@@ -1,0 +1,89 @@
+(** Simulated-time trace collector: the sink behind
+    {!Mutps_sim.Engine.tracer} (DESIGN.md §7, "Observability").
+
+    One collector per engine accumulates three event families, all
+    stamped with simulated time:
+
+    - {e slices} — completed [Env.tagged] regions on per-thread tracks
+      (ring operations, index probes, seqlock reads/writes, idle polls);
+      nested regions nest on the track, giving a flame view over time;
+    - {e instants} — point events (role switches, seqlock bounces,
+      CR-MR backpressure, auto-tuner decisions);
+    - {e counters} — samples of named counter tracks, emitted directly by
+      instrumented layers (ring occupancy) and pulled from the
+      {!Metrics} registry every [sample_every] cycles.
+
+    In parallel it aggregates every charged cycle by the emitting
+    thread's [Env] site stack — the per-site profile {!Profile} renders
+    as collapsed stacks.
+
+    Determinism: the collector never schedules engine events, never
+    charges cycles and never mutates simulation state — metric sampling
+    piggybacks on event emission — so a traced run is bit-identical to an
+    untraced one (test/trace regression).  With no tracer attached every
+    hook site is a single branch and allocates nothing. *)
+
+type slice = { s_tid : int; s_t0 : int; s_t1 : int; s_name : string }
+type instant = { i_tid : int; i_time : int; i_name : string; i_arg : string }
+type counter = { c_time : int; c_track : string; c_value : float }
+
+type t
+
+val make :
+  ?keep_events:bool ->
+  ?sample_every:int ->
+  ?max_events:int ->
+  Mutps_sim.Engine.t ->
+  t
+(** [keep_events] (default [true]): store slices/instants/counters; pass
+    [false] for a profile-only collector that retains just the per-site
+    cycle table.  [sample_every] (default 100k cycles, 40 μs at 2.5 GHz)
+    paces {!Metrics} sampling into counter tracks.  [max_events]
+    (default 2M) bounds retained events: the first [max_events] are kept,
+    the rest only counted ({!dropped}) — the cycle profile is never
+    truncated. *)
+
+val hooks : t -> Mutps_sim.Engine.tracer
+
+val install :
+  ?keep_events:bool ->
+  ?sample_every:int ->
+  ?max_events:int ->
+  Mutps_sim.Engine.t ->
+  t
+(** Attach a fresh collector to one engine. *)
+
+val traced :
+  ?keep_events:bool ->
+  ?sample_every:int ->
+  ?max_events:int ->
+  (unit -> 'a) ->
+  'a * t list
+(** [traced f] runs [f] with a global engine factory installed so every
+    engine created inside [f] gets its own collector, and returns [f ()]'s
+    result plus the collectors in creation order.  Not reentrant. *)
+
+(** {1 Reading a collector} *)
+
+val engine_id : t -> int
+val thread_count : t -> int
+
+val thread_name : t -> int -> string
+(** Name registered at [tr_thread]; [-1] maps to ["events"]. *)
+
+val slice_count : t -> int
+val instant_count : t -> int
+val counter_count : t -> int
+val iter_slices : t -> (slice -> unit) -> unit
+val iter_instants : t -> (instant -> unit) -> unit
+val iter_counters : t -> (counter -> unit) -> unit
+val iter_threads : t -> (string -> unit) -> unit
+
+val dropped : t -> int
+(** Events discarded after [max_events] was reached. *)
+
+val profile_total : t -> int
+(** Total charged cycles attributed through [Env] while attached. *)
+
+val profile_entries : t -> (string * int) list
+(** Aggregated cycles per ["thread;site;..."] stack, sorted by stack. *)

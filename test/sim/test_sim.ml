@@ -206,6 +206,63 @@ let test_hist_merge_clear () =
   Stats.Hist.clear b;
   check_int "cleared" 0 (Stats.Hist.count b)
 
+let test_hist_empty () =
+  let h = Stats.Hist.create () in
+  check_int "count" 0 (Stats.Hist.count h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.Hist.mean h);
+  check_int "max" 0 (Stats.Hist.max_value h);
+  (* every percentile of an empty histogram is 0, including the edges *)
+  List.iter
+    (fun p -> check_int "percentile" 0 (Stats.Hist.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_hist_single_sample () =
+  let h = Stats.Hist.create () in
+  Stats.Hist.add h 42;
+  check_int "count" 1 (Stats.Hist.count h);
+  Alcotest.(check (float 0.001)) "mean" 42.0 (Stats.Hist.mean h);
+  (* with one sample every percentile must report it exactly *)
+  List.iter
+    (fun p -> check_int "percentile" 42 (Stats.Hist.percentile h p))
+    [ 0.0; 1.0; 50.0; 99.0; 99.9; 100.0 ]
+
+let test_hist_p99_tiny_counts () =
+  (* P99 over n < 100 samples must round up to a real sample, never
+     interpolate below the population: for two samples it is the larger *)
+  let h = Stats.Hist.create () in
+  Stats.Hist.add h 1;
+  Stats.Hist.add h 1_000;
+  check_int "p99 of two" 1_000 (Stats.Hist.percentile h 99.0);
+  check_int "p50 of two" 1 (Stats.Hist.percentile h 50.0);
+  let h3 = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h3) [ 10; 20; 30 ];
+  check_int "p99 of three" 30 (Stats.Hist.percentile h3 99.0);
+  (* ceiling-rank semantics: rank ceil(p/100*n); 2/3 of the mass is at or
+     below 20, anything above needs the third sample *)
+  check_int "p66 of three" 20 (Stats.Hist.percentile h3 66.0);
+  check_int "p67 of three" 30 (Stats.Hist.percentile h3 67.0)
+
+let test_hist_negative_clamped () =
+  let h = Stats.Hist.create () in
+  Stats.Hist.add h (-5);
+  Stats.Hist.add h (-1);
+  check_int "count" 2 (Stats.Hist.count h);
+  check_int "max" 0 (Stats.Hist.max_value h);
+  check_int "p100" 0 (Stats.Hist.percentile h 100.0);
+  Alcotest.(check (float 0.001)) "mean of clamped" 0.0 (Stats.Hist.mean h)
+
+let test_hist_merge_empty () =
+  (* merging an empty histogram is the identity in both directions *)
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  Stats.Hist.add a 7;
+  Stats.Hist.merge_into ~src:b ~dst:a;
+  check_int "count unchanged" 1 (Stats.Hist.count a);
+  check_int "p99 unchanged" 7 (Stats.Hist.percentile a 99.0);
+  let c = Stats.Hist.create () in
+  Stats.Hist.merge_into ~src:a ~dst:c;
+  check_int "merged into empty" 1 (Stats.Hist.count c);
+  check_int "merged p99" 7 (Stats.Hist.percentile c 99.0)
+
 let test_monitor_windows () =
   let m = Stats.Monitor.create ~window:100 in
   Stats.Monitor.record m ~now:10 5;
@@ -388,6 +445,11 @@ let () =
           Alcotest.test_case "hist large" `Quick test_hist_large_values;
           Alcotest.test_case "hist monotone" `Quick test_hist_percentile_monotone;
           Alcotest.test_case "hist merge/clear" `Quick test_hist_merge_clear;
+          Alcotest.test_case "hist empty" `Quick test_hist_empty;
+          Alcotest.test_case "hist single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "hist p99 tiny counts" `Quick test_hist_p99_tiny_counts;
+          Alcotest.test_case "hist negative clamped" `Quick test_hist_negative_clamped;
+          Alcotest.test_case "hist merge empty" `Quick test_hist_merge_empty;
           Alcotest.test_case "monitor windows" `Quick test_monitor_windows;
           Alcotest.test_case "monitor rate" `Quick test_monitor_rate;
           Alcotest.test_case "mops" `Quick test_mops;
