@@ -1,29 +1,20 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (via Mutps_experiments.Registry) and then runs a Bechamel
-   microbenchmark suite over the substrate hot paths.
+   evaluation (via Mutps_experiments.Runner, fanned out over domains) and
+   then runs a Bechamel microbenchmark suite over the substrate hot paths.
 
    Usage:
-     bench/main.exe                 run everything
-     bench/main.exe fig7 fig12      run selected experiments
-     bench/main.exe micro           run only the microbenchmarks
-   Scale via MUTPS_BENCH_SCALE (e.g. 0.25 for a quick pass). *)
+     bench/main.exe                        run everything
+     bench/main.exe fig7 fig12             run selected experiments
+     bench/main.exe micro                  run only the microbenchmarks
+     bench/main.exe --jobs 4 --json out.json fig2a fig12
+   Flags:
+     --jobs N       worker domains (default: Domain.recommended_domain_count)
+     --json FILE    write all experiment rows as one canonical JSON document
+     --json-dir DIR write DIR/BENCH_<name>.json per experiment
+   Scale via MUTPS_BENCH_SCALE (e.g. 0.25 for a quick pass).  Exits
+   non-zero if any experiment raises, so CI sees broken experiments. *)
 
 open Mutps_experiments
-
-let run_experiment name =
-  match Registry.find name with
-  | Some e ->
-    (* wall-clock is fine here: we time the simulator process itself, and
-       nothing simulated depends on it *)
-    let t0 = Sys.time () [@lint.allow "R1"] in
-    (try e.Registry.run (Harness.scale_from_env ())
-     with exn ->
-       Printf.printf "[%s FAILED: %s]\n%!" name (Printexc.to_string exn));
-    Printf.printf "[%s done in %.1fs cpu]\n%!" name
-      ((Sys.time () [@lint.allow "R1"]) -. t0)
-  | None ->
-    Printf.eprintf "unknown experiment %S; available: %s\n%!" name
-      (String.concat ", " (Registry.names ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate hot paths                 *)
@@ -176,14 +167,116 @@ let run_micro () =
          | Some [ est ] -> Printf.printf "%-40s %10.1f ns/run\n%!" name est
          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
 
+(* ------------------------------------------------------------------ *)
+(* Argument parsing and the parallel experiment pass                   *)
+(* ------------------------------------------------------------------ *)
+
+type opts = {
+  jobs : int;
+  json : string option;
+  json_dir : string option;
+  micro : bool;
+  names : string list;  (** [] = all *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs N] [--json FILE] [--json-dir DIR] \
+     [micro | EXPERIMENT...]";
+  exit 2
+
+let parse_args argv =
+  let opts =
+    ref
+      {
+        jobs = Runner.default_jobs ();
+        json = None;
+        json_dir = None;
+        micro = false;
+        names = [];
+      }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> opts := { !opts with jobs = j }
+      | _ -> usage ());
+      go rest
+    | "--json" :: v :: rest ->
+      opts := { !opts with json = Some v };
+      go rest
+    | "--json-dir" :: v :: rest ->
+      opts := { !opts with json_dir = Some v };
+      go rest
+    | "micro" :: rest ->
+      opts := { !opts with micro = true };
+      go rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "unknown flag %s\n%!" arg;
+      usage ()
+    | name :: rest ->
+      opts := { !opts with names = !opts.names @ [ name ] };
+      go rest
+  in
+  go (List.tl (Array.to_list argv));
+  !opts
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-    List.iter (fun e -> run_experiment e.Registry.name) Registry.all;
-    run_micro ()
-  | [ "micro" ] -> run_micro ()
-  | names ->
+  let opts = parse_args Sys.argv in
+  (* no positional args: full evaluation + microbenchmarks *)
+  let run_everything = opts.names = [] && not opts.micro in
+  let names = if run_everything then Registry.names () else opts.names in
+  (match
+     List.filter (fun n -> Registry.find n = None) names
+   with
+  | [] -> ()
+  | unknown ->
+    Printf.eprintf "unknown experiment(s) %s; available: %s\n%!"
+      (String.concat ", " unknown)
+      (String.concat ", " (Registry.names ()));
+    exit 2);
+  let failures = ref 0 in
+  if names <> [] then begin
+    let scale = Harness.scale_from_env () in
+    let outcomes =
+      Runner.run_all ~jobs:opts.jobs
+        ~on_done:(fun o ->
+          Printf.eprintf "[%s %s in %.1fs cpu]\n%!" o.Runner.name
+            (if o.Runner.error = None then "done" else "FAILED")
+            o.Runner.cpu_s)
+        names scale
+    in
+    (* stream the captured text in request order, then the failure list *)
     List.iter
-      (fun n -> if n = "micro" then run_micro () else run_experiment n)
-      names
+      (fun (o : Runner.outcome) ->
+        print_string o.Runner.output;
+        match o.Runner.error with
+        | None -> ()
+        | Some msg -> Printf.printf "[%s FAILED: %s]\n%!" o.Runner.name msg)
+      outcomes;
+    let failed = Runner.failed outcomes in
+    failures := List.length failed;
+    (match opts.json with
+    | Some path ->
+      Report.write_file path (Runner.rows outcomes);
+      Printf.eprintf "json: %d row(s) -> %s\n%!"
+        (List.length (Runner.rows outcomes))
+        path
+    | None -> ());
+    match opts.json_dir with
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (o : Runner.outcome) ->
+          let path = Filename.concat dir ("BENCH_" ^ o.Runner.name ^ ".json") in
+          Report.write_file path o.Runner.rows)
+        outcomes;
+      Printf.eprintf "json: per-experiment files -> %s/BENCH_*.json\n%!" dir
+    | None -> ()
+  end;
+  if opts.micro || run_everything then run_micro ();
+  if !failures > 0 then begin
+    Printf.eprintf "%d experiment(s) failed\n%!" !failures;
+    exit 1
+  end

@@ -168,24 +168,114 @@ let run_cmd =
     let doc = "Experiments to run (see $(b,list)); 'all' runs everything." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run scale sanitize obs names =
+  let jobs =
+    let doc =
+      "Worker domains for the experiment fan-out (experiments are \
+       independent simulations; results are identical for any job \
+       count).  Defaults to the machine's recommended domain count."
+    in
+    Arg.(value & opt int (Runner.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc =
+      "Write every experiment datapoint to $(docv) as canonical JSON \
+       (sorted keys, fixed float formatting; bit-reproducible for a \
+       given build and scale — see $(b,bench-compare))."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run scale sanitize obs jobs json names =
     let names =
       if List.mem "all" names then Registry.names () else names
     in
+    (match List.filter (fun n -> Registry.find n = None) names with
+    | [] -> ()
+    | unknown ->
+      Printf.eprintf "unknown experiment(s): %s (try 'list')\n%!"
+        (String.concat ", " unknown);
+      exit 1);
     with_sanitizer sanitize @@ fun () ->
     with_observability obs @@ fun () ->
+    let outcomes =
+      Runner.run_all ~jobs
+        ~on_done:(fun o ->
+          if o.Runner.error <> None then
+            Printf.eprintf "[%s FAILED]\n%!" o.Runner.name)
+        names scale
+    in
     List.iter
-      (fun name ->
-        match Registry.find name with
-        | Some e -> e.Registry.run scale
-        | None ->
-          Printf.eprintf "unknown experiment %S (try 'list')\n%!" name;
-          exit 1)
-      names
+      (fun (o : Runner.outcome) ->
+        print_string o.Runner.output;
+        match o.Runner.error with
+        | None -> ()
+        | Some msg -> Printf.printf "[%s FAILED: %s]\n%!" o.Runner.name msg)
+      outcomes;
+    (match json with
+    | Some path ->
+      Report.write_file path (Runner.rows outcomes);
+      Printf.eprintf "json: %d row(s) -> %s\n%!"
+        (List.length (Runner.rows outcomes))
+        path
+    | None -> ());
+    match Runner.failed outcomes with
+    | [] -> ()
+    | failed ->
+      Printf.eprintf "%d experiment(s) failed\n%!" (List.length failed);
+      exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one or more of the paper's tables/figures")
-    Term.(const run $ scale_term $ sanitize_term $ obs_term $ names)
+    Term.(
+      const run $ scale_term $ sanitize_term $ obs_term $ jobs $ json $ names)
+
+(* --- bench-compare: the regression gate over canonical result files --- *)
+
+let bench_compare_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline canonical JSON result file.")
+  in
+  let current =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current canonical JSON result file.")
+  in
+  let tolerance =
+    let doc =
+      "Allowed relative drift per metric.  The default 0 demands exact \
+       equality of canonical values — sound because the DES is \
+       deterministic, so any difference is a real behavioral change."
+    in
+    Arg.(value & opt float 0.0 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let run baseline current tolerance =
+    let load path =
+      try Report.read_file path
+      with
+      | Report.Parse_error msg ->
+        Printf.eprintf "%s: parse error: %s\n%!" path msg;
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "%s\n%!" msg;
+        exit 2
+    in
+    let b = load baseline and c = load current in
+    match Report.diff ~tolerance ~baseline:b ~current:c () with
+    | [] ->
+      Printf.printf "bench-compare: %d row(s) match (tolerance %g)\n%!"
+        (List.length b) tolerance
+    | drifts ->
+      List.iter
+        (fun d -> Printf.printf "drift: %s\n" (Report.drift_to_string d))
+        drifts;
+      Printf.printf "bench-compare: %d drift(s) across %d baseline row(s)\n%!"
+        (List.length drifts) (List.length b);
+      exit 4
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two canonical JSON result files; exit non-zero on any drift \
+          (the CI bench-regression gate)")
+    Term.(const run $ baseline $ current $ tolerance)
 
 (* --- serve: one ad-hoc measurement --- *)
 
@@ -252,4 +342,6 @@ let () =
     Cmd.info "mutps-cli" ~version:"1.0.0"
       ~doc:"uTPS reproduction: simulated in-memory KVS experiments"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; serve_cmd; bench_compare_cmd ]))

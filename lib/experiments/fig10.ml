@@ -5,38 +5,53 @@ module Ycsb = Mutps_workload.Ycsb
 module Kvs = Mutps_kvs
 
 let client_counts = [ 2; 8; 24; 64 ]
+let systems = [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ]
+let index_key = function Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
 
 let run_half scale index =
-  let index_name =
-    match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
-  in
+  let index_name = index_key index in
   Harness.section
     (Printf.sprintf "Figure 10 (%s index): throughput vs latency" index_name);
   let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:8 () in
+  let axis_of clients =
+    [ ("clients", string_of_int clients); ("index", index_name) ]
+  in
+  let rows =
+    List.concat_map
+      (fun clients ->
+        let s = { scale with Harness.clients; window = 1 } in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig10"
+              ~system:(Harness.system_name sys) ~axis:(axis_of clients)
+              (Harness.measure ~index sys s spec))
+          systems)
+      client_counts
+  in
   let table =
-    Table.create
-      [
-        "clients"; "system"; "Mops"; "P50 (us)"; "P99 (us)";
-      ]
+    Table.create [ "clients"; "system"; "Mops"; "P50 (us)"; "P99 (us)" ]
   in
   List.iter
     (fun clients ->
-      let s = { scale with Harness.clients; window = 1 } in
       List.iter
-        (fun (sys : Harness.system) ->
-          let m = Harness.measure ~index sys s spec in
+        (fun sys ->
+          let system = Harness.system_name sys in
+          let m name =
+            Report.find_metric rows ~experiment:"fig10" ~system
+              ~axis:(axis_of clients) name
+          in
           Table.add_row table
             [
               string_of_int clients;
-              Harness.system_name sys;
-              Table.cell_f m.Harness.mops;
-              Table.cell_f m.Harness.p50_us;
-              Table.cell_f m.Harness.p99_us;
+              system;
+              Table.cell_f (m "mops");
+              Table.cell_f (m "p50_us");
+              Table.cell_f (m "p99_us");
             ])
-        [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ])
+        systems)
     client_counts;
-  Table.print table
+  Harness.print_table table;
+  rows
 
 let run scale =
-  run_half scale Kvs.Config.Tree;
-  run_half scale Kvs.Config.Hash
+  run_half scale Kvs.Config.Tree @ run_half scale Kvs.Config.Hash

@@ -4,40 +4,59 @@
 module Ycsb = Mutps_workload.Ycsb
 module Kvs = Mutps_kvs
 
+let index_key = function Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
+
 let run_cell scale ~index ~size =
   let scale =
     { scale with
       Harness.warmup = scale.Harness.warmup / 2;
       measure = scale.Harness.measure * 3 / 5 }
   in
-  let index_name =
-    match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
-  in
+  let index_name = index_key index in
   Harness.section
     (Printf.sprintf "Figure 11 (%s index, %dB items): scalability" index_name size);
   let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:size () in
-  let table = Table.create [ "threads"; "uTPS"; "BaseKV"; "eRPC-KV" ] in
   let points =
     List.filter (fun n -> n <= scale.Harness.cores) [ 2; 4; 8; 12; 16; 20; 24; 28 ]
   in
+  let axis_of threads =
+    [
+      ("index", index_name); ("size", string_of_int size);
+      ("threads", string_of_int threads);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        let s = { scale with Harness.cores = threads } in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig11"
+              ~system:(Harness.system_name sys) ~axis:(axis_of threads)
+              (Harness.measure ~index sys s spec))
+          [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ])
+      points
+  in
+  let table = Table.create [ "threads"; "uTPS"; "BaseKV"; "eRPC-KV" ] in
   List.iter
     (fun threads ->
-      let s = { scale with Harness.cores = threads } in
-      let m = Harness.measure ~index Harness.Mutps s spec in
-      let b = Harness.measure ~index Harness.Basekv s spec in
-      let e = Harness.measure ~index Harness.Erpckv s spec in
+      let m system =
+        Report.find_metric rows ~experiment:"fig11" ~system
+          ~axis:(axis_of threads) "mops"
+      in
       Table.add_row table
         [
           string_of_int threads;
-          Table.cell_f m.Harness.mops;
-          Table.cell_f b.Harness.mops;
-          Table.cell_f e.Harness.mops;
+          Table.cell_f (m "uTPS");
+          Table.cell_f (m "BaseKV");
+          Table.cell_f (m "eRPC-KV");
         ])
     points;
-  Table.print table
+  Harness.print_table table;
+  rows
 
 let run scale =
-  List.iter
+  List.concat_map
     (fun (index, size) -> run_cell scale ~index ~size)
     [
       (Kvs.Config.Tree, 8);

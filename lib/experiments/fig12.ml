@@ -15,28 +15,49 @@ let run scale =
   in
   Harness.section "Figure 12: effects of batching (YCSB-A, 8B items)";
   let spec = Ycsb.a ~keyspace:scale.Harness.keyspace ~value_size:8 () in
-  let table = Table.create [ "batch"; "uTPS-T"; "uTPS-H" ] in
-  let results =
-    List.map
+  let axis_of index batch =
+    [ ("batch", string_of_int batch); ("index", index) ]
+  in
+  let rows =
+    List.concat_map
       (fun batch ->
         let tweak c = { c with Kvs.Config.batch } in
-        let t = Harness.measure ~index:Kvs.Config.Tree ~tweak Harness.Mutps scale spec in
-        let h = Harness.measure ~index:Kvs.Config.Hash ~tweak Harness.Mutps scale spec in
-        Table.add_row table
-          [
-            string_of_int batch;
-            Table.cell_f t.Harness.mops;
-            Table.cell_f h.Harness.mops;
-          ];
-        (batch, t.Harness.mops, h.Harness.mops))
+        let t =
+          Harness.measure ~index:Kvs.Config.Tree ~tweak Harness.Mutps scale spec
+        in
+        let h =
+          Harness.measure ~index:Kvs.Config.Hash ~tweak Harness.Mutps scale spec
+        in
+        [
+          Report.of_measurement ~experiment:"fig12" ~system:"uTPS"
+            ~axis:(axis_of "tree" batch) t;
+          Report.of_measurement ~experiment:"fig12" ~system:"uTPS"
+            ~axis:(axis_of "hash" batch) h;
+        ])
       batch_sizes
   in
-  Table.print table;
-  (match results with
-  | (_, t1, h1) :: _ ->
-    let tb = List.fold_left (fun acc (_, t, _) -> Float.max acc t) 0.0 results in
-    let hb = List.fold_left (fun acc (_, _, h) -> Float.max acc h) 0.0 results in
-    Printf.printf "best-vs-batch1: uTPS-T +%.1f%%  uTPS-H +%.1f%%\n%!"
-      (100.0 *. ((tb /. Float.max t1 1e-9) -. 1.0))
-      (100.0 *. ((hb /. Float.max h1 1e-9) -. 1.0))
-  | [] -> ())
+  let m index batch =
+    Report.find_metric rows ~experiment:"fig12" ~system:"uTPS"
+      ~axis:(axis_of index batch) "mops"
+  in
+  let table = Table.create [ "batch"; "uTPS-T"; "uTPS-H" ] in
+  List.iter
+    (fun batch ->
+      Table.add_row table
+        [
+          string_of_int batch;
+          Table.cell_f (m "tree" batch);
+          Table.cell_f (m "hash" batch);
+        ])
+    batch_sizes;
+  Harness.print_table table;
+  (match batch_sizes with
+  | b1 :: _ ->
+    let best index =
+      List.fold_left (fun acc b -> Float.max acc (m index b)) 0.0 batch_sizes
+    in
+    Harness.printf "best-vs-batch1: uTPS-T +%.1f%%  uTPS-H +%.1f%%\n"
+      (100.0 *. ((best "tree" /. Float.max (m "tree" b1) 1e-9) -. 1.0))
+      (100.0 *. ((best "hash" /. Float.max (m "hash" b1) 1e-9) -. 1.0))
+  | [] -> ());
+  rows

@@ -39,77 +39,126 @@ let tuned_config (scale : Harness.scale) ?(index = Kvs.Config.Tree) spec =
   | Some cfg -> cfg
   | None -> (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
 
+let grid_13ab scale =
+  List.concat_map
+    (fun keyspace ->
+      List.concat_map
+        (fun size ->
+          List.map
+            (fun (dist_name, skewed) -> (keyspace, size, dist_name, skewed))
+            [ ("zipfian", true); ("uniform", false) ])
+        [ 8; 1024 ])
+    [ scale.Harness.keyspace / 4; scale.Harness.keyspace ]
+
+let axis_13ab (keyspace, size, dist_name, _) =
+  [
+    ("dist", dist_name); ("keyspace", string_of_int keyspace);
+    ("size", string_of_int size);
+  ]
+
 let run_13ab scale =
   Harness.section
     "Figure 13a/13b: tuner-chosen MR thread ratio and MR LLC-way ratio";
+  let cores = scale.Harness.cores in
+  let rows =
+    List.map
+      (fun ((keyspace, size, _, skewed) as cell) ->
+        let s = { scale with Harness.keyspace } in
+        let spec =
+          if skewed then Ycsb.a ~keyspace ~value_size:size ()
+          else
+            { (Ycsb.a ~keyspace ~value_size:size ()) with
+              Opgen.key_dist = Opgen.Uniform }
+        in
+        let ncr, hot, ways = tuned_config s spec in
+        Harness.printf ".";
+        Report.row ~experiment:"fig13ab" ~system:"uTPS" ~axis:(axis_13ab cell)
+          [
+            ("hot", float_of_int hot);
+            ("mr_threads_pct",
+             100.0 *. float_of_int (cores - ncr) /. float_of_int cores);
+            ("mr_ways_pct", 100.0 *. float_of_int ways /. 12.0);
+            ("ncr", float_of_int ncr);
+            ("ways", float_of_int ways);
+          ])
+      (grid_13ab scale)
+  in
+  Harness.printf "\n";
   let table =
     Table.create
       [ "keyspace"; "size"; "dist"; "MR threads %"; "MR ways %"; "hot items" ]
   in
-  let cores = scale.Harness.cores in
   List.iter
-    (fun keyspace ->
-      List.iter
-        (fun size ->
-          List.iter
-            (fun (dist_name, skewed) ->
-              let s = { scale with Harness.keyspace } in
-              let spec =
-                if skewed then Ycsb.a ~keyspace ~value_size:size ()
-                else
-                  { (Ycsb.a ~keyspace ~value_size:size ()) with
-                    Opgen.key_dist = Opgen.Uniform }
-              in
-              let ncr, hot, ways = tuned_config s spec in
-              Table.add_row table
-                [
-                  string_of_int keyspace;
-                  string_of_int size;
-                  dist_name;
-                  Printf.sprintf "%.0f%%"
-                    (100.0 *. float_of_int (cores - ncr) /. float_of_int cores);
-                  Printf.sprintf "%.0f%%" (100.0 *. float_of_int ways /. 12.0);
-                  string_of_int hot;
-                ];
-              Printf.printf ".%!")
-            [ ("zipfian", true); ("uniform", false) ])
-        [ 8; 1024 ])
-    [ scale.Harness.keyspace / 4; scale.Harness.keyspace ];
-  print_newline ();
-  Table.print table
+    (fun ((keyspace, size, dist_name, _) as cell) ->
+      let m name =
+        Report.find_metric rows ~experiment:"fig13ab" ~system:"uTPS"
+          ~axis:(axis_13ab cell) name
+      in
+      Table.add_row table
+        [
+          string_of_int keyspace;
+          string_of_int size;
+          dist_name;
+          Printf.sprintf "%.0f%%" (m "mr_threads_pct");
+          Printf.sprintf "%.0f%%" (m "mr_ways_pct");
+          Printf.sprintf "%.0f" (m "hot");
+        ])
+    (grid_13ab scale);
+  Harness.print_table table;
+  rows
+
+let grid_13c =
+  List.concat_map
+    (fun index -> List.map (fun theta -> (index, theta)) [ 0.60; 0.80; 0.99 ])
+    [ Kvs.Config.Tree; Kvs.Config.Hash ]
+
+let index_key = function Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
+
+let axis_13c (index, theta) =
+  [ ("index", index_key index); ("theta", Printf.sprintf "%.2f" theta) ]
 
 let run_13c scale =
   Harness.section "Figure 13c: cached share of the hot set vs skew";
+  let rows =
+    List.map
+      (fun ((index, theta) as cell) ->
+        let keyspace = scale.Harness.keyspace in
+        let spec =
+          { (Ycsb.a ~keyspace ~value_size:64 ()) with
+            Opgen.key_dist = Opgen.Zipfian theta }
+        in
+        let _, hot, _ = tuned_config scale ~index spec in
+        let max_hot =
+          min
+            (tuner_params.Kvs.Autotuner.cache_step
+            * (tuner_params.Kvs.Autotuner.cache_points - 1))
+            (max 64 (scale.Harness.keyspace / 200))
+        in
+        Harness.printf ".";
+        Report.row ~experiment:"fig13c" ~system:"uTPS" ~axis:(axis_13c cell)
+          [
+            ("cached_pct",
+             100.0 *. float_of_int hot /. float_of_int (max max_hot 1));
+            ("hot", float_of_int hot);
+          ])
+      grid_13c
+  in
+  Harness.printf "\n";
   let table = Table.create [ "index"; "zipf theta"; "cached/hot-set %" ] in
   List.iter
-    (fun index ->
-      List.iter
-        (fun theta ->
-          let keyspace = scale.Harness.keyspace in
-          let spec =
-            { (Ycsb.a ~keyspace ~value_size:64 ()) with
-              Opgen.key_dist = Opgen.Zipfian theta }
-          in
-          let _, hot, _ = tuned_config scale ~index spec in
-          let max_hot =
-            min
-              (tuner_params.Kvs.Autotuner.cache_step
-              * (tuner_params.Kvs.Autotuner.cache_points - 1))
-              (max 64 (scale.Harness.keyspace / 200))
-          in
-          Table.add_row table
-            [
-              (match index with Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash");
-              Printf.sprintf "%.2f" theta;
-              Printf.sprintf "%.0f%%"
-                (100.0 *. float_of_int hot /. float_of_int (max max_hot 1));
-            ];
-          Printf.printf ".%!")
-        [ 0.60; 0.80; 0.99 ])
-    [ Kvs.Config.Tree; Kvs.Config.Hash ];
-  print_newline ();
-  Table.print table
+    (fun ((index, theta) as cell) ->
+      let m name =
+        Report.find_metric rows ~experiment:"fig13c" ~system:"uTPS"
+          ~axis:(axis_13c cell) name
+      in
+      Table.add_row table
+        [
+          index_key index;
+          Printf.sprintf "%.2f" theta;
+          Printf.sprintf "%.0f%%" (m "cached_pct");
+        ])
+    grid_13c;
+  Harness.print_table table;
+  rows
 
-let run scale =
-  run_13ab scale;
-  run_13c scale
+let run scale = run_13ab scale @ run_13c scale

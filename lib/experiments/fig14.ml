@@ -46,42 +46,80 @@ let run scale =
     samples := (!t / ms, c - !last_completed) :: !samples;
     last_completed := c
   done;
+  (* replay settings history against the sample timeline; keep one
+     datapoint per 4 sampled milliseconds (the printed cadence) *)
+  let events = Kvs.Autotuner.events tuner in
+  let timeline_rows =
+    List.filter_map
+      (fun (ms_i, ops) ->
+        if ms_i mod 4 <> 0 then None
+        else begin
+          let at = ms_i * ms in
+          let setting =
+            List.fold_left
+              (fun acc (e : Kvs.Autotuner.event) ->
+                if e.Kvs.Autotuner.at <= at then Some e else acc)
+              None events
+          in
+          let ncr, hot, ways =
+            match setting with
+            | Some e ->
+              (e.Kvs.Autotuner.ncr, e.Kvs.Autotuner.hot, e.Kvs.Autotuner.ways)
+            | None ->
+              (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
+          in
+          Some
+            (Report.row ~experiment:"fig14" ~system:"uTPS"
+               ~axis:[ ("ms", Printf.sprintf "%03d" ms_i) ]
+               [
+                 ("hot", float_of_int hot);
+                 ("mops", Stats.mops ~ops ~cycles:ms ~ghz:2.5);
+                 ("ncr", float_of_int ncr);
+                 ("ways", float_of_int ways);
+               ])
+        end)
+      (List.rev !samples)
+  in
+  let final_ncr, final_hot, final_ways =
+    match Kvs.Autotuner.last_applied tuner with
+    | Some cfg -> cfg
+    | None -> (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
+  in
+  let summary_row =
+    Report.row ~experiment:"fig14" ~system:"uTPS" ~axis:[ ("point", "final") ]
+      [
+        ("hot", float_of_int final_hot);
+        ("ncr", float_of_int final_ncr);
+        ("switch_ms", float_of_int (switch_at / ms));
+        ( "tunes_completed",
+          float_of_int (Kvs.Autotuner.tunes_completed tuner) );
+        ("ways", float_of_int final_ways);
+      ]
+  in
   let table =
     Table.create [ "ms"; "Mops"; "ncr"; "hot target"; "mr ways"; "tuning?" ]
   in
-  (* replay settings history against the sample timeline *)
-  let events = Kvs.Autotuner.events tuner in
   List.iter
-    (fun (ms_i, ops) ->
-      let at = ms_i * ms in
-      let setting =
-        List.fold_left
-          (fun acc (e : Kvs.Autotuner.event) ->
-            if e.Kvs.Autotuner.at <= at then Some e else acc)
-          None events
-      in
-      let ncr, hot, ways =
-        match setting with
-        | Some e -> (e.Kvs.Autotuner.ncr, e.Kvs.Autotuner.hot, e.Kvs.Autotuner.ways)
-        | None -> (Kvs.Mutps.ncr kv, Kvs.Mutps.hot_target kv, Kvs.Mutps.mr_ways kv)
-      in
-      if ms_i mod 4 = 0 then
-        Table.add_row table
-          [
-            string_of_int ms_i;
-            Table.cell_f (Stats.mops ~ops ~cycles:ms ~ghz:2.5);
-            string_of_int ncr;
-            string_of_int hot;
-            string_of_int ways;
-            (if ms_i * ms > switch_at && Kvs.Autotuner.tunes_completed tuner = 0
-             then "yes" else "");
-          ])
-    (List.rev !samples);
-  Table.print table;
-  Printf.printf "workload switch at %d ms; tuner passes completed: %d\n%!"
+    (fun r ->
+      let ms_i = int_of_string (List.assoc "ms" r.Report.axis) in
+      let m name = Report.metric_exn r name in
+      Table.add_row table
+        [
+          string_of_int ms_i;
+          Table.cell_f (m "mops");
+          Printf.sprintf "%.0f" (m "ncr");
+          Printf.sprintf "%.0f" (m "hot");
+          Printf.sprintf "%.0f" (m "ways");
+          (if ms_i * ms > switch_at && Kvs.Autotuner.tunes_completed tuner = 0
+           then "yes" else "");
+        ])
+    timeline_rows;
+  Harness.print_table table;
+  Harness.printf "workload switch at %d ms; tuner passes completed: %d\n"
     (switch_at / ms)
     (Kvs.Autotuner.tunes_completed tuner);
-  match Kvs.Autotuner.last_applied tuner with
+  (match Kvs.Autotuner.last_applied tuner with
   | Some (ncr, hot, ways) ->
-    Printf.printf "final config: ncr=%d hot=%d mr_ways=%d\n%!" ncr hot ways
-  | None -> Printf.printf "tuner did not complete a pass\n%!"
+    Harness.printf "final config: ncr=%d hot=%d mr_ways=%d\n" ncr hot ways
+  | None -> Harness.printf "tuner did not complete a pass\n");
+  timeline_rows @ [ summary_row ]

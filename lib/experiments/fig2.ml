@@ -115,38 +115,59 @@ let tps_replay (scale : Harness.scale) spec ~n1 =
   let r2 = Stats.mops ~ops:!stage2_ops ~cycles:scale.Harness.measure ~ghz:g in
   Float.min r1 r2
 
+let sizes_2a = [ 64; 256; 1024 ]
+
 let run_2a scale =
   Harness.section "Figure 2a: NP-TPS vs NP-TPQ vs NP-TPQ+CAT (uniform gets)";
+  let rows =
+    List.concat_map
+      (fun size ->
+        let spec =
+          Ycsb.get_only_uniform ~keyspace:scale.Harness.keyspace
+            ~value_size:size ()
+        in
+        let axis = [ ("size", string_of_int size) ] in
+        let tpq = Harness.measure Harness.Basekv scale spec in
+        let cat =
+          Harness.measure ~customize:cat_customize Harness.Basekv scale spec
+        in
+        (* sweep the stage split like the paper's manual tuning *)
+        let cores = scale.Harness.cores in
+        let best = ref 0.0 in
+        List.iter
+          (fun n1 ->
+            if n1 >= 1 && n1 < cores then
+              let r = tps_replay scale spec ~n1 in
+              if r > !best then best := r)
+          [ cores / 4; cores / 3; cores / 2; 2 * cores / 3 ];
+        [
+          Report.of_measurement ~experiment:"fig2a" ~system:"NP-TPQ" ~axis tpq;
+          Report.of_measurement ~experiment:"fig2a" ~system:"NP-TPQ+CAT" ~axis
+            cat;
+          Report.row ~experiment:"fig2a" ~system:"NP-TPS" ~axis
+            [ ("mops", !best) ];
+        ])
+      sizes_2a
+  in
   let table =
     Table.create [ "item size"; "NP-TPQ"; "NP-TPQ+CAT"; "NP-TPS (replay)" ]
   in
   List.iter
     (fun size ->
-      let spec =
-        Ycsb.get_only_uniform ~keyspace:scale.Harness.keyspace ~value_size:size ()
+      let axis = [ ("size", string_of_int size) ] in
+      let m system =
+        Report.find_metric rows ~experiment:"fig2a" ~system ~axis "mops"
       in
-      let tpq = Harness.measure Harness.Basekv scale spec in
-      let cat =
-        Harness.measure ~customize:cat_customize Harness.Basekv scale spec
-      in
-      (* sweep the stage split like the paper's manual tuning *)
-      let cores = scale.Harness.cores in
-      let best = ref 0.0 in
-      List.iter
-        (fun n1 ->
-          if n1 >= 1 && n1 < cores then
-            let r = tps_replay scale spec ~n1 in
-            if r > !best then best := r)
-        [ cores / 4; cores / 3; cores / 2; 2 * cores / 3 ];
       Table.add_row table
         [
           string_of_int size;
-          Table.cell_f tpq.Harness.mops;
-          Table.cell_f cat.Harness.mops;
-          Table.cell_f !best;
+          Table.cell_f (m "NP-TPQ");
+          Table.cell_f (m "NP-TPQ+CAT");
+          Table.cell_f (m "NP-TPS");
         ])
-    [ 64; 256; 1024 ];
-  Table.print table
+    sizes_2a;
+  Harness.print_table table;
+  rows
 
 (* --- 2b ------------------------------------------------------------ *)
 
@@ -210,20 +231,38 @@ let lookup_rate scale ~threads ~separated =
 let run_2b scale =
   Harness.section
     "Figure 2b: index lookup throughput, hotspot separation (Zipfian)";
+  let points = List.sort_uniq compare [ 4; 8; scale.Harness.cores ] in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        let axis = [ ("threads", string_of_int threads) ] in
+        let base = lookup_rate scale ~threads ~separated:false in
+        let sep = lookup_rate scale ~threads ~separated:true in
+        [
+          Report.row ~experiment:"fig2b" ~system:"unified" ~axis
+            [ ("mops", base) ];
+          Report.row ~experiment:"fig2b" ~system:"separated" ~axis
+            [ ("mops", sep) ];
+        ])
+      points
+  in
   let table = Table.create [ "threads"; "unified"; "separated"; "speedup" ] in
   List.iter
     (fun threads ->
-      let base = lookup_rate scale ~threads ~separated:false in
-      let sep = lookup_rate scale ~threads ~separated:true in
+      let axis = [ ("threads", string_of_int threads) ] in
+      let m system =
+        Report.find_metric rows ~experiment:"fig2b" ~system ~axis "mops"
+      in
       Table.add_row table
         [
           string_of_int threads;
-          Table.cell_f base;
-          Table.cell_f sep;
-          Printf.sprintf "%.2fx" (sep /. Float.max base 1e-9);
+          Table.cell_f (m "unified");
+          Table.cell_f (m "separated");
+          Printf.sprintf "%.2fx" (m "separated" /. Float.max (m "unified") 1e-9);
         ])
-    [ 4; 8; scale.Harness.cores ];
-  Table.print table
+    points;
+  Harness.print_table table;
+  rows
 
 (* --- 2c ------------------------------------------------------------ *)
 
@@ -233,30 +272,47 @@ let run_2c scale =
   (* a saturation experiment: keep the offered load well above capacity *)
   let scale = { scale with Harness.clients = max scale.Harness.clients 96 } in
   let spec = Ycsb.put_only ~keyspace:scale.Harness.keyspace ~value_size:64 () in
-  let table = Table.create [ "threads"; "SE (BaseKV)"; "SN (eRPC-KV)"; "uTPS" ] in
   (* the paper sweeps to 28 threads; go past the default core count so the
      contention regime is visible *)
   let max_threads = max scale.Harness.cores 20 in
   let points =
     List.filter (fun n -> n <= max_threads) [ 2; 4; 8; 12; 16; 20; 24; 28 ]
   in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        let s = { scale with Harness.cores = threads } in
+        let axis = [ ("threads", string_of_int threads) ] in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig2c"
+              ~system:(Harness.system_name sys) ~axis
+              (Harness.measure sys s spec))
+          [ Harness.Basekv; Harness.Erpckv; Harness.Mutps ])
+      points
+  in
+  let table =
+    Table.create [ "threads"; "SE (BaseKV)"; "SN (eRPC-KV)"; "uTPS" ]
+  in
   List.iter
     (fun threads ->
-      let s = { scale with Harness.cores = threads } in
-      let se = Harness.measure Harness.Basekv s spec in
-      let sn = Harness.measure Harness.Erpckv s spec in
-      let tps = Harness.measure Harness.Mutps s spec in
+      let axis = [ ("threads", string_of_int threads) ] in
+      let m system =
+        Report.find_metric rows ~experiment:"fig2c" ~system ~axis "mops"
+      in
       Table.add_row table
         [
           string_of_int threads;
-          Table.cell_f se.Harness.mops;
-          Table.cell_f sn.Harness.mops;
-          Table.cell_f tps.Harness.mops;
+          Table.cell_f (m "BaseKV");
+          Table.cell_f (m "eRPC-KV");
+          Table.cell_f (m "uTPS");
         ])
     points;
-  Table.print table
+  Harness.print_table table;
+  rows
 
 let run scale =
-  run_2a scale;
-  run_2b scale;
-  run_2c scale
+  let a = run_2a scale in
+  let b = run_2b scale in
+  let c = run_2c scale in
+  a @ b @ c

@@ -25,6 +25,8 @@ let passive_for index =
   | Kvs.Config.Hash -> Kvs.Passive.Racehash
   | Kvs.Config.Tree -> Kvs.Passive.Sherman
 
+let index_key = function Kvs.Config.Tree -> "tree" | Kvs.Config.Hash -> "hash"
+
 let run_half scale index =
   (* the grid has 48 cells x 3 systems: shorten each cell's windows *)
   let scale =
@@ -37,6 +39,42 @@ let run_half scale index =
   in
   Harness.section (Printf.sprintf "Figure 7 (%s)" index_name);
   let passive_name = Kvs.Passive.name (passive_for index) in
+  let axis_of size mix_name =
+    [
+      ("index", index_key index); ("mix", mix_name);
+      ("size", string_of_int size);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun size ->
+        List.concat_map
+          (fun (mix_name, spec) ->
+            let axis = axis_of size mix_name in
+            let m_mutps = Harness.measure ~index Harness.Mutps scale spec in
+            let m_base = Harness.measure ~index Harness.Basekv scale spec in
+            let m_erpc = Harness.measure ~index Harness.Erpckv scale spec in
+            let passive =
+              (* passive systems do not support scans; YCSB has none here *)
+              (Kvs.Passive.evaluate (passive_for index) ~spec
+                 ~clients:(scale.Harness.clients * scale.Harness.window))
+                .Kvs.Passive.throughput_mops
+            in
+            Harness.printf ".";
+            [
+              Report.of_measurement ~experiment:"fig7" ~system:"uTPS" ~axis
+                m_mutps;
+              Report.of_measurement ~experiment:"fig7" ~system:"BaseKV" ~axis
+                m_base;
+              Report.of_measurement ~experiment:"fig7" ~system:"eRPC-KV" ~axis
+                m_erpc;
+              Report.row ~experiment:"fig7" ~system:passive_name ~axis
+                [ ("mops", passive) ];
+            ])
+          (mixes scale size))
+      item_sizes
+  in
+  Harness.printf "\n";
   let table =
     Table.create
       [ "mix"; "size"; "uTPS"; "BaseKV"; "eRPC-KV"; passive_name; "uTPS/BaseKV" ]
@@ -44,33 +82,26 @@ let run_half scale index =
   List.iter
     (fun size ->
       List.iter
-        (fun (mix_name, spec) ->
-          let m_mutps = Harness.measure ~index Harness.Mutps scale spec in
-          let m_base = Harness.measure ~index Harness.Basekv scale spec in
-          let m_erpc = Harness.measure ~index Harness.Erpckv scale spec in
-          let passive =
-            (* passive systems do not support scans; YCSB has none here *)
-            (Kvs.Passive.evaluate (passive_for index) ~spec
-               ~clients:(scale.Harness.clients * scale.Harness.window))
-              .Kvs.Passive.throughput_mops
+        (fun (mix_name, _) ->
+          let axis = axis_of size mix_name in
+          let m system =
+            Report.find_metric rows ~experiment:"fig7" ~system ~axis "mops"
           in
           Table.add_row table
             [
               mix_name;
               string_of_int size;
-              Table.cell_f m_mutps.Harness.mops;
-              Table.cell_f m_base.Harness.mops;
-              Table.cell_f m_erpc.Harness.mops;
-              Table.cell_f passive;
+              Table.cell_f (m "uTPS");
+              Table.cell_f (m "BaseKV");
+              Table.cell_f (m "eRPC-KV");
+              Table.cell_f (m passive_name);
               Printf.sprintf "%.2fx"
-                (m_mutps.Harness.mops /. Float.max m_base.Harness.mops 1e-9);
-            ];
-          Printf.printf ".%!")
+                (m "uTPS" /. Float.max (m "BaseKV") 1e-9);
+            ])
         (mixes scale size))
     item_sizes;
-  print_newline ();
-  Table.print table
+  Harness.print_table table;
+  rows
 
 let run scale =
-  run_half scale Kvs.Config.Tree;
-  run_half scale Kvs.Config.Hash
+  run_half scale Kvs.Config.Tree @ run_half scale Kvs.Config.Hash

@@ -5,51 +5,85 @@ module Ycsb = Mutps_workload.Ycsb
 module Etc = Mutps_workload.Etc
 module Kvs = Mutps_kvs
 
+let systems = [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ]
+
 let run_8a scale =
   Harness.section "Figure 8a: scan throughput (range 50, 8B items, tree)";
   let keyspace = scale.Harness.keyspace in
-  let table = Table.create [ "workload"; "uTPS-T"; "BaseKV"; "eRPC-KV" ] in
-  List.iter
-    (fun (name, spec) ->
-      let m = Harness.measure Harness.Mutps scale spec in
-      let b = Harness.measure Harness.Basekv scale spec in
-      let e = Harness.measure Harness.Erpckv scale spec in
-      Table.add_row table
-        [
-          name;
-          Table.cell_f m.Harness.mops;
-          Table.cell_f b.Harness.mops;
-          Table.cell_f e.Harness.mops;
-        ])
+  let workloads =
     [
       ("YCSB-E", Ycsb.e ~keyspace ~scan_len:50 ~value_size:8 ());
       ("scan-only", Ycsb.scan_only ~keyspace ~scan_len:50 ~value_size:8 ());
-    ];
-  Table.print table
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, spec) ->
+        let axis = [ ("workload", name) ] in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig8a"
+              ~system:(Harness.system_name sys) ~axis
+              (Harness.measure sys scale spec))
+          systems)
+      workloads
+  in
+  let table = Table.create [ "workload"; "uTPS-T"; "BaseKV"; "eRPC-KV" ] in
+  List.iter
+    (fun (name, _) ->
+      let axis = [ ("workload", name) ] in
+      let m system =
+        Report.find_metric rows ~experiment:"fig8a" ~system ~axis "mops"
+      in
+      Table.add_row table
+        [
+          name;
+          Table.cell_f (m "uTPS");
+          Table.cell_f (m "BaseKV");
+          Table.cell_f (m "eRPC-KV");
+        ])
+    workloads;
+  Harness.print_table table;
+  rows
+
+let ratios = [ 0.1; 0.5; 0.9 ]
 
 let run_8bc scale =
   Harness.section "Figure 8b-c: Meta ETC pool";
   let keyspace = scale.Harness.keyspace in
+  let axis_of ratio = [ ("get_ratio", Printf.sprintf "%.1f" ratio) ] in
+  let rows =
+    List.concat_map
+      (fun ratio ->
+        let spec = Etc.spec ~keyspace ~get_ratio:ratio () in
+        let axis = axis_of ratio in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig8bc"
+              ~system:(Harness.system_name sys) ~axis
+              (Harness.measure sys scale spec))
+          systems)
+      ratios
+  in
   let table =
     Table.create [ "get ratio"; "uTPS-T"; "BaseKV"; "eRPC-KV"; "uTPS/BaseKV" ]
   in
   List.iter
     (fun ratio ->
-      let spec = Etc.spec ~keyspace ~get_ratio:ratio () in
-      let m = Harness.measure Harness.Mutps scale spec in
-      let b = Harness.measure Harness.Basekv scale spec in
-      let e = Harness.measure Harness.Erpckv scale spec in
+      let axis = axis_of ratio in
+      let m system =
+        Report.find_metric rows ~experiment:"fig8bc" ~system ~axis "mops"
+      in
       Table.add_row table
         [
           Printf.sprintf "%.0f%%" (100.0 *. ratio);
-          Table.cell_f m.Harness.mops;
-          Table.cell_f b.Harness.mops;
-          Table.cell_f e.Harness.mops;
-          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max b.Harness.mops 1e-9);
+          Table.cell_f (m "uTPS");
+          Table.cell_f (m "BaseKV");
+          Table.cell_f (m "eRPC-KV");
+          Printf.sprintf "%.2fx" (m "uTPS" /. Float.max (m "BaseKV") 1e-9);
         ])
-    [ 0.1; 0.5; 0.9 ];
-  Table.print table
+    ratios;
+  Harness.print_table table;
+  rows
 
-let run scale =
-  run_8a scale;
-  run_8bc scale
+let run scale = run_8a scale @ run_8bc scale

@@ -5,24 +5,38 @@ module Kvs = Mutps_kvs
 
 let run scale =
   Harness.section "Figure 9: Twitter traces";
+  let rows =
+    List.concat_map
+      (fun cluster ->
+        let spec = Twitter.spec ~keyspace:scale.Harness.keyspace cluster in
+        let axis = [ ("trace", Twitter.name cluster) ] in
+        List.map
+          (fun sys ->
+            Report.of_measurement ~experiment:"fig9"
+              ~system:(Harness.system_name sys) ~axis
+              (Harness.measure sys scale spec))
+          [ Harness.Mutps; Harness.Basekv; Harness.Erpckv ])
+      Twitter.all
+  in
   let table =
     Table.create
       [ "trace"; "uTPS-T"; "BaseKV"; "eRPC-KV"; "uTPS/BaseKV"; "uTPS/eRPC" ]
   in
   List.iter
     (fun cluster ->
-      let spec = Twitter.spec ~keyspace:scale.Harness.keyspace cluster in
-      let m = Harness.measure Harness.Mutps scale spec in
-      let b = Harness.measure Harness.Basekv scale spec in
-      let e = Harness.measure Harness.Erpckv scale spec in
+      let axis = [ ("trace", Twitter.name cluster) ] in
+      let m system =
+        Report.find_metric rows ~experiment:"fig9" ~system ~axis "mops"
+      in
       Table.add_row table
         [
           Twitter.name cluster;
-          Table.cell_f m.Harness.mops;
-          Table.cell_f b.Harness.mops;
-          Table.cell_f e.Harness.mops;
-          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max b.Harness.mops 1e-9);
-          Printf.sprintf "%.2fx" (m.Harness.mops /. Float.max e.Harness.mops 1e-9);
+          Table.cell_f (m "uTPS");
+          Table.cell_f (m "BaseKV");
+          Table.cell_f (m "eRPC-KV");
+          Printf.sprintf "%.2fx" (m "uTPS" /. Float.max (m "BaseKV") 1e-9);
+          Printf.sprintf "%.2fx" (m "uTPS" /. Float.max (m "eRPC-KV") 1e-9);
         ])
     Twitter.all;
-  Table.print table
+  Harness.print_table table;
+  rows

@@ -245,5 +245,29 @@ let measure ?index ?ncr ?tweak ?(calibrate = true) ?customize system scale spec 
     cr_hit_rate;
   }
 
-let section title =
-  Printf.printf "\n=== %s ===\n%!" title
+(* Domain-local output sink.  Experiments never print to stdout directly;
+   they write through [printf]/[print_table], which the parallel runner
+   redirects into a per-experiment buffer so concurrent experiments do
+   not interleave their tables.  Outside the runner (and in the default
+   per-domain state) output still lands on stdout.  Deliberately not
+   inherited at domain spawn: a worker writes to stdout unless the runner
+   explicitly installs its buffer. *)
+let sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let print_string s =
+  match Domain.DLS.get sink with
+  | Some b -> Buffer.add_string b s
+  | None ->
+    Stdlib.print_string s;
+    Stdlib.flush Stdlib.stdout
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+let with_output buf f =
+  let prev = Domain.DLS.get sink in
+  Domain.DLS.set sink (Some buf);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink prev) f
+
+let section title = printf "\n=== %s ===\n" title
+let print_table t = print_string (Table.to_string t)
+

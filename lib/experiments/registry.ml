@@ -1,7 +1,7 @@
 type entry = {
   name : string;
   description : string;
-  run : Harness.scale -> unit;
+  run : Harness.scale -> Report.row list;
 }
 
 let all =

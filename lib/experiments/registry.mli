@@ -1,10 +1,15 @@
 (** Experiment registry: every table and figure of the paper's evaluation,
-    runnable by name. *)
+    runnable by name.
+
+    [run] renders its text tables through the {!Harness} output sink (so a
+    parallel runner can capture them per experiment) and returns the same
+    datapoints as structured {!Report.row}s for JSON serialization and the
+    CI bench-regression gate. *)
 
 type entry = {
   name : string;
   description : string;
-  run : Harness.scale -> unit;
+  run : Harness.scale -> Report.row list;
 }
 
 val all : entry list

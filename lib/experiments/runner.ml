@@ -1,0 +1,104 @@
+(** Domain-parallel experiment scheduler.
+
+    Experiments are mutually independent — each builds its own engines,
+    stores, and clients — so the registry fans out over OCaml 5 domains: a
+    shared cursor hands the next experiment to the next free worker.  Each
+    experiment's text output is captured in a per-worker buffer (via the
+    {!Harness} output sink) so concurrent tables never interleave, and its
+    structured rows are collected per slot, so the assembled result is
+    independent of worker scheduling: [run_all ~jobs:4] returns — and
+    serializes to — exactly what [~jobs:1] does, byte for byte.  That
+    equality is enforced by a regression test and is what lets CI gate on
+    exact JSON equality.
+
+    Ambient per-domain state (the sanitizer/tracer factories and the
+    metrics registry installed by the CLI wrappers) is inherited by worker
+    domains at spawn, so [--sanitize]/[--trace]/[--metrics] compose with
+    [--jobs]. *)
+
+type outcome = {
+  name : string;
+  rows : Report.row list;  (** [] when the experiment raised *)
+  output : string;  (** captured text (section headers, tables) *)
+  error : string option;  (** exception, if the experiment failed *)
+  cpu_s : float;
+      (** process CPU seconds consumed while the experiment ran; under
+          [jobs > 1] concurrent experiments inflate each other's figure *)
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_entry (e : Registry.entry) scale =
+  let buf = Buffer.create 4096 in
+  let t0 = Sys.time () [@lint.allow "R1"] in
+  let result =
+    match Harness.with_output buf (fun () -> e.Registry.run scale) with
+    | rows -> Ok rows
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let cpu_s = (Sys.time () [@lint.allow "R1"]) -. t0 in
+  match result with
+  | Ok rows ->
+    { name = e.Registry.name; rows; output = Buffer.contents buf;
+      error = None; cpu_s }
+  | Error msg ->
+    { name = e.Registry.name; rows = []; output = Buffer.contents buf;
+      error = Some msg; cpu_s }
+
+(* [on_done] fires as each experiment completes (in completion order,
+   under a lock), letting callers stream progress while the full set is
+   still running. *)
+let run_all ?jobs ?on_done names scale =
+  let entries =
+    List.map
+      (fun name ->
+        match Registry.find name with
+        | Some e -> e
+        | None -> invalid_arg (Printf.sprintf "unknown experiment %S" name))
+      names
+  in
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let jobs = max 1 (min n (Option.value jobs ~default:(default_jobs ()))) in
+  let results = Array.make n None in
+  let lock = Mutex.create () in
+  let cursor = ref 0 in
+  let next () =
+    Mutex.lock lock;
+    let i = !cursor in
+    if i < n then incr cursor;
+    Mutex.unlock lock;
+    if i < n then Some i else None
+  in
+  let notify outcome =
+    match on_done with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f outcome)
+  in
+  let worker () =
+    let rec loop () =
+      match next () with
+      | None -> ()
+      | Some i ->
+        let outcome = run_entry entries.(i) scale in
+        (* distinct slots: no two workers ever write the same index *)
+        results.(i) <- Some outcome;
+        notify outcome;
+        loop ()
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains
+  end;
+  Array.to_list results
+  |> List.map (function
+       | Some o -> o
+       | None -> assert false (* every slot claimed before workers exit *))
+
+let rows outcomes = List.concat_map (fun o -> o.rows) outcomes
+let failed outcomes = List.filter (fun o -> o.error <> None) outcomes

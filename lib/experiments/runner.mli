@@ -1,0 +1,33 @@
+(** Domain-parallel experiment scheduler: fans independent experiments
+    out over OCaml 5 domains, captures each one's text output, and
+    assembles rows in request order so results are identical (byte for
+    byte once serialized) for any [jobs] count. *)
+
+type outcome = {
+  name : string;
+  rows : Report.row list;  (** [] when the experiment raised *)
+  output : string;  (** captured text (section headers, tables) *)
+  error : string option;  (** exception, if the experiment failed *)
+  cpu_s : float;
+      (** process CPU seconds while this experiment ran; approximate
+          (inflated by concurrency) under [jobs > 1] *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run_all :
+  ?jobs:int -> ?on_done:(outcome -> unit) -> string list -> Harness.scale ->
+  outcome list
+(** [run_all names scale] runs every named experiment and returns
+    outcomes in request order.  [jobs] defaults to {!default_jobs} and is
+    clamped to [1 .. length names].  [on_done] fires as each experiment
+    completes (completion order, serialized under a lock).  Raises
+    [Invalid_argument] if a name is not in the registry — before running
+    anything.  Worker domains inherit this domain's sanitizer/tracer
+    factories and metrics registry. *)
+
+val rows : outcome list -> Report.row list
+(** All rows in outcome order. *)
+
+val failed : outcome list -> outcome list

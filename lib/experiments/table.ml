@@ -8,7 +8,8 @@ let add_row t row = t.rows <- row :: t.rows
 let cell_f f = Printf.sprintf "%.2f" f
 let cell_i = string_of_int
 
-let print ?(out = stdout) t =
+let to_string t =
+  let b = Buffer.create 256 in
   let rows = List.rev t.rows in
   let all = t.header :: rows in
   let ncols = List.length t.header in
@@ -21,15 +22,19 @@ let print ?(out = stdout) t =
       0 all
   in
   let widths = List.init ncols width in
-  let print_row row =
+  let add_row row =
     List.iteri
       (fun i cell ->
         let w = List.nth widths i in
-        output_string out (Printf.sprintf "%-*s  " w cell))
+        Buffer.add_string b (Printf.sprintf "%-*s  " w cell))
       row;
-    output_string out "\n"
+    Buffer.add_char b '\n'
   in
-  print_row t.header;
-  print_row (List.map (fun w -> String.make w '-') widths);
-  List.iter print_row rows;
+  add_row t.header;
+  add_row (List.map (fun w -> String.make w '-') widths);
+  List.iter add_row rows;
+  Buffer.contents b
+
+let print ?(out = stdout) t =
+  output_string out (to_string t);
   flush out

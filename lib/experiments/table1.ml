@@ -7,6 +7,33 @@ module Request = Mutps_queue.Request
 
 let run (_scale : Harness.scale) =
   Harness.section "Table 1: Twitter trace characteristics (spec vs generated)";
+  let rows =
+    List.map
+      (fun cluster ->
+        let spec = Twitter.spec ~keyspace:100_000 cluster in
+        let gen = Opgen.make spec ~seed:123 in
+        let n = 200_000 in
+        let puts = ref 0 and bytes = ref 0 in
+        for _ = 1 to n do
+          let op = Opgen.next gen in
+          if op.Opgen.kind = Request.Put then begin
+            incr puts;
+            bytes := !bytes + op.Opgen.size
+          end
+        done;
+        Report.row ~experiment:"table1"
+          ~axis:[ ("trace", Twitter.name cluster) ]
+          [
+            ("put_ratio_spec", Twitter.put_ratio cluster);
+            ("put_ratio_gen", float_of_int !puts /. float_of_int n);
+            ( "avg_value_spec",
+              float_of_int (Twitter.avg_value_size cluster) );
+            ( "avg_value_gen",
+              float_of_int !bytes /. float_of_int (max 1 !puts) );
+            ("zipf_alpha", Twitter.zipf_alpha cluster);
+          ])
+      Twitter.all
+  in
   let table =
     Table.create
       [
@@ -16,25 +43,17 @@ let run (_scale : Harness.scale) =
   in
   List.iter
     (fun cluster ->
-      let spec = Twitter.spec ~keyspace:100_000 cluster in
-      let gen = Opgen.make spec ~seed:123 in
-      let n = 200_000 in
-      let puts = ref 0 and bytes = ref 0 in
-      for _ = 1 to n do
-        let op = Opgen.next gen in
-        if op.Opgen.kind = Request.Put then begin
-          incr puts;
-          bytes := !bytes + op.Opgen.size
-        end
-      done;
+      let axis = [ ("trace", Twitter.name cluster) ] in
+      let m name = Report.find_metric rows ~experiment:"table1" ~axis name in
       Table.add_row table
         [
           Twitter.name cluster;
-          Printf.sprintf "%.0f%%" (100.0 *. Twitter.put_ratio cluster);
-          Printf.sprintf "%.1f%%" (100.0 *. float_of_int !puts /. float_of_int n);
-          Printf.sprintf "%dB" (Twitter.avg_value_size cluster);
-          Printf.sprintf "%.0fB" (float_of_int !bytes /. float_of_int (max 1 !puts));
-          Printf.sprintf "%.2f" (Twitter.zipf_alpha cluster);
+          Printf.sprintf "%.0f%%" (100.0 *. m "put_ratio_spec");
+          Printf.sprintf "%.1f%%" (100.0 *. m "put_ratio_gen");
+          Printf.sprintf "%.0fB" (m "avg_value_spec");
+          Printf.sprintf "%.0fB" (m "avg_value_gen");
+          Printf.sprintf "%.2f" (m "zipf_alpha");
         ])
     Twitter.all;
-  Table.print table
+  Harness.print_table table;
+  rows

@@ -368,12 +368,17 @@ let install engine =
   t
 
 let sanitized f =
+  (* [f] may fan experiments out over domains that inherit the factory,
+     so the instance list is mutex-protected. *)
+  let lock = Mutex.create () in
   let instances = ref [] in
   Engine.set_sanitizer_factory
     (Some
        (fun () ->
          let t = create () in
+         Mutex.lock lock;
          instances := t :: !instances;
+         Mutex.unlock lock;
          hooks t));
   let finally () = Engine.set_sanitizer_factory None in
   let result = Fun.protect ~finally f in

@@ -65,25 +65,38 @@ type t = {
 
 let dummy = { time = max_int; seq = max_int; fn = ignore }
 
-(* Process-global factory consulted by [create], so a sanitizer can attach
+(* Domain-local factory consulted by [create], so a sanitizer can attach
    to engines constructed deep inside experiment code without threading a
-   parameter through every layer.  See San.sanitized. *)
-let sanitizer_factory : (unit -> sanitizer) option ref = ref None
-let set_sanitizer_factory f = sanitizer_factory := f
+   parameter through every layer.  See San.sanitized.  Domain-local (with
+   inheritance at spawn) rather than a plain ref: the parallel experiment
+   runner builds engines concurrently in several domains, and a factory
+   installed before the fan-out must reach all of them without the
+   domains racing on a shared cell. *)
+let sanitizer_factory : (unit -> sanitizer) option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> None)
+
+let set_sanitizer_factory f = Domain.DLS.set sanitizer_factory f
+let current_sanitizer_factory () = Domain.DLS.get sanitizer_factory
 
 (* The tracer factory receives the engine it is attaching to, so a
    collector can read the engine clock (e.g. to pace counter sampling)
    without any further plumbing. *)
-let tracer_factory : (t -> tracer) option ref = ref None
-let set_tracer_factory f = tracer_factory := f
+let tracer_factory : (t -> tracer) option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> None)
+
+let set_tracer_factory f = Domain.DLS.set tracer_factory f
+let current_tracer_factory () = Domain.DLS.get tracer_factory
 
 (* Process-wide serial so collectors and metric registries can associate
-   state with a particular engine without holding the engine itself. *)
-let next_id = ref 0
+   state with a particular engine without holding the engine itself.
+   Atomic: engines are created from several domains at once.  Ids stay
+   unique but their assignment order across domains is not deterministic;
+   nothing simulated may depend on the id (the lint's R1 closes the usual
+   loopholes, and ids only ever label observability output). *)
+let next_id = Atomic.make 0
 
 let create () =
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   let t =
     {
       id;
@@ -95,11 +108,15 @@ let create () =
       debug_checks = false;
       parked = 0;
       sanitizer =
-        (match !sanitizer_factory with None -> None | Some f -> Some (f ()));
+        (match Domain.DLS.get sanitizer_factory with
+        | None -> None
+        | Some f -> Some (f ()));
       tracer = None;
     }
   in
-  (match !tracer_factory with None -> () | Some f -> t.tracer <- Some (f t));
+  (match Domain.DLS.get tracer_factory with
+  | None -> ()
+  | Some f -> t.tracer <- Some (f t));
   t
 
 let id t = t.id

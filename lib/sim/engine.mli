@@ -104,9 +104,14 @@ val set_sanitizer : t -> sanitizer option -> unit
 val sanitizer : t -> sanitizer option
 
 val set_sanitizer_factory : (unit -> sanitizer) option -> unit
-(** Process-global: when set, {!create} attaches [f ()] to every new
-    engine.  Lets a sanitizer reach engines constructed deep inside
+(** Domain-local: when set, {!create} attaches [f ()] to every new engine
+    built in this domain (new domains inherit the parent's factory at
+    spawn).  Lets a sanitizer reach engines constructed deep inside
     experiment code; see [San.sanitized]. *)
+
+val current_sanitizer_factory : unit -> (unit -> sanitizer) option
+(** The factory currently installed in this domain, for callers that
+    save/restore it around a scoped run. *)
 
 (** {1 Observability tracer hooks}
 
@@ -138,6 +143,11 @@ val set_tracer : t -> tracer option -> unit
 val tracer : t -> tracer option
 
 val set_tracer_factory : (t -> tracer) option -> unit
-(** Process-global: when set, {!create} attaches [f engine] to every new
-    engine (the factory receives the engine so a collector can pace
+(** Domain-local: when set, {!create} attaches [f engine] to every new
+    engine built in this domain (new domains inherit the parent's factory
+    at spawn; the factory receives the engine so a collector can pace
     itself off the engine clock); see [Trace.traced]. *)
+
+val current_tracer_factory : unit -> (t -> tracer) option
+(** The factory currently installed in this domain, for callers that
+    save/restore it around a scoped run. *)

@@ -9,28 +9,53 @@ type entry = {
   read : unit -> float;
 }
 
-type t = { mutable rev_entries : entry list; mutable scope : string }
+(* One registry may collect from several domains at once (the parallel
+   experiment runner builds systems concurrently), so the entry list is
+   mutex-protected.  The registration scope, by contrast, is domain-local
+   *per registry*: each worker domain labels the system it is currently
+   building without clobbering its siblings' labels, and two registries
+   never share a scope. *)
+type t = {
+  mutable rev_entries : entry list;
+  lock : Mutex.t;
+  scope_key : string Domain.DLS.key;
+}
 
-let create () = { rev_entries = []; scope = "" }
-let set_scope t scope = t.scope <- scope
-let scope t = t.scope
+let create () =
+  {
+    rev_entries = [];
+    lock = Mutex.create ();
+    scope_key = Domain.DLS.new_key (fun () -> "");
+  }
+
+let set_scope t scope = Domain.DLS.set t.scope_key scope
+let scope t = Domain.DLS.get t.scope_key
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let register ?(kind = Gauge) ?(engine_id = -1) t ~subsystem ~name read =
-  t.rev_entries <-
-    { scope = t.scope; subsystem; name; kind; engine_id; read }
-    :: t.rev_entries
+  let scope = Domain.DLS.get t.scope_key in
+  locked t (fun () ->
+      t.rev_entries <-
+        { scope; subsystem; name; kind; engine_id; read } :: t.rev_entries)
 
-let entries t = List.rev t.rev_entries
-let size t = List.length t.rev_entries
+let entries t = locked t (fun () -> List.rev t.rev_entries)
+let size t = locked t (fun () -> List.length t.rev_entries)
 
-(* Process-global registry consulted by subsystem constructors
+(* Domain-local registry consulted by subsystem constructors
    (Backend.create, Mutps.create, Autotuner.create), following the
    Engine.set_sanitizer_factory pattern: installing a registry before a
    run lets every system built inside register its sources without
-   threading a parameter through the experiment code. *)
-let current_reg : t option ref = ref None
-let set_current r = current_reg := r
-let current () = !current_reg
+   threading a parameter through the experiment code.  New domains
+   inherit the parent's registry at spawn, so a registry installed before
+   a parallel fan-out collects from every worker domain. *)
+let current_reg : t option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> None)
+
+let set_current r = Domain.DLS.set current_reg r
+let current () = Domain.DLS.get current_reg
 
 let track_name e =
   let base = e.subsystem ^ "." ^ e.name in

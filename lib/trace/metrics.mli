@@ -29,8 +29,9 @@ type t
 val create : unit -> t
 
 val set_scope : t -> string -> unit
-(** Label subsequent registrations (e.g. with the system under test);
-    the harness sets this per built system. *)
+(** Label subsequent registrations from this domain (e.g. with the system
+    under test); the harness sets this per built system.  The scope is
+    domain-local so parallel experiment workers label independently. *)
 
 val scope : t -> string
 
@@ -49,8 +50,10 @@ val track_name : entry -> string
 
 val set_current : t option -> unit
 val current : unit -> t option
-(** Process-global registry consulted by subsystem constructors; see the
-    CLI's [--metrics] wiring. *)
+(** Domain-local registry consulted by subsystem constructors (new
+    domains inherit the parent's registry at spawn; a registry may be
+    shared by many domains, registration is thread-safe); see the CLI's
+    [--metrics] wiring. *)
 
 val to_csv : t -> string
 (** One row per entry, values read at call time:

@@ -166,13 +166,21 @@ let install ?keep_events ?sample_every ?max_events engine =
   t
 
 let traced ?keep_events ?sample_every ?max_events f =
+  (* [f] may fan experiments out over domains that inherit the factory, so
+     the instance list is mutex-protected.  Collectors are returned sorted
+     by engine id: engine creation order across domains is scheduling
+     dependent, and a stable order keeps exported artifacts diffable. *)
+  let lock = Mutex.create () in
   let instances = ref [] in
   Engine.set_tracer_factory
     (Some
        (fun engine ->
          let t = make ?keep_events ?sample_every ?max_events engine in
+         Mutex.lock lock;
          instances := t :: !instances;
+         Mutex.unlock lock;
          hooks t));
   let finally () = Engine.set_tracer_factory None in
   let result = Fun.protect ~finally f in
-  (result, List.rev !instances)
+  ( result,
+    List.sort (fun a b -> compare (engine_id a) (engine_id b)) !instances )

@@ -9,18 +9,25 @@ type t = {
   half_pow_theta : float;
 }
 
+(* shared across domains (parallel experiment workers all build Zipf
+   generators), so cache access is mutex-protected *)
 let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 16
+let zeta_lock = Mutex.create ()
 
 let zeta n theta =
-  match Hashtbl.find_opt zeta_cache (n, theta) with
-  | Some z -> z
-  | None ->
-    let sum = ref 0.0 in
-    for i = 1 to n do
-      sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
-    done;
-    Hashtbl.replace zeta_cache (n, theta) !sum;
-    !sum
+  Mutex.lock zeta_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock zeta_lock)
+    (fun () ->
+      match Hashtbl.find_opt zeta_cache (n, theta) with
+      | Some z -> z
+      | None ->
+        let sum = ref 0.0 in
+        for i = 1 to n do
+          sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+        done;
+        Hashtbl.replace zeta_cache (n, theta) !sum;
+        !sum)
 
 let create ~n ~theta =
   if n <= 0 then invalid_arg "Zipf.create: n must be positive";

@@ -1,5 +1,27 @@
 #!/bin/bash
+# Full evaluation pass: every experiment fanned out over domains, plus
+# the Bechamel microbenchmarks.  Produces:
+#   bench_output.txt            text tables + microbenchmark figures
+#   bench_json/BENCH_<exp>.json per-experiment canonical rows
+#   bench_json/BENCH_all.json   combined canonical rows
+# Scale with MUTPS_BENCH_SCALE (e.g. 0.25), parallelism with BENCH_JOBS
+# (default: Domain.recommended_domain_count).  Exits with the harness's
+# real status — non-zero if any experiment failed.
+set -u
 cd /root/repo
-dune exec bench/main.exe > /root/repo/bench_output.txt 2>&1
-echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
+mkdir -p bench_json
+
+jobs_flag=()
+if [ -n "${BENCH_JOBS:-}" ]; then
+  jobs_flag=(--jobs "$BENCH_JOBS")
+fi
+
+dune exec bench/main.exe -- \
+  "${jobs_flag[@]}" \
+  --json bench_json/BENCH_all.json \
+  --json-dir bench_json \
+  > /root/repo/bench_output.txt 2>&1
+status=$?
+echo "BENCH_EXIT=$status" >> /root/repo/bench_output.txt
 touch /root/repo/.bench_done
+exit "$status"

@@ -82,6 +82,132 @@ let test_populate_size () =
     (let m = Harness.populate_size etc in
      m > 30 && m < 200)
 
+(* --- Report: canonical rows, JSON round-trip, drift detection --- *)
+
+let sample_rows =
+  [
+    (* axis and metrics deliberately given out of order: the smart
+       constructor must canonicalize *)
+    Report.row ~experiment:"figX" ~system:"uTPS"
+      ~axis:[ ("size", "64"); ("index", "tree") ]
+      [ ("p99_us", 12.5); ("mops", 3.25) ];
+    Report.row ~experiment:"figX" ~system:"BaseKV"
+      ~axis:[ ("index", "tree"); ("size", "64") ]
+      [ ("mops", 1.75) ];
+    Report.row ~experiment:"tableY" ~axis:[]
+      [ ("ratio", 0.799835); ("zero", 0.0); ("neg", -0.25) ];
+  ]
+
+let test_report_canonical_order () =
+  match sample_rows with
+  | r :: _ ->
+    Alcotest.(check (list string))
+      "axis keys sorted" [ "index"; "size" ]
+      (List.map fst r.Report.axis);
+    Alcotest.(check (list string))
+      "metric keys sorted" [ "mops"; "p99_us" ]
+      (List.map fst r.Report.metrics)
+  | [] -> assert false
+
+let test_report_float_format () =
+  let f = Report.float_to_string in
+  Alcotest.(check string) "integral" "3" (f 3.0);
+  Alcotest.(check string) "trailing zeros stripped" "0.25" (f 0.25);
+  Alcotest.(check string) "six places kept" "0.799835" (f 0.799835);
+  Alcotest.(check string) "negative zero" "0" (f (-0.0));
+  Alcotest.(check string) "non-finite" "0" (f Float.infinity);
+  (* idempotent: formatting a re-parsed value reproduces the string *)
+  List.iter
+    (fun v ->
+      let s = f v in
+      Alcotest.(check string) ("idempotent " ^ s) s (f (float_of_string s)))
+    [ 3.0; 0.25; 0.799835; 1032.453462; -0.125; 1e-7 ]
+
+let test_report_json_roundtrip () =
+  let json = Report.to_json sample_rows in
+  let rows' = Report.of_json json in
+  check_int "row count survives" (List.length sample_rows)
+    (List.length rows');
+  (* serialize(parse(serialize x)) = serialize x: the representation is
+     canonical, so CI can compare files byte for byte *)
+  Alcotest.(check string) "canonical fixpoint" json (Report.to_json rows')
+
+let test_report_json_rejects_garbage () =
+  check_bool "garbage rejected" true
+    (match Report.of_json "{\"schema\":\"mutps-bench/v1\",\"rows\":[" with
+    | exception Report.Parse_error _ -> true
+    | _ -> false)
+
+let test_report_diff () =
+  let base = sample_rows in
+  check_int "no drift on identical" 0
+    (List.length (Report.diff ~baseline:base ~current:base ()));
+  (* a metric change is exactly one drift *)
+  let bumped =
+    List.map
+      (fun (r : Report.row) ->
+        if r.Report.system = "uTPS" then
+          Report.row ~experiment:r.Report.experiment ~system:r.Report.system
+            ~axis:r.Report.axis
+            (List.map
+               (fun (k, v) -> (k, if k = "mops" then v +. 0.01 else v))
+               r.Report.metrics)
+        else r)
+      base
+  in
+  (match Report.diff ~baseline:base ~current:bumped () with
+  | [ Report.Metric_drift { name; _ } ] ->
+    Alcotest.(check string) "drifted metric" "mops" name
+  | ds -> Alcotest.failf "expected one metric drift, got %d" (List.length ds));
+  (* ...and is forgiven under a loose relative tolerance *)
+  check_int "tolerance forgives" 0
+    (List.length (Report.diff ~tolerance:0.1 ~baseline:base ~current:bumped ()));
+  (* a dropped row is a Missing_row, an added one an Extra_row *)
+  (match Report.diff ~baseline:base ~current:(List.tl base) () with
+  | [ Report.Missing_row _ ] -> ()
+  | _ -> Alcotest.fail "expected missing row");
+  match Report.diff ~baseline:(List.tl base) ~current:base () with
+  | [ Report.Extra_row _ ] -> ()
+  | _ -> Alcotest.fail "expected extra row"
+
+(* --- Runner: domain fan-out must not change results --- *)
+
+let runner_scale =
+  {
+    Harness.keyspace = 1_000;
+    cores = 4;
+    clients = 8;
+    window = 2;
+    warmup = 50_000;
+    measure = 150_000;
+  }
+
+let test_runner_jobs_deterministic () =
+  let names = [ "table1"; "fig2b" ] in
+  let serial = Runner.run_all ~jobs:1 names runner_scale in
+  let fanned = Runner.run_all ~jobs:4 names runner_scale in
+  check_int "no failures serial" 0 (List.length (Runner.failed serial));
+  check_int "no failures fanned" 0 (List.length (Runner.failed fanned));
+  (* rows AND captured text agree byte for byte across job counts *)
+  Alcotest.(check string)
+    "rows identical"
+    (Report.to_json (Runner.rows serial))
+    (Report.to_json (Runner.rows fanned));
+  List.iter2
+    (fun (a : Runner.outcome) (b : Runner.outcome) ->
+      Alcotest.(check string) (a.Runner.name ^ " name") a.Runner.name
+        b.Runner.name;
+      Alcotest.(check string)
+        (a.Runner.name ^ " output")
+        a.Runner.output b.Runner.output)
+    serial fanned
+
+let test_runner_unknown_name () =
+  check_bool "unknown name raises before running" true
+    (match Runner.run_all [ "table1"; "fig99" ] runner_scale with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_mk_config_scales_geometry () =
   (* below ~500K keys the geometry sits on its floor; above it scales *)
   let small = Harness.mk_config { Harness.default_scale with Harness.keyspace = 500_000 } in
@@ -112,5 +238,20 @@ let () =
           Alcotest.test_case "system names" `Quick test_system_names;
           Alcotest.test_case "populate size" `Quick test_populate_size;
           Alcotest.test_case "scaled geometry" `Quick test_mk_config_scales_geometry;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "canonical order" `Quick test_report_canonical_order;
+          Alcotest.test_case "float format" `Quick test_report_float_format;
+          Alcotest.test_case "json round-trip" `Quick test_report_json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick
+            test_report_json_rejects_garbage;
+          Alcotest.test_case "diff" `Quick test_report_diff;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "unknown name" `Quick test_runner_unknown_name;
+          Alcotest.test_case "jobs=4 matches jobs=1" `Slow
+            test_runner_jobs_deterministic;
         ] );
     ]

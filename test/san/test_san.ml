@@ -219,7 +219,9 @@ let smoke_scale =
   }
 
 let test_experiment_clean (e : Mutps_experiments.Registry.entry) () =
-  let (), reports = San.sanitized (fun () -> e.Mutps_experiments.Registry.run smoke_scale) in
+  let _rows, reports =
+    San.sanitized (fun () -> e.Mutps_experiments.Registry.run smoke_scale)
+  in
   List.iter (fun r -> print_endline (San.report_to_string r)) reports;
   check_int
     (Printf.sprintf "%s: no races" e.Mutps_experiments.Registry.name)

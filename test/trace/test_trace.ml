@@ -407,7 +407,7 @@ let test_fig2a_traced_untraced_identical () =
      schedule events, charge cycles, or mutate simulation state *)
   let run_plain () =
     capture_stdout (fun () ->
-        Mutps_experiments.Fig2.run_2a tiny_scale)
+        ignore (Mutps_experiments.Fig2.run_2a tiny_scale))
   in
   let run_traced () =
     let reg = Metrics.create () in
@@ -416,7 +416,7 @@ let test_fig2a_traced_untraced_identical () =
     let out, traces =
       Trace.traced (fun () ->
           capture_stdout (fun () ->
-              Mutps_experiments.Fig2.run_2a tiny_scale))
+              ignore (Mutps_experiments.Fig2.run_2a tiny_scale)))
     in
     check_bool "engines collected" true (List.length traces > 1);
     check_bool "events recorded" true
