@@ -168,6 +168,140 @@ let run_micro () =
          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
 
 (* ------------------------------------------------------------------ *)
+(* Engine micro-benchmark: scheduler churn + the fig2a hot loop        *)
+(*                                                                     *)
+(* Reports the two numbers the mutps.alloc certifier exists to drive:  *)
+(*   sim_cycles_per_sec    simulated cycles retired per CPU second     *)
+(*   minor_words_per_event GC words allocated per dispatched event     *)
+(* The words-per-event metrics are deterministic (same binary, same    *)
+(* allocations), so they gate in CI against test/golden/               *)
+(* engine_alloc_gate.json; the wall-clock rates are reported but not   *)
+(* gated.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* CPU seconds: the engine loop is single-threaded, so CPU time is the
+   wall time of interest and is less noisy under CI co-tenancy *)
+let cpu_time () = (Sys.time () [@lint.allow "R1"])
+
+let gc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* words-per-event rounded so the ~25-word cost of sampling Gc stats
+   cannot wobble the gated metric *)
+let round2 x = Float.round (x *. 100.) /. 100.
+
+(* Scheduler churn: a standing population of self-rescheduling events.
+   One closure is allocated up front and reused for every event, so the
+   measured allocations belong to push/pop/dispatch, not the workload. *)
+let engine_churn () =
+  let events = 1_000_000 and population = 1_024 in
+  let open Mutps_sim in
+  let engine = Engine.create () in
+  let remaining = ref (events - population) in
+  let seq = ref 0 in
+  let rec fire () =
+    if !remaining > 0 then begin
+      decr remaining;
+      incr seq;
+      (* mixed int delay: spreads events over time without touching Rng
+         (whose Int64 draws would allocate and pollute the measurement) *)
+      Engine.schedule_after engine ~delay:(1 + (!seq * 0x9E37 land 0x3F)) fire
+    end
+  in
+  for i = 1 to population do
+    Engine.schedule_after engine ~delay:(i land 0x3F) fire
+  done;
+  let w0 = gc_words () and t0 = cpu_time () in
+  Engine.run_all engine;
+  let t1 = cpu_time () and w1 = gc_words () in
+  let dispatched = Engine.dispatched engine in
+  let sim_cycles = Engine.now engine in
+  let wall_s = t1 -. t0 in
+  let words_per_event = round2 ((w1 -. w0) /. float_of_int dispatched) in
+  let gate =
+    Report.row ~experiment:"engine_micro" ~system:""
+      ~axis:[ ("case", "push_pop_churn") ]
+      [
+        ("events", float_of_int dispatched);
+        ("minor_words_per_event", words_per_event);
+        ("sim_cycles", float_of_int sim_cycles);
+      ]
+  in
+  let perf =
+    Report.row ~experiment:"engine_micro" ~system:""
+      ~axis:[ ("case", "push_pop_churn_perf") ]
+      [
+        ("wall_s", wall_s);
+        ("events_per_sec", float_of_int dispatched /. wall_s);
+        ("sim_cycles_per_sec", float_of_int sim_cycles /. wall_s);
+        ("minor_words_per_event", words_per_event);
+      ]
+  in
+  (gate, perf)
+
+(* The fig2a hot loop (uniform gets against μTPS) with the harness's
+   warmup excluded: deltas are taken across the measured window only, so
+   populate/warmup allocations do not dilute words-per-event. *)
+let engine_fig2a () =
+  let open Mutps_sim in
+  let scale = Harness.scale_from_env () in
+  let spec =
+    Mutps_workload.Ycsb.get_only_uniform ~keyspace:scale.Harness.keyspace
+      ~value_size:64 ()
+  in
+  let built = Harness.build Harness.Mutps scale spec in
+  let clients = Harness.start_clients built scale spec in
+  Engine.run built.Harness.engine ~until:scale.Harness.warmup;
+  let d0 = Engine.dispatched built.Harness.engine in
+  let c0 = Mutps_net.Client.completed clients in
+  let w0 = gc_words () and t0 = cpu_time () in
+  Engine.run built.Harness.engine
+    ~until:(scale.Harness.warmup + scale.Harness.measure);
+  let t1 = cpu_time () and w1 = gc_words () in
+  let events = Engine.dispatched built.Harness.engine - d0 in
+  let completed = Mutps_net.Client.completed clients - c0 in
+  let wall_s = t1 -. t0 in
+  let words_per_event = round2 ((w1 -. w0) /. float_of_int events) in
+  let gate =
+    Report.row ~experiment:"engine_micro" ~system:"uTPS"
+      ~axis:[ ("case", "fig2a_hot_loop") ]
+      [
+        ("events", float_of_int events);
+        ("completed", float_of_int completed);
+        ("minor_words_per_event", words_per_event);
+      ]
+  in
+  let perf =
+    Report.row ~experiment:"engine_micro" ~system:"uTPS"
+      ~axis:[ ("case", "fig2a_hot_loop_perf") ]
+      [
+        ("wall_s", wall_s);
+        ("events_per_sec", float_of_int events /. wall_s);
+        ( "sim_cycles_per_sec",
+          float_of_int scale.Harness.measure /. wall_s );
+        ("minor_words_per_event", words_per_event);
+        ("ops_per_sec", float_of_int completed /. wall_s);
+      ]
+  in
+  (gate, perf)
+
+let run_engine_micro () =
+  print_endline "\n=== Engine micro-benchmark (mutps.alloc trajectory) ===";
+  let gate_churn, perf_churn = engine_churn () in
+  let gate_fig, perf_fig = engine_fig2a () in
+  let rows = [ gate_churn; perf_churn; gate_fig; perf_fig ] in
+  List.iter
+    (fun (r : Report.row) ->
+      Printf.printf "%-22s" (List.assoc "case" r.Report.axis);
+      List.iter
+        (fun (k, v) -> Printf.printf "  %s=%s" k (Report.float_to_string v))
+        r.Report.metrics;
+      print_newline ())
+    rows;
+  (rows, [ gate_churn; gate_fig ])
+
+(* ------------------------------------------------------------------ *)
 (* Argument parsing and the parallel experiment pass                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -175,14 +309,16 @@ type opts = {
   jobs : int;
   json : string option;
   json_dir : string option;
+  gate_json : string option;
   micro : bool;
+  engine_micro : bool;
   names : string list;  (** [] = all *)
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--json FILE] [--json-dir DIR] \
-     [micro | EXPERIMENT...]";
+     [--gate-json FILE] [micro | engine-micro | EXPERIMENT...]";
   exit 2
 
 let parse_args argv =
@@ -192,7 +328,9 @@ let parse_args argv =
         jobs = Runner.default_jobs ();
         json = None;
         json_dir = None;
+        gate_json = None;
         micro = false;
+        engine_micro = false;
         names = [];
       }
   in
@@ -209,8 +347,14 @@ let parse_args argv =
     | "--json-dir" :: v :: rest ->
       opts := { !opts with json_dir = Some v };
       go rest
+    | "--gate-json" :: v :: rest ->
+      opts := { !opts with gate_json = Some v };
+      go rest
     | "micro" :: rest ->
       opts := { !opts with micro = true };
+      go rest
+    | "engine-micro" :: rest ->
+      opts := { !opts with engine_micro = true };
       go rest
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "unknown flag %s\n%!" arg;
@@ -225,7 +369,9 @@ let parse_args argv =
 let () =
   let opts = parse_args Sys.argv in
   (* no positional args: full evaluation + microbenchmarks *)
-  let run_everything = opts.names = [] && not opts.micro in
+  let run_everything =
+    opts.names = [] && (not opts.micro) && not opts.engine_micro
+  in
   let names = if run_everything then Registry.names () else opts.names in
   (match
      List.filter (fun n -> Registry.find n = None) names
@@ -237,6 +383,7 @@ let () =
       (String.concat ", " (Registry.names ()));
     exit 2);
   let failures = ref 0 in
+  let experiment_rows = ref [] in
   if names <> [] then begin
     let scale = Harness.scale_from_env () in
     let outcomes =
@@ -257,13 +404,7 @@ let () =
       outcomes;
     let failed = Runner.failed outcomes in
     failures := List.length failed;
-    (match opts.json with
-    | Some path ->
-      Report.write_file path (Runner.rows outcomes);
-      Printf.eprintf "json: %d row(s) -> %s\n%!"
-        (List.length (Runner.rows outcomes))
-        path
-    | None -> ());
+    experiment_rows := Runner.rows outcomes;
     match opts.json_dir with
     | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -275,6 +416,29 @@ let () =
       Printf.eprintf "json: per-experiment files -> %s/BENCH_*.json\n%!" dir
     | None -> ()
   end;
+  let engine_rows, engine_gate_rows =
+    if opts.engine_micro || run_everything then run_engine_micro ()
+    else ([], [])
+  in
+  (match opts.gate_json with
+  | Some path ->
+    Report.write_file path engine_gate_rows;
+    Printf.eprintf "json: %d gate row(s) -> %s\n%!"
+      (List.length engine_gate_rows) path
+  | None -> ());
+  (match opts.json with
+  | Some path ->
+    let rows = !experiment_rows @ engine_rows in
+    Report.write_file path rows;
+    Printf.eprintf "json: %d row(s) -> %s\n%!" (List.length rows) path
+  | None -> ());
+  (match opts.json_dir with
+  | Some dir when engine_rows <> [] ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Report.write_file
+      (Filename.concat dir "BENCH_engine_micro.json")
+      engine_rows
+  | _ -> ());
   if opts.micro || run_everything then run_micro ();
   if !failures > 0 then begin
     Printf.eprintf "%d experiment(s) failed\n%!" !failures;

@@ -1,23 +1,31 @@
-(* Driver for the determinism & charge-discipline lint (lib/lint).
+(* Driver for the determinism & charge-discipline lint and the
+   zero-allocation certifier (lib/lint).
 
    Usage: mutps_lint [--format text|json] [--intra-only] [DIR-OR-FILE ...]
                                           (default roots: lib bin bench examples)
 
    Runs in project mode: every file is parsed once, checked with the
    intra-procedural rules (R1/R2/R4 plus everything but the lexical R3),
-   and the whole set is then analyzed as one closed world by the
-   interprocedural pass (lib/lint/interp.ml), which refines R3 across
-   call sites and catches R2 leaks through sanctioned raw-access helpers.
-   [--intra-only] restores the purely lexical R3 rule and skips the
-   project pass — useful when linting a lone file out of context.
+   and the whole set is then analyzed as one closed world twice — by the
+   interprocedural charge pass (lib/lint/interp.ml), which refines R3
+   across call sites and catches R2 leaks through sanctioned raw-access
+   helpers, and by the allocation certifier (lib/lint/alloc.ml), which
+   proves every function reachable from a [@hot] root free of heap
+   allocation (A1), boxing (A2) and observability escapes (A3).
+   [--intra-only] restores the purely lexical R3 rule and skips both
+   project passes — useful when linting a lone file out of context.
 
    Emits "file:line:col: [RULE] message" per finding (the shape the CI
-   problem matcher parses), or a JSON array with [--format json], and
-   exits non-zero when any finding or parse error is produced.  Wired to
-   `dune build @lint`; see DESIGN.md "Determinism invariants". *)
+   problem matcher parses), or a JSON object with [--format json], and
+   exits non-zero when any finding or parse error is produced.
+   Suppressions are accounted per rule family (R vs A) and stale
+   [@alloc.allow] attributes — ones that no longer cover any would-be
+   finding — are listed so they can be deleted.  Wired to
+   `dune build @lint`; see DESIGN.md "Determinism invariants" and §9. *)
 
 module Lint = Mutps_lint.Lint
 module Interp = Mutps_lint.Interp
+module Alloc = Mutps_lint.Alloc
 
 let rec collect acc path =
   let base = Filename.basename path in
@@ -44,17 +52,47 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let print_json findings =
-  print_string "[";
+let print_json findings ~r_suppressed ~(alloc : Alloc.result option) =
+  print_string "{\n  \"findings\": [";
   List.iteri
     (fun i (f : Lint.finding) ->
-      Printf.printf "%s\n  { \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+      Printf.printf "%s\n    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \
                      \"rule\": \"%s\", \"message\": \"%s\" }"
         (if i = 0 then "" else ",")
         (json_escape f.Lint.file) f.Lint.line f.Lint.col
         (json_escape f.Lint.rule) (json_escape f.Lint.msg))
     findings;
-  print_string (if findings = [] then "]\n" else "\n]\n")
+  print_string (if findings = [] then "],\n" else "\n  ],\n");
+  let rules = List.sort_uniq compare (List.map fst r_suppressed) in
+  Printf.printf "  \"suppressed\": { %s },\n"
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf "\"%s\": %d" (json_escape r)
+              (List.length (List.filter (fun (r', _) -> r' = r) r_suppressed)))
+          rules));
+  (match alloc with
+  | None -> print_string "  \"alloc\": null\n"
+  | Some a ->
+    Printf.printf
+      "  \"alloc\": {\n\
+      \    \"hot_roots\": [%s],\n\
+      \    \"certified\": %d,\n\
+      \    \"allow_sites\": [%s]\n\
+      \  }\n"
+      (String.concat ", "
+         (List.map (fun r -> "\"" ^ json_escape r ^ "\"") a.Alloc.hot_roots))
+      (List.length a.Alloc.hot_set)
+      (String.concat ","
+         (List.map
+            (fun (s : Alloc.allow_site) ->
+              Printf.sprintf
+                "\n      { \"file\": \"%s\", \"line\": %d, \"uses\": %d, \
+                 \"reason\": \"%s\" }"
+              (json_escape s.Alloc.al_file) s.Alloc.al_line s.Alloc.al_uses
+              (json_escape s.Alloc.al_reason))
+            a.Alloc.allow_sites)));
+  print_string "}\n"
 
 let () =
   let format = ref `Text and intra_only = ref false in
@@ -102,18 +140,64 @@ let () =
           None)
       files
   in
+  (* suppression accounting: every [@lint.allow] that actually covered a
+     would-be finding, by rule *)
+  let r_suppressed = ref [] in
+  let on_suppressed ~rule ~loc:(_ : Location.t) =
+    r_suppressed := (rule, ()) :: !r_suppressed
+  in
   let intra =
     List.concat_map
       (fun (file, rule_path, str) ->
-        Lint.check_structure ~file ~rule_path ~intra_r3:!intra_only str)
+        Lint.check_structure ~file ~rule_path ~intra_r3:!intra_only
+          ~on_suppressed str)
       parsed
   in
-  let interp = if !intra_only then [] else Interp.check_project parsed in
-  let findings = List.sort Lint.compare_finding (intra @ interp) in
+  let interp =
+    if !intra_only then [] else Interp.check_project ~on_suppressed parsed
+  in
+  let alloc = if !intra_only then None else Some (Alloc.check_project parsed) in
+  let alloc_findings =
+    match alloc with Some a -> a.Alloc.findings | None -> []
+  in
+  let findings =
+    List.sort Lint.compare_finding (intra @ interp @ alloc_findings)
+  in
   (match !format with
-  | `Json -> print_json findings
+  | `Json -> print_json findings ~r_suppressed:!r_suppressed ~alloc
   | `Text ->
     List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings);
+  (* per-family suppression summary + stale [@alloc.allow] report, on
+     stderr so it shows in CI logs without disturbing the parseable
+     stdout *)
+  let r_total = List.length !r_suppressed in
+  let a_used, a_sites, stale =
+    match alloc with
+    | None -> (0, 0, [])
+    | Some a ->
+      ( List.fold_left
+          (fun acc (s : Alloc.allow_site) -> acc + s.Alloc.al_uses)
+          0 a.Alloc.allow_sites,
+        List.length a.Alloc.allow_sites,
+        List.filter
+          (fun (s : Alloc.allow_site) -> s.Alloc.al_uses = 0)
+          a.Alloc.allow_sites )
+  in
+  if r_total > 0 || a_sites > 0 then
+    Printf.eprintf
+      "mutps_lint: suppressions: R-family %d ([@lint.allow]), A-family %d \
+       finding%s across %d [@alloc.allow] site%s\n"
+      r_total a_used
+      (if a_used = 1 then "" else "s")
+      a_sites
+      (if a_sites = 1 then "" else "s");
+  List.iter
+    (fun (s : Alloc.allow_site) ->
+      Printf.eprintf
+        "mutps_lint: stale [@alloc.allow] at %s:%d (%S) — covers no \
+         finding, delete it\n"
+        s.Alloc.al_file s.Alloc.al_line s.Alloc.al_reason)
+    stale;
   let n = List.length findings in
   if n > 0 || !errors > 0 then begin
     Printf.eprintf "mutps_lint: %d finding%s, %d error%s in %d files\n" n
@@ -123,6 +207,20 @@ let () =
       (List.length files);
     exit 1
   end
-  else if !format = `Text then
-    Printf.printf "mutps_lint: clean (%d files, rules R1-R4 + interprocedural)\n"
-      (List.length files)
+  else if !format = `Text then begin
+    Printf.printf
+      "mutps_lint: clean (%d files, rules R1-R4 + interprocedural)\n"
+      (List.length files);
+    match alloc with
+    | Some a ->
+      Printf.printf
+        "mutps_alloc: %d hot root%s, %d function%s certified zero-alloc, %d \
+         [@alloc.allow] suppression%s\n"
+        (List.length a.Alloc.hot_roots)
+        (if List.length a.Alloc.hot_roots = 1 then "" else "s")
+        (List.length a.Alloc.hot_set)
+        (if List.length a.Alloc.hot_set = 1 then "" else "s")
+        a_sites
+        (if a_sites = 1 then "" else "s")
+    | None -> ()
+  end

@@ -1,0 +1,652 @@
+(* Interprocedural zero-allocation certifier (rule family A).  See
+   alloc.mli for the contract.
+
+   Pipeline, mirroring Interp: extract one summary per top-level binding
+   (allocation/boxing/escape sites, outgoing calls, bare mentions, arity,
+   [@hot] flag), index the bindings, propagate hotness from the [@hot]
+   roots through resolvable calls and mentions, then classify every site
+   and call of every hot function.
+
+   The walk is over the Parsetree, so the judgments are syntactic
+   approximations of what ocamlopt actually emits:
+
+   - local [ref] cells and [let rec] loops that do not escape are often
+     eliminated by Simplif, and constant constructors/literals are
+     statically allocated — the checker already skips constants, and
+     flagging the eliminable cases is intentional: hot code written so
+     the *front end* provably does not allocate stays allocation-free
+     under every optimization level and every future compiler.
+   - calls through closures, record fields, and unqualified names that do
+     not resolve in the closed world are trusted (they are
+     overwhelmingly locals and stdlib int primitives); qualified names
+     that neither resolve nor appear in the safe/allocating tables are
+     reported (A1 unknown-callee) rather than trusted, so the hot set
+     cannot silently grow an unvetted dependency.
+
+   The runtime zero-allocation test (test/sim: Gc.minor_words delta over
+   an event churn) backstops both approximations. *)
+
+module SS = Set.Make (String)
+open Lint.Internal
+
+type allow_site = {
+  al_file : string;
+  al_line : int;
+  al_reason : string;
+  mutable al_uses : int;
+}
+
+type result = {
+  findings : Lint.finding list;
+  hot_roots : string list;
+  hot_set : string list;
+  allow_sites : allow_site list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Calls whose argument subtrees are error paths that terminate the
+   simulation: allocation there is exempt (mirrors [@zero_alloc]'s
+   relaxed treatment of diverging branches). *)
+let diverging_calls =
+  [ "invalid_arg"; "failwith"; "raise"; "raise_notrace"; "exit";
+    "Alcotest.fail" ]
+
+(* Trace/sanitizer guards: the [Some]-branch of a match on one of these
+   (or the then-branch of an if on [debug_checks]) is the
+   "observability is on" path, exempt under the zero-cost-when-off
+   contract and not part of the hot set. *)
+let guard_calls =
+  [ "tr"; "san"; "Engine.tracer"; "Engine.sanitizer"; "Env.tr"; "Env.san";
+    "debug_checks"; "Engine.debug_checks" ]
+
+(* Unqualified names that allocate. *)
+let unqualified_alloc =
+  [ ("ref", "ref cell"); ("^", "string concatenation (^)");
+    ("@", "list append (@)"); ("string_of_int", "string construction");
+    ("string_of_float", "string construction");
+    ("float_of_string", "boxed float construction") ]
+
+(* Unqualified float operators/functions: results are boxed unless the
+   compiler can prove local unboxing. *)
+let float_ops =
+  [ "+."; "-."; "*."; "/."; "**"; "~-."; "abs_float"; "sqrt"; "exp"; "log";
+    "sin"; "cos"; "mod_float"; "float_of_int" ]
+
+(* Polymorphic comparisons walk runtime representations (and box on the
+   way); hot code must compare ints with the int operators. *)
+let poly_compare = [ "compare"; "min"; "max"; "Hashtbl.hash" ]
+
+(* Qualified calls known to allocate. *)
+let alloc_calls =
+  [ "Array.make"; "Array.init"; "Array.create_float"; "Array.append";
+    "Array.concat"; "Array.sub"; "Array.copy"; "Array.of_list";
+    "Array.to_list"; "Array.map"; "Array.mapi"; "List.map"; "List.mapi";
+    "List.append"; "List.concat"; "List.concat_map"; "List.rev";
+    "List.rev_append"; "List.filter"; "List.filter_map"; "List.init";
+    "List.sort"; "List.sort_uniq"; "List.cons"; "String.make";
+    "String.init"; "String.sub"; "String.concat"; "String.cat";
+    "String.split_on_char"; "Bytes.create"; "Bytes.make"; "Bytes.sub";
+    "Bytes.copy"; "Bytes.of_string"; "Bytes.to_string"; "Hashtbl.create";
+    "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.copy"; "Queue.create";
+    "Queue.push"; "Queue.add"; "Stack.create"; "Stack.push"; "Option.map";
+    "Option.some"; "Option.bind"; "Atomic.make"; "Domain.spawn";
+    "Fun.protect" ]
+
+(* Qualified calls known not to allocate (int/unit primitives). *)
+let safe_calls =
+  [ "Array.get"; "Array.set"; "Array.unsafe_get"; "Array.unsafe_set";
+    "Array.length"; "Array.blit"; "Array.fill"; "Hashtbl.find";
+    "Hashtbl.mem"; "Hashtbl.remove"; "Hashtbl.length"; "Hashtbl.clear";
+    "Hashtbl.reset"; "String.length"; "String.get"; "String.unsafe_get";
+    "String.equal"; "String.compare"; "Bytes.length"; "Bytes.get";
+    "Bytes.set"; "Bytes.unsafe_get"; "Bytes.unsafe_set"; "Bytes.blit";
+    "Bytes.fill"; "Char.code"; "Char.chr"; "Char.equal"; "Int.equal";
+    "Int.compare"; "Int.min"; "Int.max"; "Int.abs"; "Atomic.get";
+    "Atomic.set"; "Atomic.exchange"; "Atomic.compare_and_set";
+    "Atomic.fetch_and_add"; "Atomic.incr"; "Atomic.decr"; "Queue.length";
+    "Queue.is_empty"; "Sys.opaque_identity"; "Effect.perform";
+    "Domain.DLS.get"; "Array.iter"; "Array.iteri"; "Array.exists";
+    "List.iter"; "List.length"; "List.exists"; "List.mem" ]
+
+(* Observability machinery: allocation plus I/O, neither belongs on the
+   hot path outside a trace guard. *)
+let a3_prefixes = [ "Printf."; "Format."; "Buffer."; "print_"; "prerr_"; "output_" ]
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_suffix suf s =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf)
+     = suf
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type site = {
+  s_rule : string;  (* "A1" | "A2" | "A3" *)
+  s_what : string;
+  s_loc : Location.t;
+  s_allow : int;  (* covering [@alloc.allow] id, or -1 *)
+}
+
+type call = {
+  c_path : string;
+  c_loc : Location.t;
+  c_nargs : int;
+  c_labeled : bool;  (* any labelled/optional argument *)
+  c_allow : int;
+}
+
+type afn = {
+  a_key : string;
+  a_file : string;
+  a_hot : bool;
+  a_arity : int;  (* leading Nolabel params; -1 when any is labelled *)
+  a_sites : site list;
+  a_calls : call list;
+  a_mentions : (string * int) list;  (* path, covering allow id *)
+}
+
+(* Literals, constant constructors, and structured constants built only
+   from them are statically allocated: not sites. *)
+let rec is_constant (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) | Pexp_variant (_, None) -> true
+  | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> is_constant a
+  | Pexp_tuple es -> List.for_all is_constant es
+  | _ -> false
+
+let reason_of_payload (p : Parsetree.payload) =
+  match p with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+type xstate = {
+  x_file : string;
+  allow_sites : allow_site array ref;  (* grow-only registry, id = index *)
+  mutable sites : site list;
+  mutable calls : call list;
+  mutable mentions : (string * int) list;
+  mutable allow : int;  (* innermost covering allow id, or -1 *)
+  mutable live : bool;  (* false inside diverging args / guard branches *)
+}
+
+let new_allow st ~loc reason =
+  let a =
+    {
+      al_file = st.x_file;
+      al_line = loc.Location.loc_start.pos_lnum;
+      al_reason = reason;
+      al_uses = 0;
+    }
+  in
+  let arr = !(st.allow_sites) in
+  st.allow_sites := Array.append arr [| a |];
+  Array.length arr
+
+let allow_of_alloc_attrs st (attrs : Parsetree.attributes) =
+  List.fold_left
+    (fun acc (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "alloc.allow" then
+        let reason =
+          match reason_of_payload a.attr_payload with
+          | Some r -> r
+          | None -> "<no reason given>"
+        in
+        Some (new_allow st ~loc:a.attr_loc reason)
+      else acc)
+    None attrs
+
+let site st rule what (loc : Location.t) =
+  if st.live then
+    st.sites <- { s_rule = rule; s_what = what; s_loc = loc; s_allow = st.allow } :: st.sites
+
+let is_guard_scrutinee (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    matches_any guard_calls (strip_stdlib (path_of_lid txt))
+  | _ -> false
+
+let is_some_pattern (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> (
+    match Longident.last txt with "Some" -> true | _ -> false)
+  | _ -> false
+
+let extract_events st (body : Parsetree.expression) =
+  let with_allow st id f =
+    match id with
+    | None -> f ()
+    | Some id ->
+      let saved = st.allow in
+      st.allow <- id;
+      Fun.protect ~finally:(fun () -> st.allow <- saved) f
+  in
+  let with_dead st f =
+    let saved = st.live in
+    st.live <- false;
+    Fun.protect ~finally:(fun () -> st.live <- saved) f
+  in
+  let rec walk (e : Parsetree.expression) =
+    with_allow st (allow_of_alloc_attrs st e.pexp_attributes) @@ fun () ->
+    walk_desc e
+  and walk_desc (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, default, _, lam_body) ->
+      site st "A1" "closure allocation (lambda with captured environment)"
+        e.pexp_loc;
+      Option.iter walk default;
+      walk lam_body
+    | Pexp_function cases ->
+      site st "A1" "closure allocation (function with captured environment)"
+        e.pexp_loc;
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter walk c.pc_guard;
+          walk c.pc_rhs)
+        cases
+    | Pexp_tuple es ->
+      if not (is_constant e) then
+        site st "A1" "tuple construction" e.pexp_loc;
+      List.iter walk es
+    | Pexp_record (fields, base) ->
+      site st "A1" "record construction" e.pexp_loc;
+      Option.iter walk base;
+      List.iter (fun (_, v) -> walk v) fields
+    | Pexp_construct (_, Some arg) ->
+      if not (is_constant e) then
+        site st "A1" "variant construction (constructor with payload)"
+          e.pexp_loc;
+      walk arg
+    | Pexp_variant (_, Some arg) ->
+      if not (is_constant e) then
+        site st "A1" "polymorphic-variant construction" e.pexp_loc;
+      walk arg
+    | Pexp_array [] -> ()
+    | Pexp_array es ->
+      site st "A1" "array literal" e.pexp_loc;
+      List.iter walk es
+    | Pexp_lazy inner ->
+      site st "A1" "lazy suspension" e.pexp_loc;
+      walk inner
+    | Pexp_object _ -> site st "A1" "object construction" e.pexp_loc
+    | Pexp_pack _ -> site st "A1" "first-class module packing" e.pexp_loc
+    | Pexp_constant (Pconst_float _) ->
+      (* a float literal is a static box; only flag computed floats *)
+      ()
+    | Pexp_ident { txt; _ } ->
+      if st.live then
+        st.mentions <-
+          (strip_stdlib (path_of_lid txt), st.allow) :: st.mentions
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+      let path = strip_stdlib (path_of_lid txt) in
+      match (path, args) with
+      | "@@", [ (_, l); (_, r) ] -> walk_infix_app l r
+      | "|>", [ (_, l); (_, r) ] -> walk_infix_app r l
+      | _ -> walk_app path loc args)
+    | Pexp_apply (f, args) ->
+      (* call through a closure or field: opaque, trusted *)
+      walk f;
+      List.iter (fun (_, a) -> walk a) args
+    | Pexp_match (scrut, cases) when is_guard_scrutinee scrut ->
+      walk scrut;
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter walk c.pc_guard;
+          if is_some_pattern c.pc_lhs then with_dead st (fun () -> walk c.pc_rhs)
+          else walk c.pc_rhs)
+        cases
+    | Pexp_ifthenelse (cond, then_, else_) when is_guard_scrutinee cond ->
+      walk cond;
+      with_dead st (fun () -> walk then_);
+      Option.iter walk else_
+    | Pexp_let (_, vbs, let_body) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          with_allow st (allow_of_alloc_attrs st vb.pvb_attributes)
+            (fun () -> walk vb.pvb_expr))
+        vbs;
+      walk let_body
+    | _ ->
+      let it =
+        { Ast_iterator.default_iterator with expr = (fun _ e -> walk e) }
+      in
+      Ast_iterator.default_iterator.expr it e
+  and walk_infix_app f_expr arg =
+    match f_expr.Parsetree.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, fargs) ->
+      walk_app
+        (strip_stdlib (path_of_lid txt))
+        loc
+        (fargs @ [ (Asttypes.Nolabel, arg) ])
+    | Pexp_ident { txt; loc } ->
+      walk_app (strip_stdlib (path_of_lid txt)) loc [ (Asttypes.Nolabel, arg) ]
+    | _ ->
+      walk f_expr;
+      walk arg
+  and walk_app path loc args =
+    if List.mem path diverging_calls then
+      (* the call terminates the simulation; its message may allocate *)
+      with_dead st (fun () -> List.iter (fun (_, a) -> walk a) args)
+    else begin
+      List.iter (fun (_, a) -> walk a) args;
+      if st.live then
+        st.calls <-
+          {
+            c_path = path;
+            c_loc = loc;
+            c_nargs = List.length args;
+            c_labeled =
+              List.exists
+                (fun ((l : Asttypes.arg_label), _) -> l <> Asttypes.Nolabel)
+                args;
+            c_allow = st.allow;
+          }
+          :: st.calls
+    end
+  in
+  walk body
+
+let binding_arity (e : Parsetree.expression) =
+  let rec go acc (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (Asttypes.Nolabel, _, _, body) -> go (acc + 1) body
+    | Pexp_fun (_, _, _, _) -> -1
+    | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> go acc body
+    | _ -> acc
+  in
+  go 0 e
+
+(* Walk the binding body past its parameter chain (the parameters are the
+   function itself, not a closure it builds). *)
+let rec strip_params walk (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_fun (_, default, _, body) ->
+    Option.iter walk default;
+    strip_params walk body
+  | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> strip_params walk body
+  | _ -> walk e
+
+let has_hot_attr (attrs : Parsetree.attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = "hot") attrs
+
+let module_name_of_file file =
+  String.capitalize_ascii Filename.(remove_extension (basename file))
+
+let extract_file ~allow_sites ~file (str : Parsetree.structure) =
+  let modname = module_name_of_file file in
+  let fns = ref [] in
+  let anon = ref 0 in
+  let rec items ~prefix str =
+    List.iter
+      (fun (si : Parsetree.structure_item) ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              let name =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> txt
+                | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _)
+                  ->
+                  txt
+                | _ ->
+                  incr anon;
+                  Printf.sprintf "<toplevel:%d>" !anon
+              in
+              let st =
+                {
+                  x_file = file;
+                  allow_sites;
+                  sites = [];
+                  calls = [];
+                  mentions = [];
+                  allow = -1;
+                  live = true;
+                }
+              in
+              (match allow_of_alloc_attrs st vb.pvb_attributes with
+              | Some id -> st.allow <- id
+              | None -> ());
+              strip_params (extract_events st) vb.pvb_expr;
+              fns :=
+                {
+                  a_key = prefix ^ name;
+                  a_file = file;
+                  a_hot = has_hot_attr vb.pvb_attributes;
+                  a_arity = binding_arity vb.pvb_expr;
+                  a_sites = List.rev st.sites;
+                  a_calls = List.rev st.calls;
+                  a_mentions = List.rev st.mentions;
+                }
+                :: !fns)
+            vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure s; _ };
+              _;
+            } ->
+          items ~prefix:(prefix ^ sub ^ ".") s
+        | _ -> ())
+      str
+  in
+  items ~prefix:(modname ^ ".") str;
+  List.rev !fns
+
+(* ------------------------------------------------------------------ *)
+(* Resolution (same scheme as Interp)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type index = {
+  by_key : (string, afn) Hashtbl.t;
+  by_short : (string * string, afn) Hashtbl.t;
+  keys : string list;
+  ambiguous : SS.t;
+}
+
+let build_index fns =
+  let by_key = Hashtbl.create 256 and by_short = Hashtbl.create 256 in
+  let ambiguous = ref SS.empty in
+  let keys = ref [] in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem by_key f.a_key then
+        ambiguous := SS.add f.a_key !ambiguous
+      else begin
+        Hashtbl.replace by_key f.a_key f;
+        keys := f.a_key :: !keys
+      end;
+      let short =
+        match String.rindex_opt f.a_key '.' with
+        | Some i -> String.sub f.a_key (i + 1) (String.length f.a_key - i - 1)
+        | None -> f.a_key
+      in
+      Hashtbl.replace by_short (f.a_file, short) f)
+    fns;
+  { by_key; by_short; keys = List.rev !keys; ambiguous = !ambiguous }
+
+let resolve idx ~file path =
+  if path = "" then None
+  else if not (String.contains path '.') then
+    Hashtbl.find_opt idx.by_short (file, path)
+  else
+    match Hashtbl.find_opt idx.by_key path with
+    | Some f when not (SS.mem f.a_key idx.ambiguous) -> Some f
+    | _ -> (
+      match
+        List.filter
+          (fun k -> matches k path && not (SS.mem k idx.ambiguous))
+          idx.keys
+      with
+      | [ k ] -> Hashtbl.find_opt idx.by_key k
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Classification of an outgoing call                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [None] = provably fine; [Some (rule, what)] = would be a finding. *)
+let classify_call idx ~file (c : call) =
+  let p = c.c_path in
+  if List.mem p safe_calls || List.mem p diverging_calls then None
+  else
+    match List.assoc_opt p unqualified_alloc with
+    | Some what -> Some ("A1", what)
+    | None ->
+      if List.mem p float_ops then
+        Some ("A2", "float operation " ^ p ^ " (boxed result)")
+      else if List.mem p poly_compare then
+        Some
+          ( "A2",
+            "polymorphic " ^ p
+            ^ " walks runtime representations; use int comparisons" )
+      else if
+        (has_prefix "Int64." p || has_prefix "Int32." p
+        || has_prefix "Nativeint." p)
+        && not (has_suffix ".to_int" p)
+      then Some ("A2", "boxed-integer operation " ^ p)
+      else if has_prefix "Float." p then
+        Some ("A2", "float operation " ^ p ^ " (boxed result)")
+      else if List.exists (fun pre -> has_prefix pre p) a3_prefixes then
+        Some ("A3", "observability call " ^ p)
+      else if List.mem p alloc_calls || has_prefix "Seq." p then
+        Some ("A1", "allocating call " ^ p)
+      else if has_suffix "_opt" p && String.contains p '.' then
+        Some ("A1", "option-allocating call " ^ p)
+      else
+        match resolve idx ~file p with
+        | Some g ->
+          if
+            g.a_arity >= 0 && (not c.c_labeled) && c.c_nargs < g.a_arity
+          then
+            Some
+              ( "A1",
+                Printf.sprintf
+                  "partial application of %s (%d of %d arguments) builds a \
+                   closure"
+                  g.a_key c.c_nargs g.a_arity )
+          else None
+        | None ->
+          if String.contains p '.' then
+            Some
+              ( "A1",
+                "call to " ^ p
+                ^ " cannot be proven allocation-free (outside the closed \
+                   world and not a known-safe primitive)" )
+          else None (* unqualified local: trusted *)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_project (sources : (string * string * Parsetree.structure) list) =
+  let allow_sites = ref [||] in
+  let fns =
+    List.concat_map
+      (fun (file, _rule_path, str) -> extract_file ~allow_sites ~file str)
+      sources
+  in
+  let idx = build_index fns in
+  (* hot set: roots = [@hot] bindings; propagate through calls and bare
+     mentions outside allow regions.  [root_of] remembers which root made
+     each function hot, for the finding messages. *)
+  let root_of = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark key ~root =
+    if not (Hashtbl.mem root_of key) then begin
+      Hashtbl.replace root_of key root;
+      Queue.add key work
+    end
+  in
+  let hot_roots =
+    List.filter_map (fun f -> if f.a_hot then Some f.a_key else None) fns
+  in
+  List.iter (fun r -> mark r ~root:r) hot_roots;
+  while not (Queue.is_empty work) do
+    let key = Queue.pop work in
+    let root = Hashtbl.find root_of key in
+    match Hashtbl.find_opt idx.by_key key with
+    | None -> ()
+    | Some fn ->
+      List.iter
+        (fun (c : call) ->
+          if c.c_allow < 0 then
+            match resolve idx ~file:fn.a_file c.c_path with
+            | Some g -> mark g.a_key ~root
+            | None -> ())
+        fn.a_calls;
+      List.iter
+        (fun (path, allow) ->
+          if allow < 0 then
+            match resolve idx ~file:fn.a_file path with
+            | Some g -> mark g.a_key ~root
+            | None -> ())
+        fn.a_mentions
+  done;
+  let findings = ref [] in
+  let report fn rule (loc : Location.t) msg =
+    findings :=
+      {
+        Lint.rule;
+        file = fn.a_file;
+        line = loc.Location.loc_start.pos_lnum;
+        col = loc.Location.loc_start.pos_cnum - loc.Location.loc_start.pos_bol;
+        msg;
+      }
+      :: !findings
+  in
+  let use id = (!allow_sites).(id).al_uses <- (!allow_sites).(id).al_uses + 1 in
+  let provenance fn =
+    let root = Hashtbl.find root_of fn.a_key in
+    if root = fn.a_key then Printf.sprintf "%s ([@hot] root)" fn.a_key
+    else Printf.sprintf "%s (hot: reachable from [@hot] %s)" fn.a_key root
+  in
+  List.iter
+    (fun fn ->
+      if Hashtbl.mem root_of fn.a_key then begin
+        List.iter
+          (fun (s : site) ->
+            if s.s_allow >= 0 then use s.s_allow
+            else
+              report fn s.s_rule s.s_loc
+                (Printf.sprintf
+                   "%s in %s; the DES hot path must stay off the OCaml heap \
+                    — hoist the value, encode it in ints, or justify with \
+                    [@alloc.allow \"reason\"]"
+                   s.s_what (provenance fn)))
+          fn.a_sites;
+        List.iter
+          (fun (c : call) ->
+            match classify_call idx ~file:fn.a_file c with
+            | None -> ()
+            | Some (rule, what) ->
+              if c.c_allow >= 0 then use c.c_allow
+              else
+                report fn rule c.c_loc
+                  (Printf.sprintf "%s in %s" what (provenance fn)))
+          fn.a_calls
+      end)
+    fns;
+  {
+    findings = List.sort_uniq Lint.compare_finding !findings;
+    hot_roots;
+    hot_set =
+      List.sort compare (List.of_seq (Hashtbl.to_seq_keys root_of));
+    allow_sites = Array.to_list !allow_sites;
+  }

@@ -353,7 +353,8 @@ let replay ~call_commits fn ~on_call ~on_read ~on_mention =
 (* The analysis                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let check_project (sources : (string * string * Parsetree.structure) list) =
+let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
+    (sources : (string * string * Parsetree.structure) list) =
   let fns =
     List.concat_map
       (fun (file, rule_path, str) -> extract_file ~file ~rule_path str)
@@ -468,7 +469,9 @@ let check_project (sources : (string * string * Parsetree.structure) list) =
         | Some rs ->
           List.iter
             (fun (field, what, loc, r3_ok, dominated) ->
-              if (not dominated) && not r3_ok then
+              if (not dominated) && r3_ok then
+                on_suppressed ~rule:"R3" ~loc
+              else if (not dominated) && not r3_ok then
                 report "R3" fn loc
                   (Printf.sprintf
                        "read of shared-mutable field .%s (%s): %s can run \
@@ -522,7 +525,9 @@ let check_project (sources : (string * string * Parsetree.structure) list) =
         | Some sites ->
           List.iter
             (fun ((g : fn), _, loc, r2_ok) ->
-              if (not g.in_mem) && SS.mem g.key !reaches && not r2_ok then
+              if (not g.in_mem) && SS.mem g.key !reaches && r2_ok then
+                on_suppressed ~rule:"R2" ~loc
+              else if (not g.in_mem) && SS.mem g.key !reaches && not r2_ok then
                 report "R2" fn loc
                   (Printf.sprintf
                      "call to %s reaches uncharged Hierarchy traffic (a \

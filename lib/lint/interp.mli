@@ -20,8 +20,11 @@
     [[\@lint.allow]] suppressions apply at the read or call site. *)
 
 val check_project :
-  (string * string * Parsetree.structure) list -> Lint.finding list
+  ?on_suppressed:(rule:string -> loc:Location.t -> unit) ->
+  (string * string * Parsetree.structure) list ->
+  Lint.finding list
 (** [check_project sources] analyzes [(file, rule_path, ast)] triples as
     one closed world and returns the interprocedural findings, sorted.
     Parse with {!Lint.parse_implementation} so the per-file (intra) and
-    project passes share one AST per file. *)
+    project passes share one AST per file.  [on_suppressed] fires instead
+    of a finding when an [[\@lint.allow]] covers it (default: ignore). *)

@@ -161,6 +161,9 @@ type state = {
   intra_r3 : bool;
       (** check R3 with the lexical (enclosing-function) rule; project mode
           turns this off and runs the interprocedural pass instead *)
+  on_suppressed : rule:string -> loc:Location.t -> unit;
+      (** called instead of recording when a finding is [@lint.allow]ed;
+          drivers use it for suppression accounting *)
   mutable findings : finding list;
   mutable scopes : scope list;  (** innermost function first *)
   mutable allows : SS.t list;  (** suppression stack *)
@@ -185,7 +188,8 @@ let allowed st rule =
   List.exists (fun s -> SS.mem rule s || SS.mem "all" s) st.allows
 
 let report st rule (loc : Location.t) msg =
-  if not (allowed st rule) then
+  if allowed st rule then st.on_suppressed ~rule ~loc
+  else
     st.findings <-
       {
         rule;
@@ -398,12 +402,14 @@ let parse_implementation path =
       Parse.implementation lexbuf)
 
 let check_structure ?(file = "<string>") ?(rule_path = file)
-    ?(intra_r3 = true) (str : Parsetree.structure) =
+    ?(intra_r3 = true) ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
+    (str : Parsetree.structure) =
   let st =
     {
       file;
       rule_path;
       intra_r3;
+      on_suppressed;
       findings = [];
       scopes = [ { committed = false; sim = false } ];
       allows = [];

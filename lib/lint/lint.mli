@@ -51,8 +51,11 @@ val check_structure :
   ?file:string ->
   ?rule_path:string ->
   ?intra_r3:bool ->
+  ?on_suppressed:(rule:string -> loc:Location.t -> unit) ->
   Parsetree.structure ->
   finding list
+(** [on_suppressed] fires instead of a finding when an [[\@lint.allow]]
+    covers it — suppression accounting for drivers (default: ignore). *)
 
 val parse_implementation : string -> Parsetree.structure
 (** Parse one implementation file (raises [Syntaxerr.Error] / [Sys_error]);

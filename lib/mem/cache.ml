@@ -37,50 +37,67 @@ let set_of_line t line =
 
 type outcome = Hit | Miss of { victim : int option }
 
-let find_way t base line =
-  let rec go w =
-    if w = t.ways then -1
-    else if t.tags.(base + w) = line then w
-    else go (w + 1)
-  in
-  go 0
+(* Top-level tail-recursive scans: called from every lookup, so they must
+   not close over anything (a local [let rec] with free variables becomes
+   a heap-allocated closure per call). *)
+let rec find_way_from tags base (line : int) ways w =
+  (* the [int] ascription matters: without it [line] generalizes and the
+     tag comparison below compiles to polymorphic equality — a C call per
+     way scanned *)
+  if w = ways then -1
+  else if Array.unsafe_get tags (base + w) = line then w
+  else find_way_from tags base line ways (w + 1)
 
-let access t ~line ~way_mask =
+let find_way t base line = find_way_from t.tags base line t.ways 0
+
+(* LRU victim among allowed ways.  The first invalid way wins immediately
+   (stamp pinned to [min_int] so later ways cannot displace it); among
+   valid ways the earliest minimal stamp wins (strict [<]). *)
+let rec victim_way tags stamps base mask ways way best best_stamp =
+  if way = ways then best
+  else if mask land (1 lsl way) <> 0 then begin
+    let i = base + way in
+    if Array.unsafe_get tags i = -1 && best_stamp > min_int then
+      victim_way tags stamps base mask ways (way + 1) way min_int
+    else if
+      best_stamp > min_int && Array.unsafe_get stamps i < best_stamp
+    then victim_way tags stamps base mask ways (way + 1) way (Array.unsafe_get stamps i)
+    else victim_way tags stamps base mask ways (way + 1) best best_stamp
+  end
+  else victim_way tags stamps base mask ways (way + 1) best best_stamp
+
+(* Allocation-free access for hot callers: -2 = hit, -1 = miss with
+   nothing evicted (empty mask or a free way), >= 0 = the evicted line.
+   Line numbers are byte addresses / line size, hence never negative, so
+   the encoding is unambiguous. *)
+let[@hot] access_raw t ~line ~way_mask =
   t.clock <- t.clock + 1;
   let base = set_of_line t line * t.ways in
   let w = find_way t base line in
   if w >= 0 then begin
     t.hits <- t.hits + 1;
     t.stamps.(base + w) <- t.clock;
-    Hit
+    -2
   end
   else begin
     t.misses <- t.misses + 1;
     let mask = way_mask land full_mask t in
-    if mask = 0 then Miss { victim = None }
+    if mask = 0 then -1
     else begin
-      (* LRU victim among allowed ways; invalid ways win immediately. *)
-      let best = ref (-1) and best_stamp = ref max_int in
-      for way = 0 to t.ways - 1 do
-        if mask land (1 lsl way) <> 0 then begin
-          let i = base + way in
-          if t.tags.(i) = -1 && !best_stamp > min_int then begin
-            best := way;
-            best_stamp := min_int
-          end
-          else if !best_stamp > min_int && t.stamps.(i) < !best_stamp then begin
-            best := way;
-            best_stamp := t.stamps.(i)
-          end
-        end
-      done;
-      let i = base + !best in
-      let victim = if t.tags.(i) = -1 then None else Some t.tags.(i) in
+      let best = victim_way t.tags t.stamps base mask t.ways 0 (-1) max_int in
+      let i = base + best in
+      let victim = Array.unsafe_get t.tags i in  (* -1 if the way was free *)
       t.tags.(i) <- line;
       t.stamps.(i) <- t.clock;
-      Miss { victim }
+      victim
     end
   end
+
+let access t ~line ~way_mask =
+  match access_raw t ~line ~way_mask with
+  | -2 -> Hit
+  | -1 -> Miss { victim = None }
+  | v -> Miss { victim = Some v }
 
 let touch t ~line =
   t.clock <- t.clock + 1;

@@ -31,6 +31,11 @@ type outcome =
 val access : t -> line:int -> way_mask:int -> outcome
 (** Lookup + LRU update; allocates into an allowed way on miss. *)
 
+val access_raw : t -> line:int -> way_mask:int -> int
+(** Exactly {!access}, encoded without the [outcome] allocation for hot
+    callers: [-2] = hit, [-1] = miss that evicted nothing (empty mask or a
+    free way), [>= 0] = the line evicted to make room. *)
+
 val touch : t -> line:int -> bool
 (** Lookup + LRU update without allocating on miss; true on hit. *)
 

@@ -30,13 +30,13 @@ let trace_cycles t n =
   | None -> ()
   | Some tr -> tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:n
 
-let load t ~addr ~size =
+let[@hot] load t ~addr ~size =
   let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
   Simthread.charge t.ctx c;
   trace_cycles t c;
   record t ~write:false ~addr ~size
 
-let store t ~addr ~size =
+let[@hot] store t ~addr ~size =
   let c = Hierarchy.store t.hier ~core:t.core ~addr ~size in
   Simthread.charge t.ctx c;
   trace_cycles t c;
@@ -47,39 +47,48 @@ let store t ~addr ~size =
    validation is retried and never observed, so pairing it against the
    concurrent write that bumped the version would flag the protocol's
    anticipated (and resolved) conflict as a race. *)
-let load_speculative t ~addr ~size =
+let[@hot] load_speculative t ~addr ~size =
   let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
   Simthread.charge t.ctx c;
   trace_cycles t c
 
-let note_read t ~addr ~size = record t ~write:false ~addr ~size
+let[@hot] note_read t ~addr ~size = record t ~write:false ~addr ~size
 
 (* Prefetches are hints: a real CPU prefetch cannot race, and the data it
    warms is re-accessed through [load] under the owning structure's
    synchronization, so the sanitizer ignores them. *)
-let prefetch_batch t addrs =
+let[@hot] prefetch_batch t addrs =
   let c = Hierarchy.prefetch_batch t.hier ~core:t.core addrs in
   Simthread.charge t.ctx c;
   trace_cycles t c
 
-let compute t n =
+let[@hot] compute t n =
   Simthread.charge t.ctx n;
   trace_cycles t n
 
-let commit t = Simthread.commit t.ctx
+let[@hot] commit t = Simthread.commit t.ctx
 let now t = Simthread.now t.ctx
 
 (* With a tracer attached, [tagged] additionally maintains the
    semicolon-joined site path (for collapsed-stack profiles) and emits the
    region as a completed slice on the thread's track.  Times come from
    [Simthread.now], which includes uncommitted cycles, so nested regions
-   stay properly contained.  Without a tracer this is exactly the old
-   save/restore of [tag] — no allocation. *)
-let tagged t site f =
+   stay properly contained.  Without a tracer this is a plain save/restore
+   of [tag] — written as an explicit match on the result rather than
+   [Fun.protect] so the unwind needs no [finally] closure and the path
+   allocates nothing. *)
+let[@hot] tagged t site f =
   let outer = t.tag in
   t.tag <- site;
   match tr t with
-  | None -> Fun.protect ~finally:(fun () -> t.tag <- outer) f
+  | None -> (
+    match f () with
+    | v ->
+      t.tag <- outer;
+      v
+    | exception e ->
+      t.tag <- outer;
+      raise e)
   | Some tr ->
     let outer_path = t.path in
     t.path <- (if outer_path = "" then site else outer_path ^ ";" ^ site);

@@ -112,64 +112,70 @@ let llc_ways t = t.geometry.llc_ways
 let set_clos t ~core mask = t.clos.(core) <- mask land full_llc_mask t
 let clos t ~core = t.clos.(core)
 
+(* Cold callers (DMA, probes) take the option; hot callers below match on
+   [Hashtbl.find]/[Not_found] instead, which allocates nothing ([Not_found]
+   is a constant constructor and [Hashtbl.find] of a missing key raises the
+   preallocated exception). *)
 let dir_find t line = Hashtbl.find_opt t.directory line
 
 let dir_entry t line =
-  match Hashtbl.find_opt t.directory line with
-  | Some e -> e
-  | None ->
-    let e = { sharers = 0; dirty = -1 } in
-    Hashtbl.add t.directory line e;
-    e
+  match Hashtbl.find t.directory line with
+  | e -> e
+  | exception Not_found ->
+    (let e = { sharers = 0; dirty = -1 } in
+     Hashtbl.add t.directory line e;
+     e)
+    [@alloc.allow
+      "directory entry: first touch of a line; bounded by the working set, \
+       cold after warmup"]
 
 let dir_remove_sharer t line core =
-  match dir_find t line with
-  | None -> ()
-  | Some e ->
+  match Hashtbl.find t.directory line with
+  | exception Not_found -> ()
+  | e ->
     e.sharers <- e.sharers land lnot (1 lsl core);
     if e.dirty = core then e.dirty <- -1;
     if e.sharers = 0 && e.dirty = -1 then Hashtbl.remove t.directory line
 
 (* A line evicted from one private level may still live in the other; only
-   drop the directory bit when the core holds no copy at all. *)
+   drop the directory bit when the core holds no copy at all.  [victim]
+   uses {!Cache.access_raw}'s encoding: negative = nothing evicted. *)
 let private_evicted t core victim =
-  match victim with
-  | None -> ()
-  | Some line ->
-    if
-      (not (Cache.probe t.l1.(core) ~line))
-      && not (Cache.probe t.l2.(core) ~line)
-    then dir_remove_sharer t line core
+  if
+    victim >= 0
+    && (not (Cache.probe t.l1.(core) ~line:victim))
+    && not (Cache.probe t.l2.(core) ~line:victim)
+  then dir_remove_sharer t victim core
 
 let fill_private t core line =
-  (match Cache.access t.l2.(core) ~line ~way_mask:(Cache.full_mask t.l2.(core)) with
-  | Cache.Hit -> ()
-  | Cache.Miss { victim } -> private_evicted t core victim);
-  (match Cache.access t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)) with
-  | Cache.Hit -> ()
-  | Cache.Miss { victim } -> private_evicted t core victim);
+  private_evicted t core
+    (Cache.access_raw t.l2.(core) ~line ~way_mask:(Cache.full_mask t.l2.(core)));
+  private_evicted t core
+    (Cache.access_raw t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)));
   let e = dir_entry t line in
   e.sharers <- e.sharers lor (1 lsl core)
 
+let rec invalidate_core_loop t line remote c n =
+  if c >= t.geometry.cores then n
+  else if remote land (1 lsl c) <> 0 then begin
+    ignore (Cache.invalidate t.l1.(c) ~line);
+    ignore (Cache.invalidate t.l2.(c) ~line);
+    invalidate_core_loop t line remote (c + 1) (n + 1)
+  end
+  else invalidate_core_loop t line remote (c + 1) n
+
 (* Invalidate every remote private copy; returns how many existed. *)
 let invalidate_remotes t core line =
-  match dir_find t line with
-  | None -> 0
-  | Some e ->
+  match Hashtbl.find t.directory line with
+  | exception Not_found -> 0
+  | e ->
     let remote = e.sharers land lnot (1 lsl core) in
     if remote = 0 then 0
     else begin
-      let n = ref 0 in
-      for c = 0 to t.geometry.cores - 1 do
-        if remote land (1 lsl c) <> 0 then begin
-          incr n;
-          ignore (Cache.invalidate t.l1.(c) ~line);
-          ignore (Cache.invalidate t.l2.(c) ~line)
-        end
-      done;
+      let n = invalidate_core_loop t line remote 0 0 in
       e.sharers <- e.sharers land (1 lsl core);
       if e.dirty <> core then e.dirty <- -1;
-      !n
+      n
     end
 
 (* One line, full path; returns latency in cycles. *)
@@ -184,9 +190,9 @@ let access_line t ~core ~line ~write =
     else if Cache.touch t.l2.(core) ~line then begin
       st.l2_hits <- st.l2_hits + 1;
       (* refresh L1 *)
-      (match Cache.access t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)) with
-      | Cache.Hit -> ()
-      | Cache.Miss { victim } -> private_evicted t core victim);
+      private_evicted t core
+        (Cache.access_raw t.l1.(core) ~line
+           ~way_mask:(Cache.full_mask t.l1.(core)));
       let e = dir_entry t line in
       e.sharers <- e.sharers lor (1 lsl core);
       c.Costs.l2_hit
@@ -194,28 +200,28 @@ let access_line t ~core ~line ~write =
     else begin
       (* remote-dirty check happens before the LLC lookup *)
       let dirty_penalty =
-        match dir_find t line with
-        | Some e when e.dirty >= 0 && e.dirty <> core ->
+        match Hashtbl.find t.directory line with
+        | exception Not_found -> 0
+        | e when e.dirty >= 0 && e.dirty <> core ->
           st.dirty_transfers <- st.dirty_transfers + 1;
           e.dirty <- -1;
           c.Costs.dirty_transfer
         | _ -> 0
       in
       let fetch =
-        match Cache.access t.llc ~line ~way_mask:t.clos.(core) with
-        | Cache.Hit ->
+        if Cache.access_raw t.llc ~line ~way_mask:t.clos.(core) = -2 then begin
           st.llc_hits <- st.llc_hits + 1;
           c.Costs.llc_hit
-        | Cache.Miss _ ->
-          if dirty_penalty > 0 then begin
-            (* forwarded cache-to-cache: no DRAM trip *)
-            st.llc_hits <- st.llc_hits + 1;
-            c.Costs.llc_hit
-          end
-          else begin
-            st.dram_fetches <- st.dram_fetches + 1;
-            c.Costs.dram
-          end
+        end
+        else if dirty_penalty > 0 then begin
+          (* forwarded cache-to-cache: no DRAM trip *)
+          st.llc_hits <- st.llc_hits + 1;
+          c.Costs.llc_hit
+        end
+        else begin
+          st.dram_fetches <- st.dram_fetches + 1;
+          c.Costs.dram
+        end
       in
       fill_private t core line;
       dirty_penalty + fetch
@@ -235,40 +241,51 @@ let access_line t ~core ~line ~write =
   end
   else base_latency
 
+let rec multi_line_loop t ~core ~write first n sf i total =
+  if i >= n then total
+  else begin
+    let cost = access_line t ~core ~line:(first + i) ~write in
+    (* trailing sequential lines ride the hardware prefetcher *)
+    let cost =
+      if i = 0 then cost
+      else begin
+        let c = cost / sf in
+        if c < 1 then 1 else c
+      end
+    in
+    multi_line_loop t ~core ~write first n sf (i + 1) (total + cost)
+  end
+
 let multi_line t ~core ~addr ~size ~write =
   let first = Layout.line_of_addr addr in
   let n = Layout.lines_spanned ~addr ~size in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    let cost = access_line t ~core ~line:(first + i) ~write in
-    (* trailing sequential lines ride the hardware prefetcher *)
-    let cost = if i = 0 then cost else max 1 (cost / t.costs.Costs.stream_factor) in
-    total := !total + cost
-  done;
-  !total
+  multi_line_loop t ~core ~write first n t.costs.Costs.stream_factor 0 0
 
-let load t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:false
-let store t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:true
+let[@hot] load t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:false
+let[@hot] store t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:true
 
-let prefetch_batch t ~core addrs =
+(* Accumulates (total, group_max, in_group) as plain int arguments; each
+   MLP group pays only its slowest fetch. *)
+let rec prefetch_loop t ~core addrs n mlp i total group_max in_group =
+  if i >= n then total + group_max
+  else begin
+    let lat =
+      access_line t ~core ~line:(Layout.line_of_addr addrs.(i)) ~write:false
+    in
+    let group_max = if lat > group_max then lat else group_max in
+    let in_group = in_group + 1 in
+    if in_group = mlp then
+      prefetch_loop t ~core addrs n mlp (i + 1) (total + group_max) 0 0
+    else prefetch_loop t ~core addrs n mlp (i + 1) total group_max in_group
+  end
+
+let[@hot] prefetch_batch t ~core addrs =
   let n = Array.length addrs in
   if n = 0 then 0
   else begin
     let c = t.costs in
-    let total = ref 0 in
-    let group_max = ref 0 and in_group = ref 0 in
-    for i = 0 to n - 1 do
-      let lat = access_line t ~core ~line:(Layout.line_of_addr addrs.(i)) ~write:false in
-      if lat > !group_max then group_max := lat;
-      incr in_group;
-      if !in_group = c.Costs.mlp then begin
-        total := !total + !group_max;
-        group_max := 0;
-        in_group := 0
-      end
-    done;
-    total := !total + !group_max;
-    !total + (n * c.Costs.prefetch_issue)
+    prefetch_loop t ~core addrs n c.Costs.mlp 0 0 0 0
+    + (n * c.Costs.prefetch_issue)
   end
 
 let dma_write t ~addr ~size =

@@ -3,7 +3,7 @@ let line_shift = 6
 let line_of_addr addr = addr lsr line_shift
 
 let lines_spanned ~addr ~size =
-  let size = max size 1 in
+  let size = if size < 1 then 1 else size in
   line_of_addr (addr + size - 1) - line_of_addr addr + 1
 
 type region = {

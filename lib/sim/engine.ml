@@ -1,8 +1,15 @@
 (* Binary min-heap of (time, seq) keyed events.  The [seq] component gives
    FIFO order among events scheduled for the same cycle, which is what makes
-   simulations deterministic and insensitive to heap internals. *)
+   simulations deterministic and insensitive to heap internals.
 
-type event = { time : int; seq : int; fn : unit -> unit }
+   The heap is a structure of arrays — unboxed [int] arrays for the keys, a
+   parallel array for the callbacks — rather than an array of event records:
+   scheduling an event writes three array slots and allocates nothing, and
+   the sift loops compare packed ints instead of chasing a record pointer
+   per comparison.  Together with the tail-recursive (int-argument) sift
+   helpers below, this keeps the whole push/pop/dispatch path off the OCaml
+   heap; the [mutps.alloc] certifier (lib/lint/alloc.ml) checks that it
+   stays that way. *)
 
 (* Hooks for an optional happens-before sanitizer (lib/san).  The engine
    only carries the closures; their semantics live with the implementor.
@@ -53,9 +60,14 @@ type tracer = {
 type t = {
   id : int;
   mutable clock : int;
-  mutable heap : event array;
+  (* heap slot [i] holds event [i]'s key in [times]/[seqs] and its
+     callback in [fns]; slots at or past [size] are free *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable fns : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
+  mutable dispatched : int;
   mutable stopped : bool;
   mutable debug_checks : bool;
   mutable parked : int;
@@ -63,7 +75,8 @@ type t = {
   mutable tracer : tracer option;
 }
 
-let dummy = { time = max_int; seq = max_int; fn = ignore }
+(* top-level (statically allocated) placeholder for free callback slots *)
+let no_event () = ()
 
 (* Domain-local factory consulted by [create], so a sanitizer can attach
    to engines constructed deep inside experiment code without threading a
@@ -101,9 +114,12 @@ let create () =
     {
       id;
       clock = 0;
-      heap = Array.make 256 dummy;
+      times = Array.make 256 0;
+      seqs = Array.make 256 0;
+      fns = Array.make 256 no_event;
       size = 0;
       next_seq = 0;
+      dispatched = 0;
       stopped = false;
       debug_checks = false;
       parked = 0;
@@ -137,82 +153,141 @@ let note_resume t =
 
 let now t = t.clock
 let pending t = t.size
+let dispatched t = t.dispatched
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Key order between heap slots [i] and [j]: earlier time wins, seq breaks
+   ties.  All indices handed to the helpers below are < size <= length of
+   every heap array (the binary-heap shape invariant), so the accesses are
+   bounds-check free. *)
+(* Tail-recursive hole-based sifts: the moving element's key rides in
+   (registerable) parameters while the hole walks the tree, so each level
+   costs one key compare plus one triple move instead of a three-array
+   swap.  Dispatch order is unaffected by internal layout — [pop] always
+   returns the (time, seq)-minimum and seqs are unique, so the dispatch
+   sequence is exactly sorted order for any correct heap.  The [int]
+   ascriptions keep every comparison monomorphic (an unconstrained
+   parameter generalizes and [<] degrades to a C call). *)
+let rec sift_up times seqs fns i (time : int) (seq : int) fn =
+  let parent = (i - 1) / 2 in
+  if
+    i > 0
+    && (let pt : int = Array.unsafe_get times parent in
+        time < pt
+        || (time = pt && seq < (Array.unsafe_get seqs parent : int)))
+  then begin
+    Array.unsafe_set times i (Array.unsafe_get times parent);
+    Array.unsafe_set seqs i (Array.unsafe_get seqs parent);
+    Array.unsafe_set fns i (Array.unsafe_get fns parent);
+    sift_up times seqs fns parent time seq fn
+  end
+  else begin
+    Array.unsafe_set times i time;
+    Array.unsafe_set seqs i seq;
+    Array.unsafe_set fns i fn
+  end
 
-let push t ev =
-  if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
-  let heap = t.heap in
-  let i = ref t.size in
-  t.size <- t.size + 1;
-  heap.(!i) <- ev;
-  (* sift up *)
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if before heap.(!i) heap.(parent) then begin
-      let tmp = heap.(parent) in
-      heap.(parent) <- heap.(!i);
-      heap.(!i) <- tmp;
-      i := parent
-    end else continue := false
-  done
+let rec sift_down times seqs fns size i (time : int) (seq : int) fn =
+  let l = (2 * i) + 1 in
+  if l >= size then begin
+    Array.unsafe_set times i time;
+    Array.unsafe_set seqs i seq;
+    Array.unsafe_set fns i fn
+  end
+  else begin
+    let r = l + 1 in
+    let c =
+      if r < size then begin
+        let lt : int = Array.unsafe_get times l
+        and rt : int = Array.unsafe_get times r in
+        if
+          rt < lt
+          || (rt = lt
+             && (Array.unsafe_get seqs r : int) < Array.unsafe_get seqs l)
+        then r
+        else l
+      end
+      else l
+    in
+    let ct : int = Array.unsafe_get times c in
+    if ct < time || (ct = time && (Array.unsafe_get seqs c : int) < seq) then begin
+      Array.unsafe_set times i ct;
+      Array.unsafe_set seqs i (Array.unsafe_get seqs c);
+      Array.unsafe_set fns i (Array.unsafe_get fns c);
+      sift_down times seqs fns size c time seq fn
+    end
+    else begin
+      Array.unsafe_set times i time;
+      Array.unsafe_set seqs i seq;
+      Array.unsafe_set fns i fn
+    end
+  end
 
-let pop t =
+let[@hot] push t ~time ~seq fn =
+  (if t.size = Array.length t.times then begin
+     let cap = 2 * t.size in
+     let times = Array.make cap 0 in
+     let seqs = Array.make cap 0 in
+     let fns = Array.make cap no_event in
+     Array.blit t.times 0 times 0 t.size;
+     Array.blit t.seqs 0 seqs 0 t.size;
+     Array.blit t.fns 0 fns 0 t.size;
+     t.times <- times;
+     t.seqs <- seqs;
+     t.fns <- fns
+   end [@alloc.allow "scheduler heap growth: amortized doubling, cold"]);
+  let i = t.size in
+  t.size <- i + 1;
+  (* i < length after the growth check above *)
+  sift_up t.times t.seqs t.fns i time seq fn
+
+(* Remove and return the earliest callback.  The caller reads the event
+   time from [times.(0)] before popping (see [run]). *)
+let[@hot] pop t =
   assert (t.size > 0);
-  let heap = t.heap in
-  let top = heap.(0) in
-  t.size <- t.size - 1;
-  heap.(0) <- heap.(t.size);
-  heap.(t.size) <- dummy;
-  (* sift down *)
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.size && before heap.(l) heap.(!smallest) then smallest := l;
-    if r < t.size && before heap.(r) heap.(!smallest) then smallest := r;
-    if !smallest <> !i then begin
-      let tmp = heap.(!smallest) in
-      heap.(!smallest) <- heap.(!i);
-      heap.(!i) <- tmp;
-      i := !smallest
-    end else continue := false
-  done;
+  let fns = t.fns in
+  let top = Array.unsafe_get fns 0 in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let time : int = Array.unsafe_get t.times n in
+    let seq : int = Array.unsafe_get t.seqs n in
+    let fn = Array.unsafe_get fns n in
+    (* free the slot so the engine never pins a dead closure *)
+    Array.unsafe_set fns n no_event;
+    sift_down t.times t.seqs fns n 0 time seq fn
+  end
+  else Array.unsafe_set fns 0 no_event;
   top
 
-let schedule t ~at fn =
+let[@hot] schedule t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
-  let ev = { time = at; seq = t.next_seq; fn } in
-  t.next_seq <- t.next_seq + 1;
-  push t ev
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t ~time:at ~seq fn
 
-let schedule_after t ~delay fn =
+let[@hot] schedule_after t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~at:(t.clock + delay) fn
 
 let stop t = t.stopped <- true
 
-let run t ~until =
+let[@hot] run t ~until =
   t.stopped <- false;
-  while (not t.stopped) && t.size > 0 && t.heap.(0).time <= until do
-    let ev = pop t in
-    t.clock <- ev.time;
-    ev.fn ()
+  while
+    (not t.stopped) && t.size > 0 && Array.unsafe_get t.times 0 <= until
+  do
+    t.clock <- Array.unsafe_get t.times 0;
+    t.dispatched <- t.dispatched + 1;
+    (pop t) ()
   done;
-  if not t.stopped then t.clock <- max t.clock until
+  if (not t.stopped) && t.clock < until then t.clock <- until
 
-let run_all t =
+let[@hot] run_all t =
   t.stopped <- false;
   while (not t.stopped) && t.size > 0 do
-    let ev = pop t in
-    t.clock <- ev.time;
-    ev.fn ()
+    t.clock <- Array.unsafe_get t.times 0;
+    t.dispatched <- t.dispatched + 1;
+    (pop t) ()
   done

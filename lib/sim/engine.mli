@@ -27,6 +27,11 @@ val schedule_after : t -> delay:int -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet dispatched. *)
 
+val dispatched : t -> int
+(** Total events dispatched since {!create}.  Deterministic for a
+    deterministic simulation; the engine micro-benchmark divides GC
+    allocation deltas by it to report allocated-words-per-event. *)
+
 val run : t -> until:int -> unit
 (** Dispatch events in time order until the clock would pass [until] or no
     events remain.  The clock is left at [until] (or at the last event time

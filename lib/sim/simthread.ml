@@ -19,7 +19,7 @@ let san_id ctx = ctx.san
 let tr_id ctx = ctx.tr
 let now ctx = Engine.now ctx.engine + ctx.acc
 
-let charge ctx n =
+let[@hot] charge ctx n =
   if n < 0 then invalid_arg "Simthread.charge: negative cycles";
   ctx.acc <- ctx.acc + n
 
@@ -40,12 +40,16 @@ let san_sched_acquire ctx =
   | Some s ->
     s.Engine.san_sched_acquire ~tid:ctx.san ~time:(Engine.now ctx.engine)
 
-let commit ctx =
+let[@hot] commit ctx =
   if ctx.acc > 0 then begin
     san_sched_release ctx;
     let d = ctx.acc in
     ctx.acc <- 0;
-    perform (Delay (ctx, d));
+    perform
+      ((Delay (ctx, d))
+      [@alloc.allow
+        "commit boundary: one effect payload + captured continuation per \
+         scheduler slice, amortized over the whole charged region"]);
     san_sched_acquire ctx
   end
 

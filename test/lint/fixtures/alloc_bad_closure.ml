@@ -1,0 +1,6 @@
+(* A1: a [@hot] function must not build closures or tuples.  Parse-only
+   fixture for the zero-allocation certifier (lib/lint/alloc.ml). *)
+
+let[@hot] bad_pair x y =
+  let f = fun z -> z + x in
+  (f y, x)

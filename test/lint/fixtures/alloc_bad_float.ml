@@ -1,0 +1,6 @@
+(* A2: float arithmetic boxes its intermediates, and polymorphic compare
+   walks representations at runtime — neither belongs on a hot path. *)
+
+let[@hot] boxy a b =
+  let c = a +. b in
+  if compare a b > 0 then c else c

@@ -1,0 +1,11 @@
+(* A1: a ref cell allocated inside a hot function (the classic
+   accumulator-loop shape); A3: Printf drags I/O machinery onto the hot
+   path. *)
+
+let[@hot] churn n =
+  let total = ref 0 in
+  for i = 1 to n do
+    total := !total + i
+  done;
+  Printf.printf "%d\n" !total;
+  !total

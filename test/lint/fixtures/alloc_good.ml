@@ -1,0 +1,18 @@
+(* Clean hot code: the allocation-free shapes the certifier must accept.
+   - tail-recursive top-level helper instead of a local closure
+   - diverging-call exemption (invalid_arg may build its message)
+   - trace-guard exemption (the Some branch of a [tr t] match is the
+     pay-when-on path and does not extend the hot set) *)
+
+let rec sum_to acc i n = if i > n then acc else sum_to (acc + i) (i + 1) n
+
+let[@hot] sum n =
+  if n < 0 then invalid_arg (Printf.sprintf "sum: negative bound %d" n);
+  sum_to 0 1 n
+
+let[@hot] traced t x =
+  match tr t with
+  | None -> x + 1
+  | Some tr ->
+    tr (string_of_int x);
+    x + 1

@@ -1,0 +1,6 @@
+(* Interprocedural A1: the hot root is clean itself; the allocation hides
+   in a callee pulled into the hot set by reachability. *)
+
+let make_pair a b = (a, b)
+
+let[@hot] entry x = make_pair x (x + 1)

@@ -5,6 +5,7 @@
 
 module Lint = Mutps_lint.Lint
 module Interp = Mutps_lint.Interp
+module Alloc = Mutps_lint.Alloc
 module Engine = Mutps_sim.Engine
 open Mutps_experiments
 
@@ -164,6 +165,117 @@ let test_interp_r2_env_sanctioned () =
   in
   check_int "Env path clean" 0 (List.length fs)
 
+(* --- zero-allocation certifier (rule family A) --- *)
+
+let alloc_check files =
+  Alloc.check_project
+    (List.map
+       (fun file ->
+         let path = Filename.concat fixture_dir file in
+         (path, path, Lint.parse_implementation path))
+       files)
+
+let test_alloc_closure_tuple () =
+  let r = alloc_check [ "alloc_bad_closure.ml" ] in
+  check_int "closure + tuple flagged" 2 (count "A1" r.Alloc.findings);
+  check_int "only A1" 2 (List.length r.Alloc.findings)
+
+let test_alloc_float_boxing () =
+  let r = alloc_check [ "alloc_bad_float.ml" ] in
+  check_int "float op + poly compare flagged" 2 (count "A2" r.Alloc.findings);
+  check_int "only A2" 2 (List.length r.Alloc.findings)
+
+let test_alloc_ref_in_loop () =
+  let r = alloc_check [ "alloc_bad_ref.ml" ] in
+  check_int "ref cell flagged" 1 (count "A1" r.Alloc.findings);
+  check_int "Printf escape flagged" 1 (count "A3" r.Alloc.findings);
+  check_int "nothing else" 2 (List.length r.Alloc.findings)
+
+let test_alloc_allow_accounting () =
+  (* the growth-branch allow absorbs its finding; the second attribute
+     covers nothing and must read as stale (al_uses = 0) *)
+  let r = alloc_check [ "alloc_allow.ml" ] in
+  check_int "suppressed clean" 0 (List.length r.Alloc.findings);
+  check_int "both allow sites recorded" 2 (List.length r.Alloc.allow_sites);
+  let used, stale =
+    List.partition
+      (fun (s : Alloc.allow_site) -> s.Alloc.al_uses > 0)
+      r.Alloc.allow_sites
+  in
+  check_int "one live site" 1 (List.length used);
+  check_int "one stale site" 1 (List.length stale)
+
+let test_alloc_indirect () =
+  (* the allocation lives in a callee; reachability must pull it into the
+     hot set and attribute the finding to the [@hot] root *)
+  let r = alloc_check [ "alloc_indirect.ml" ] in
+  check_int "callee tuple flagged" 1 (count "A1" r.Alloc.findings);
+  check_int "one [@hot] root" 1 (List.length r.Alloc.hot_roots);
+  check_int "root + callee certified targets" 2 (List.length r.Alloc.hot_set);
+  match r.Alloc.findings with
+  | [ f ] ->
+    Alcotest.(check bool)
+      "provenance names the root" true
+      (let msg = f.Lint.msg in
+       let needle = "reachable from" in
+       let n = String.length needle and m = String.length msg in
+       let rec scan i = i + n <= m && (String.sub msg i n = needle || scan (i + 1)) in
+       scan 0)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_alloc_good () =
+  (* tail-recursive helper, diverging invalid_arg, trace-guard Some branch:
+     all exempt shapes, zero findings *)
+  let r = alloc_check [ "alloc_good.ml" ] in
+  check_int "clean" 0 (List.length r.Alloc.findings);
+  check_int "two roots" 2 (List.length r.Alloc.hot_roots);
+  check_int "helper reached" 3 (List.length r.Alloc.hot_set)
+
+(* regression: the real annotated hot set (everything under lib/) must
+   certify with zero findings and no stale suppressions.  dune copies the
+   sources into _build, so ../../lib is visible from test/lint; skip
+   gracefully if a sandboxed runner hides it (CI's `dune build @lint`
+   covers the same ground). *)
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left (fun acc f -> collect_ml acc (Filename.concat path f)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let test_alloc_hot_tree_certified () =
+  let lib =
+    if Sys.file_exists "../../lib" then Some "../../lib"
+    else if Sys.file_exists "lib" then Some "lib"
+    else None
+  in
+  match lib with
+  | None -> ()
+  | Some lib ->
+    let files = List.sort compare (collect_ml [] lib) in
+    let r =
+      Alloc.check_project
+        (List.map (fun f -> (f, f, Lint.parse_implementation f)) files)
+    in
+    List.iter
+      (fun (f : Lint.finding) -> print_endline (Lint.finding_to_string f))
+      r.Alloc.findings;
+    check_int "annotated hot set certifies zero-alloc" 0
+      (List.length r.Alloc.findings);
+    Alcotest.(check bool)
+      "all hot roots discovered" true
+      (List.length r.Alloc.hot_roots >= 20);
+    Alcotest.(check bool)
+      "at most 3 [@alloc.allow] suppressions" true
+      (List.length r.Alloc.allow_sites <= 3);
+    List.iter
+      (fun (s : Alloc.allow_site) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "allow at %s:%d is live" s.Alloc.al_file
+             s.Alloc.al_line)
+          true (s.Alloc.al_uses > 0))
+      r.Alloc.allow_sites
+
 let test_syntax_error () =
   match Lint.check_string "let let let" with
   | Ok _ -> Alcotest.fail "expected a parse error"
@@ -281,6 +393,20 @@ let () =
             test_interp_r2_leak;
           Alcotest.test_case "Env path sanctioned" `Quick
             test_interp_r2_env_sanctioned;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "A1 closure + tuple" `Quick
+            test_alloc_closure_tuple;
+          Alcotest.test_case "A2 float boxing" `Quick test_alloc_float_boxing;
+          Alcotest.test_case "A1 ref + A3 printf" `Quick test_alloc_ref_in_loop;
+          Alcotest.test_case "[@alloc.allow] accounting" `Quick
+            test_alloc_allow_accounting;
+          Alcotest.test_case "indirect allocation via callee" `Quick
+            test_alloc_indirect;
+          Alcotest.test_case "exempt shapes clean" `Quick test_alloc_good;
+          Alcotest.test_case "hot tree certifies" `Quick
+            test_alloc_hot_tree_certified;
         ] );
       ( "determinism",
         [

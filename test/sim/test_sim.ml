@@ -85,6 +85,29 @@ let test_engine_many_events () =
   Engine.run_all e;
   check_int "all dispatched" n !count
 
+(* Runtime backstop for the static zero-allocation certifier
+   (lib/lint/alloc.ml): a self-rescheduling pre-allocated callback churns
+   through the scheduler and the minor-words delta per event must be zero.
+   The Gc.minor_words calls themselves box one float each, so the budget
+   is a small constant, not per-event. *)
+let test_engine_zero_alloc_churn () =
+  let e = Engine.create () in
+  let events = 50_000 in
+  let n = ref 0 in
+  let rec tick () =
+    incr n;
+    if !n < events then Engine.schedule_after e ~delay:((!n land 7) + 1) tick
+  in
+  Engine.schedule e ~at:1 tick;
+  let w0 = Gc.minor_words () in
+  Engine.run_all e;
+  let w1 = Gc.minor_words () in
+  check_int "all dispatched" events !n;
+  let per_event = (w1 -. w0) /. float_of_int events in
+  check_bool
+    (Printf.sprintf "zero words per event (measured %.4f)" per_event)
+    true (per_event < 0.01)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -423,6 +446,8 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "many events" `Quick test_engine_many_events;
+          Alcotest.test_case "zero-alloc churn" `Quick
+            test_engine_zero_alloc_churn;
           QCheck_alcotest.to_alcotest prop_engine_order;
         ] );
       ( "rng",
