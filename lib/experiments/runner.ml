@@ -83,8 +83,10 @@ let run_all ?jobs ?on_done names scale =
       | None -> ()
       | Some i ->
         let outcome = run_entry entries.(i) scale in
-        (* distinct slots: no two workers ever write the same index *)
-        results.(i) <- Some outcome;
+        (results.(i) <- Some outcome)
+        [@dom.allow
+          "disjoint slots: the cursor hands each index to exactly one \
+           worker, and the final read happens after Domain.join"];
         notify outcome;
         loop ()
     in

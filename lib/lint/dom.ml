@@ -1,0 +1,1168 @@
+(* Interprocedural domain-safety & lock-order analysis (the D rules).
+
+   The simulated-time core is single-domain by construction, but two
+   things already cross real domains: the parallel experiment runner
+   (lib/experiments/runner.ml, [Domain.spawn] per job) and the ambient
+   engine factories it inherits (DLS).  The future native backend
+   (ROADMAP #2) will cross domains everywhere.  This pass certifies, over
+   the same closed Parsetree world as {!Interp}, the contract that makes
+   that safe:
+
+   D1  every module-level mutable value (ref, Hashtbl, Buffer, array,
+       record with mutable fields, ...) must be one of
+         - a synchronization value itself (Atomic / Mutex / Condition /
+           Semaphore / Domain.DLS key),
+         - frozen: no runtime writes — writes only at module
+           initialization (depth-zero code of immediate top-level
+           bindings, which happens-before any spawn),
+         - mutex-guarded: every runtime access holds one common lock
+           (lock state is tracked through sequences, [Mutex.protect],
+           and closures, which inherit the locks held at their
+           definition point);
+       anything else is an unprotected cross-domain access.  Mutable
+       state reachable only through instance records (engine fields,
+       store handles, ...) is engine-local by construction and out of
+       scope; the pass counts those record types for visibility.
+   D2  mutable locals captured by a closure handed to [Domain.spawn]
+       (directly, or through a locally-bound worker function, which is
+       inlined) must be written only under a lock.  Writes outside the
+       spawn region are assumed to happen before the spawn or after the
+       join — the runner's fill-then-join idiom.
+   D3  a static lock-order graph: an edge [a -> b] is recorded when [b]
+       is acquired while [a] is held, directly or via a call to a
+       function that transitively acquires [b].  Cycles (including
+       self-edges: re-acquiring a held, non-reentrant [Mutex.t]) are
+       potential deadlocks.  The graph exports as DOT.
+   D4  effect performs must be dominated by their handler in the same
+       domain: a [perform] — or a call reaching one with no intervening
+       handler — inside a [Domain.spawn] closure is an error, because
+       the handler installed by [Simthread.spawn]'s [match_with] never
+       crosses a domain boundary.  Arguments of handler-installing calls
+       ([match_with]/[try_with]/[continue_with]/[Simthread.spawn]) are
+       handled regions; performer-ness propagates through ordinary calls.
+
+   Findings are reported for library code (rule paths outside bin/,
+   bench/ and examples/ — single-domain drivers); the lock graph is
+   built over everything.  Any finding can be suppressed with
+   [[@dom.allow "reason"]] at the expression, [[@@dom.allow "reason"]]
+   at the binding, or [[@@@dom.allow "reason"]] for the rest of the
+   file; sites register in the shared {!Lint.allow_registry} so stale
+   suppressions are reported alongside the lint and alloc families.
+
+   Approximations (all in the conservative direction or documented):
+   record mutability is judged by field name over every type declared in
+   the world; calls through closures, fields and functors are opaque;
+   [Mutex.try_lock] counts as an acquire (its failure branch is treated
+   as if locked); DLS-inherited factory closures are not spawn-seeded
+   (the two in-tree instances are mutex-guarded and D1-checked). *)
+
+module SS = Set.Make (String)
+open Lint.Internal
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order graph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Lockgraph = struct
+  type t = {
+    mutable node_order : string list;  (** reverse insertion order *)
+    node_set : (string, unit) Hashtbl.t;
+    edge_tbl : (string * string, string * int) Hashtbl.t;
+        (** (src, dst) -> first witness (file, line) *)
+  }
+
+  let create () =
+    { node_order = []; node_set = Hashtbl.create 16; edge_tbl = Hashtbl.create 16 }
+
+  let add_node t n =
+    if not (Hashtbl.mem t.node_set n) then begin
+      Hashtbl.replace t.node_set n ();
+      t.node_order <- n :: t.node_order
+    end
+
+  let add_edge t ~src ~dst ~file ~line =
+    add_node t src;
+    add_node t dst;
+    if not (Hashtbl.mem t.edge_tbl (src, dst)) then
+      Hashtbl.replace t.edge_tbl (src, dst) (file, line)
+
+  let nodes t = List.sort compare (List.rev t.node_order)
+
+  let edges t =
+    Hashtbl.to_seq t.edge_tbl
+    |> Seq.map (fun ((src, dst), (file, line)) -> (src, dst, file, line))
+    |> List.of_seq |> List.sort compare
+
+  (* Tarjan SCC; a cycle is an SCC with more than one node, or a single
+     node with a self-edge. *)
+  let cycles t =
+    let ns = nodes t in
+    let succ = Hashtbl.create 16 in
+    List.iter
+      (fun (s, d, _, _) ->
+        Hashtbl.replace succ s
+          (d :: (Option.value (Hashtbl.find_opt succ s) ~default:[])))
+      (edges t);
+    let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+    let on_stack = Hashtbl.create 16 in
+    let stack = ref [] and counter = ref 0 and sccs = ref [] in
+    let rec strong v =
+      Hashtbl.replace index v !counter;
+      Hashtbl.replace low v !counter;
+      incr counter;
+      stack := v :: !stack;
+      Hashtbl.replace on_stack v ();
+      List.iter
+        (fun w ->
+          if not (Hashtbl.mem index w) then begin
+            strong w;
+            Hashtbl.replace low v
+              (min (Hashtbl.find low v) (Hashtbl.find low w))
+          end
+          else if Hashtbl.mem on_stack w then
+            Hashtbl.replace low v
+              (min (Hashtbl.find low v) (Hashtbl.find index w)))
+        (Option.value (Hashtbl.find_opt succ v) ~default:[]);
+      if Hashtbl.find low v = Hashtbl.find index v then begin
+        let rec pop acc =
+          match !stack with
+          | w :: tl ->
+            stack := tl;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+          | [] -> acc
+        in
+        sccs := pop [] :: !sccs
+      end
+    in
+    List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) ns;
+    List.filter
+      (fun scc ->
+        match scc with
+        | [ v ] -> Hashtbl.mem t.edge_tbl (v, v)
+        | _ :: _ :: _ -> true
+        | [] -> false)
+      !sccs
+    |> List.map (List.sort compare)
+    |> List.sort compare
+
+  let to_dot t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "digraph lock_order {\n";
+    Buffer.add_string b "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+    List.iter
+      (fun n -> Buffer.add_string b (Printf.sprintf "  %S;\n" n))
+      (nodes t);
+    List.iter
+      (fun (s, d, file, line) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %S -> %S [label=\"%s:%d\", fontsize=8];\n" s d
+             file line))
+      (edges t);
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rule tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Constructors whose result is a synchronization value: safe to share
+   by design. *)
+let sync_ctors =
+  [
+    ("Atomic.make", "Atomic");
+    ("Mutex.create", "Mutex");
+    ("Condition.create", "Condition");
+    ("Semaphore.Counting.make", "Semaphore");
+    ("Semaphore.Binary.make", "Semaphore");
+    ("Domain.DLS.new_key", "DLS key");
+  ]
+
+(* Constructors whose result is shared-mutable when bound at the module
+   top level. *)
+let mut_ctors =
+  [
+    ("ref", "ref cell");
+    ("Hashtbl.create", "hash table");
+    ("Queue.create", "queue");
+    ("Stack.create", "stack");
+    ("Buffer.create", "buffer");
+    ("Bytes.create", "byte buffer");
+    ("Bytes.make", "byte buffer");
+    ("Bytes.of_string", "byte buffer");
+    ("Array.make", "array");
+    ("Array.init", "array");
+    ("Array.create_float", "array");
+    ("Array.of_list", "array");
+    ("Array.copy", "array");
+    ("Array.append", "array");
+    ("Array.concat", "array");
+    ("Array.sub", "array");
+    ("Weak.create", "weak array");
+  ]
+
+(* Known mutators: positional (Nolabel) argument indices that are written
+   through.  A bare identifier in such a position is a write mention of
+   that identifier; everything else is a read. *)
+let mutators =
+  [
+    (":=", [ 0 ]); ("incr", [ 0 ]); ("decr", [ 0 ]);
+    ("Hashtbl.replace", [ 0 ]); ("Hashtbl.add", [ 0 ]);
+    ("Hashtbl.remove", [ 0 ]); ("Hashtbl.reset", [ 0 ]);
+    ("Hashtbl.clear", [ 0 ]); ("Hashtbl.filter_map_inplace", [ 1 ]);
+    ("Array.set", [ 0 ]); ("Array.unsafe_set", [ 0 ]);
+    ("Array.fill", [ 0 ]); ("Array.blit", [ 2 ]);
+    ("Array.sort", [ 1 ]); ("Array.fast_sort", [ 1 ]);
+    ("Bytes.set", [ 0 ]); ("Bytes.unsafe_set", [ 0 ]);
+    ("Bytes.fill", [ 0 ]); ("Bytes.blit", [ 2 ]);
+    ("Bytes.blit_string", [ 2 ]);
+    ("Buffer.add_char", [ 0 ]); ("Buffer.add_string", [ 0 ]);
+    ("Buffer.add_bytes", [ 0 ]); ("Buffer.add_substring", [ 0 ]);
+    ("Buffer.add_subbytes", [ 0 ]); ("Buffer.add_buffer", [ 0 ]);
+    ("Buffer.clear", [ 0 ]); ("Buffer.reset", [ 0 ]);
+    ("Buffer.truncate", [ 0 ]);
+    ("Queue.push", [ 1 ]); ("Queue.add", [ 1 ]); ("Queue.pop", [ 0 ]);
+    ("Queue.take", [ 0 ]); ("Queue.clear", [ 0 ]);
+    ("Queue.transfer", [ 0; 1 ]);
+    ("Stack.push", [ 1 ]); ("Stack.pop", [ 0 ]); ("Stack.clear", [ 0 ]);
+  ]
+
+(* Calls whose function arguments run under an installed effect handler.
+   [Simthread.spawn] wraps its callback in [match_with] internally. *)
+let handler_installers =
+  [ "match_with"; "try_with"; "continue_with"; "Simthread.spawn" ]
+
+let is_perform p = matches "perform" p || matches "Effect.perform" p
+
+(* ------------------------------------------------------------------ *)
+(* World facts: mutable record fields, globals                         *)
+(* ------------------------------------------------------------------ *)
+
+let module_name_of_file file =
+  String.capitalize_ascii Filename.(remove_extension (basename file))
+
+let in_reported_dir rule_path =
+  let in_dir dir =
+    let pre = dir ^ "/" and mid = "/" ^ dir ^ "/" in
+    let starts p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    let rec contains i =
+      i + String.length mid <= String.length rule_path
+      && (String.sub rule_path i (String.length mid) = mid || contains (i + 1))
+    in
+    starts pre rule_path || contains 0
+  in
+  not (in_dir "bin" || in_dir "bench" || in_dir "examples")
+
+(* Every record type in the world contributes its mutable field names;
+   a type with at least one mutable field counts as instance-local
+   mutable state (out of D1 scope, reported for visibility). *)
+let collect_type_facts sources =
+  let mutable_fields = ref SS.empty in
+  let mutable_types = ref 0 in
+  let type_declaration _ (td : Parsetree.type_declaration) =
+    match td.ptype_kind with
+    | Ptype_record labels ->
+      let muts =
+        List.filter
+          (fun (l : Parsetree.label_declaration) ->
+            l.pld_mutable = Asttypes.Mutable)
+          labels
+      in
+      if muts <> [] then begin
+        incr mutable_types;
+        List.iter
+          (fun (l : Parsetree.label_declaration) ->
+            mutable_fields := SS.add l.pld_name.txt !mutable_fields)
+          muts
+      end
+    | _ -> ()
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  List.iter (fun (_, _, str) -> it.structure it str) sources;
+  (!mutable_fields, !mutable_types)
+
+type kind = Sync of string | Mut of string | Imm
+
+(* Shape of a top-level right-hand side.  Recurses through containers
+   (tuples, constructors, immutable records, let/sequence tails, if
+   branches) so [Some (ref 0)] or [{ slot = Hashtbl.create 4 }] is still
+   mutable; function-call results are opaque and classify immutable. *)
+let rec classify_rhs ~mutable_fields (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) ->
+    classify_rhs ~mutable_fields e
+  | Pexp_lazy _ -> Mut "lazy thunk"
+  | Pexp_array (_ :: _) -> Mut "array literal"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    let p = strip_stdlib (path_of_lid txt) in
+    match List.assoc_opt p sync_ctors with
+    | Some k -> Sync k
+    | None -> (
+      match List.assoc_opt p mut_ctors with
+      | Some w -> Mut w
+      | None -> Imm))
+  | Pexp_record (fields, _) ->
+    if
+      List.exists
+        (fun (({ txt; _ } : Longident.t Location.loc), _) ->
+          match Longident.last txt with
+          | name -> SS.mem name mutable_fields
+          | exception _ -> false)
+        fields
+    then Mut "record with mutable fields"
+    else if
+      List.exists
+        (fun (_, v) -> classify_rhs ~mutable_fields v <> Imm)
+        fields
+    then Mut "record holding mutable state"
+    else Imm
+  | Pexp_tuple es ->
+    if List.exists (fun e -> classify_rhs ~mutable_fields e <> Imm) es then
+      Mut "tuple holding mutable state"
+    else Imm
+  | Pexp_construct (_, Some arg) -> (
+    match classify_rhs ~mutable_fields arg with
+    | Imm -> Imm
+    | Sync k -> Sync k
+    | Mut w -> Mut w)
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) ->
+    classify_rhs ~mutable_fields body
+  | Pexp_ifthenelse (_, t, Some e) -> (
+    match classify_rhs ~mutable_fields t with
+    | Imm -> classify_rhs ~mutable_fields e
+    | k -> k)
+  | _ -> Imm
+
+type status =
+  | S_sync of string  (** a synchronization value (Atomic, Mutex, DLS, ...) *)
+  | S_frozen  (** no runtime writes: initialized, then read-only *)
+  | S_locked of string  (** every runtime access holds this lock *)
+  | S_flagged  (** has unprotected runtime accesses (D1 findings) *)
+
+type global = {
+  g_key : string;  (** "Module.binding" *)
+  g_file : string;
+  g_line : int;
+  g_what : string;  (** "hash table", "Mutex", ... *)
+  g_kind : kind;
+  mutable g_status : status;
+}
+
+type gindex = {
+  g_by_key : (string, global) Hashtbl.t;
+  g_by_short : (string * string, global) Hashtbl.t;
+  g_keys : string list;
+}
+
+let resolve_in ~by_key ~by_short ~keys ~file path =
+  if path = "" then None
+  else if not (String.contains path '.') then
+    Hashtbl.find_opt by_short (file, path)
+  else
+    match Hashtbl.find_opt by_key path with
+    | Some g -> Some g
+    | None -> (
+      match List.filter (fun k -> matches k path) keys with
+      | [ k ] -> Hashtbl.find_opt by_key k
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Per-binding extraction                                              *)
+(* ------------------------------------------------------------------ *)
+
+type mention = {
+  m_global : string;  (** key of the global touched *)
+  m_fn : string;  (** enclosing binding *)
+  m_file : string;
+  m_rule : string;
+  m_loc : Location.t;
+  m_write : bool;
+  m_held : SS.t;
+  m_init : bool;  (** depth-zero code of an immediate binding *)
+  m_allow : Lint.allow_site option;
+}
+
+type cap = {
+  c_name : string;  (** local variable captured by a spawn closure *)
+  c_what : string;
+  c_fn : string;
+  c_file : string;
+  c_rule : string;
+  c_loc : Location.t;
+  c_write : bool;
+  c_held : SS.t;
+  c_allow : Lint.allow_site option;
+}
+
+type dcall = {
+  dc_path : string;
+  dc_fn : string;
+  dc_file : string;
+  dc_rule : string;
+  dc_loc : Location.t;
+  dc_held : SS.t;
+  dc_spawn : bool;
+  dc_handled : bool;
+  dc_allow : Lint.allow_site option;
+}
+
+type acq = {
+  aq_lock : string;
+  aq_fn : string;
+  aq_file : string;
+  aq_loc : Location.t;
+  aq_held : SS.t;
+}
+
+type pf = {
+  pf_fn : string;
+  pf_file : string;
+  pf_rule : string;
+  pf_loc : Location.t;
+  pf_spawn : bool;
+  pf_handled : bool;
+  pf_allow : Lint.allow_site option;
+}
+
+type dfn = { d_key : string; d_file : string }
+
+type world = {
+  mutable mentions : mention list;
+  mutable caps : cap list;
+  mutable dcalls : dcall list;
+  mutable acqs : acq list;
+  mutable performs : pf list;
+  mutable fns : dfn list;
+}
+
+type wctx = {
+  held : SS.t;
+  spawn : bool;
+  handled : bool;
+  depth : int;
+  allow : Lint.allow_site option;
+}
+
+let dom_allow_site registry ~file (a : Parsetree.attribute) =
+  Lint.register_allow registry ~attr:"dom.allow" ~file
+    ~line:a.attr_loc.Location.loc_start.pos_lnum
+    ~payload:(Option.value (payload_string a.attr_payload) ~default:"")
+
+let dom_allow_of_attrs registry ~file (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "dom.allow" then
+        Some (dom_allow_site registry ~file a)
+      else None)
+    attrs
+
+(* Walk one top-level binding's body.  [immediate] marks a binding whose
+   RHS is not a function: its depth-zero code runs at module
+   initialization, which happens-before any spawn. *)
+let walk_binding ~world ~gidx ~mutable_fields ~registry ~fn_key ~file
+    ~rule_path ~immediate ~allow0 (rhs : Parsetree.expression) =
+  let spawn_visited = ref SS.empty in
+  let local_muts : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let local_lams : (string, Parsetree.expression) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let resolve_global p =
+    resolve_in ~by_key:gidx.g_by_key ~by_short:gidx.g_by_short
+      ~keys:gidx.g_keys ~file p
+  in
+  (* Identity of a lock expression: a resolvable global mutex keeps its
+     key; a local name is scoped to the enclosing binding; a record
+     field keeps its field name (all instances of a per-instance lock
+     share one node — instance locks have one acquisition discipline);
+     anything else is anonymous per site. *)
+  let lock_id (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      let p = strip_stdlib (path_of_lid txt) in
+      match resolve_global p with
+      | Some g -> g.g_key
+      | None ->
+        if String.contains p '.' then p else fn_key ^ "/" ^ p)
+    | Pexp_field (_, { txt; _ }) -> (
+      match Longident.last txt with
+      | f -> "<." ^ f ^ ">"
+      | exception _ -> "<.lock>")
+    | _ ->
+      Printf.sprintf "<anon:%s:%d>" file
+        e.pexp_loc.Location.loc_start.pos_lnum
+  in
+  let mention ctx ~(loc : Location.t) ~write p =
+    let p = strip_stdlib p in
+    match resolve_global p with
+    | Some g when (match g.g_kind with Mut _ -> true | _ -> false) ->
+      world.mentions <-
+        {
+          m_global = g.g_key;
+          m_fn = fn_key;
+          m_file = file;
+          m_rule = rule_path;
+          m_loc = loc;
+          m_write = write;
+          m_held = ctx.held;
+          m_init = immediate && ctx.depth = 0 && not ctx.spawn;
+          m_allow = ctx.allow;
+        }
+        :: world.mentions
+    | _ -> (
+      if not (String.contains p '.') then
+        match Hashtbl.find_opt local_muts p with
+        | Some what when ctx.spawn ->
+          world.caps <-
+            {
+              c_name = p;
+              c_what = what;
+              c_fn = fn_key;
+              c_file = file;
+              c_rule = rule_path;
+              c_loc = loc;
+              c_write = write;
+              c_held = ctx.held;
+              c_allow = ctx.allow;
+            }
+            :: world.caps
+        | _ -> ())
+  in
+  let rec walk ctx (e : Parsetree.expression) : SS.t =
+    match dom_allow_of_attrs registry ~file e.pexp_attributes with
+    | Some site -> walk_desc { ctx with allow = Some site } e
+    | None -> walk_desc ctx e
+  and walk_desc ctx (e : Parsetree.expression) : SS.t =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+      mention ctx ~loc ~write:false (path_of_lid txt);
+      ctx.held
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter (fun d -> ignore (walk ctx d)) default;
+      ignore (walk { ctx with depth = ctx.depth + 1 } body);
+      ctx.held
+    | Pexp_function cases ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter
+            (fun g -> ignore (walk { ctx with depth = ctx.depth + 1 } g))
+            c.pc_guard;
+          ignore (walk { ctx with depth = ctx.depth + 1 } c.pc_rhs))
+        cases;
+      ctx.held
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+      let p = strip_stdlib (path_of_lid txt) in
+      match (p, args) with
+      | "@@", [ (_, l); (_, r) ] -> walk_infix ctx l r
+      | "|>", [ (_, l); (_, r) ] -> walk_infix ctx r l
+      | _ -> walk_app ctx loc p args)
+    | Pexp_apply (f, args) ->
+      ignore (walk ctx f);
+      List.iter (fun (_, a) -> ignore (walk ctx a)) args;
+      ctx.held
+    | Pexp_let (_, vbs, body) ->
+      let held =
+        List.fold_left
+          (fun held (vb : Parsetree.value_binding) ->
+            (match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt = name; _ }
+            | Ppat_constraint ({ ppat_desc = Ppat_var { txt = name; _ }; _ }, _)
+              -> (
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_fun _ | Pexp_function _ ->
+                Hashtbl.replace local_lams name vb.pvb_expr
+              | _ -> (
+                match classify_rhs ~mutable_fields vb.pvb_expr with
+                | Mut what -> Hashtbl.replace local_muts name what
+                | _ -> ()))
+            | _ -> ());
+            walk { ctx with held } vb.pvb_expr)
+          ctx.held vbs
+      in
+      walk { ctx with held } body
+    | Pexp_sequence (a, b) ->
+      let held = walk ctx a in
+      walk { ctx with held } b
+    | Pexp_setfield (lhs, _, rhs) ->
+      (match lhs.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        mention ctx ~loc ~write:true (path_of_lid txt)
+      | _ -> ignore (walk ctx lhs));
+      ignore (walk ctx rhs);
+      ctx.held
+    | Pexp_ifthenelse (c, t, eo) ->
+      let held = walk ctx c in
+      ignore (walk { ctx with held } t);
+      Option.iter (fun e -> ignore (walk { ctx with held } e)) eo;
+      held
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      let held = walk ctx scrut in
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter (fun g -> ignore (walk { ctx with held } g)) c.pc_guard;
+          ignore (walk { ctx with held } c.pc_rhs))
+        cases;
+      held
+    | Pexp_constraint (e, _) | Pexp_newtype (_, e) | Pexp_open (_, e) ->
+      walk ctx e
+    | _ ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e -> ignore (walk ctx e));
+        }
+      in
+      Ast_iterator.default_iterator.expr it e;
+      ctx.held
+  and walk_infix ctx f_expr arg =
+    match f_expr.Parsetree.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, fargs) ->
+      walk_app ctx loc
+        (strip_stdlib (path_of_lid txt))
+        (fargs @ [ (Asttypes.Nolabel, arg) ])
+    | Pexp_ident { txt; loc } ->
+      walk_app ctx loc
+        (strip_stdlib (path_of_lid txt))
+        [ (Asttypes.Nolabel, arg) ]
+    | _ ->
+      let held = walk ctx f_expr in
+      walk { ctx with held } arg
+  and walk_app ctx (loc : Location.t) p args : SS.t =
+    let nolabel =
+      List.filter_map
+        (fun ((l, a) : Asttypes.arg_label * Parsetree.expression) ->
+          if l = Asttypes.Nolabel then Some a else None)
+        args
+    in
+    if matches "Mutex.lock" p || matches "Mutex.try_lock" p then (
+      match nolabel with
+      | [ l ] ->
+        let lid = lock_id l in
+        world.acqs <-
+          { aq_lock = lid; aq_fn = fn_key; aq_file = file; aq_loc = loc;
+            aq_held = ctx.held }
+          :: world.acqs;
+        SS.add lid ctx.held
+      | _ -> ctx.held)
+    else if matches "Mutex.unlock" p then (
+      match nolabel with
+      | [ l ] -> SS.remove (lock_id l) ctx.held
+      | _ -> ctx.held)
+    else if matches "Mutex.protect" p then (
+      match nolabel with
+      | l :: rest ->
+        let lid = lock_id l in
+        world.acqs <-
+          { aq_lock = lid; aq_fn = fn_key; aq_file = file; aq_loc = loc;
+            aq_held = ctx.held }
+          :: world.acqs;
+        let inner = { ctx with held = SS.add lid ctx.held } in
+        List.iter (fun a -> ignore (walk inner a)) rest;
+        ctx.held
+      | [] -> ctx.held)
+    else if matches "Domain.spawn" p then begin
+      (match nolabel with
+      | closure :: _ -> spawn_walk ctx loc closure
+      | [] -> ());
+      ctx.held
+    end
+    else if matches_any handler_installers p then begin
+      record_call ctx loc p;
+      List.iter
+        (fun (_, a) -> ignore (walk { ctx with handled = true } a))
+        args;
+      ctx.held
+    end
+    else if is_perform p then begin
+      world.performs <-
+        {
+          pf_fn = fn_key;
+          pf_file = file;
+          pf_rule = rule_path;
+          pf_loc = loc;
+          pf_spawn = ctx.spawn;
+          pf_handled = ctx.handled;
+          pf_allow = ctx.allow;
+        }
+        :: world.performs;
+      List.iter (fun (_, a) -> ignore (walk ctx a)) args;
+      ctx.held
+    end
+    else begin
+      (* argument traversal, with write positions of known mutators *)
+      let write_idx =
+        Option.value (List.assoc_opt p mutators) ~default:[]
+      in
+      let pos = ref (-1) in
+      List.iter
+        (fun ((l, a) : Asttypes.arg_label * Parsetree.expression) ->
+          let is_write_pos =
+            l = Asttypes.Nolabel
+            && begin
+                 incr pos;
+                 List.mem !pos write_idx
+               end
+          in
+          match a.pexp_desc with
+          | Pexp_ident { txt; loc = iloc } when is_write_pos ->
+            mention ctx ~loc:iloc ~write:true (path_of_lid txt)
+          | _ -> ignore (walk ctx a))
+        args;
+      (* the call itself *)
+      (if (not (String.contains p '.')) && Hashtbl.mem local_lams p then begin
+         (* local worker function: in a spawn region its body runs on the
+            spawned domain — inline it (once per spawn region) *)
+         if ctx.spawn && not (SS.mem p !spawn_visited) then begin
+           spawn_visited := SS.add p !spawn_visited;
+           inline_lam ctx (Hashtbl.find local_lams p)
+         end
+       end
+       else record_call ctx loc p);
+      ctx.held
+    end
+  and record_call ctx loc p =
+    world.dcalls <-
+      {
+        dc_path = p;
+        dc_fn = fn_key;
+        dc_file = file;
+        dc_rule = rule_path;
+        dc_loc = loc;
+        dc_held = ctx.held;
+        dc_spawn = ctx.spawn;
+        dc_handled = ctx.handled;
+        dc_allow = ctx.allow;
+      }
+      :: world.dcalls
+  and inline_lam ctx (lam : Parsetree.expression) =
+    let rec strip (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_fun (_, d, _, b) ->
+        Option.iter (fun d -> ignore (walk ctx d)) d;
+        strip b
+      | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> strip b
+      | _ -> ignore (walk ctx e)
+    in
+    strip lam
+  and spawn_walk ctx loc (closure : Parsetree.expression) =
+    let inner =
+      { ctx with spawn = true; handled = false; depth = ctx.depth + 1 }
+    in
+    match closure.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> inline_lam inner closure
+    | Pexp_ident { txt; _ } -> (
+      let p = strip_stdlib (path_of_lid txt) in
+      if (not (String.contains p '.')) && Hashtbl.mem local_lams p then begin
+        if not (SS.mem p !spawn_visited) then begin
+          spawn_visited := SS.add p !spawn_visited;
+          inline_lam inner (Hashtbl.find local_lams p)
+        end
+      end
+      else record_call inner loc p)
+    | _ -> ignore (walk inner closure)
+  in
+  world.fns <- { d_key = fn_key; d_file = file } :: world.fns;
+  let rec strip_params (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter
+        (fun d ->
+          ignore
+            (walk
+               { held = SS.empty; spawn = false; handled = false; depth = 0;
+                 allow = allow0 }
+               d))
+        default;
+      strip_params body
+    | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> strip_params body
+    | _ ->
+      ignore
+        (walk
+           { held = SS.empty; spawn = false; handled = false; depth = 0;
+             allow = allow0 }
+           e)
+  in
+  strip_params rhs
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  findings : Lint.finding list;
+  globals : global list;  (** every module-level mutable/sync binding *)
+  mutable_types : int;  (** record types with mutable fields (instance-local) *)
+  suppressed : int;  (** findings covered by [@dom.allow] *)
+  graph : Lockgraph.t;
+  allow_sites : Lint.allow_site list;  (** [@dom.allow] sites, file order *)
+}
+
+(* Iterate the top-level bindings of one file (including nested
+   [module X = struct ... end]), tracking [@@@dom.allow] file scope. *)
+let fold_bindings ~registry ~file str f =
+  let rec items ~prefix ~file_allow str =
+    let fa = ref file_allow in
+    List.iter
+      (fun (si : Parsetree.structure_item) ->
+        match si.pstr_desc with
+        | Pstr_attribute a when a.attr_name.txt = "dom.allow" ->
+          fa := Some (dom_allow_site registry ~file a)
+        | Pstr_value (_, vbs) ->
+          List.iter (fun vb -> f ~prefix ~file_allow:!fa vb) vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure s; _ };
+              _;
+            } ->
+          items ~prefix:(prefix ^ sub ^ ".") ~file_allow:!fa s
+        | _ -> ())
+      str
+  in
+  items ~prefix:(module_name_of_file file ^ ".") ~file_allow:None str
+
+let binding_name anon (vb : Parsetree.value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ }
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
+    txt
+  | _ ->
+    incr anon;
+    Printf.sprintf "<toplevel:%d>" !anon
+
+let rec is_function_rhs (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> is_function_rhs e
+  | _ -> false
+
+let check_project ?registry
+    (sources : (string * string * Parsetree.structure) list) =
+  let registry =
+    match registry with Some r -> r | None -> Lint.new_allow_registry ()
+  in
+  let mutable_fields, mutable_types = collect_type_facts sources in
+  (* pass 1: classify module-level bindings *)
+  let globals = ref [] in
+  List.iter
+    (fun (file, _rule_path, str) ->
+      let anon = ref 0 in
+      fold_bindings ~registry ~file str
+        (fun ~prefix ~file_allow:_ (vb : Parsetree.value_binding) ->
+          let name = binding_name anon vb in
+          match classify_rhs ~mutable_fields vb.pvb_expr with
+          | Imm -> ()
+          | Sync k ->
+            globals :=
+              {
+                g_key = prefix ^ name;
+                g_file = file;
+                g_line = vb.pvb_loc.Location.loc_start.pos_lnum;
+                g_what = k;
+                g_kind = Sync k;
+                g_status = S_sync k;
+              }
+              :: !globals
+          | Mut w ->
+            globals :=
+              {
+                g_key = prefix ^ name;
+                g_file = file;
+                g_line = vb.pvb_loc.Location.loc_start.pos_lnum;
+                g_what = w;
+                g_kind = Mut w;
+                g_status = S_frozen;
+              }
+              :: !globals))
+    sources;
+  let globals =
+    List.sort (fun a b -> compare (a.g_file, a.g_line) (b.g_file, b.g_line))
+      !globals
+  in
+  let gidx =
+    let g_by_key = Hashtbl.create 64 and g_by_short = Hashtbl.create 64 in
+    let keys = ref [] in
+    List.iter
+      (fun g ->
+        if not (Hashtbl.mem g_by_key g.g_key) then begin
+          Hashtbl.replace g_by_key g.g_key g;
+          keys := g.g_key :: !keys
+        end;
+        let short =
+          match String.rindex_opt g.g_key '.' with
+          | Some i -> String.sub g.g_key (i + 1) (String.length g.g_key - i - 1)
+          | None -> g.g_key
+        in
+        Hashtbl.replace g_by_short (g.g_file, short) g)
+      globals;
+    { g_by_key; g_by_short; g_keys = List.rev !keys }
+  in
+  (* pass 2: walk every binding body *)
+  let world =
+    { mentions = []; caps = []; dcalls = []; acqs = []; performs = [];
+      fns = [] }
+  in
+  List.iter
+    (fun (file, rule_path, str) ->
+      let anon = ref 0 in
+      fold_bindings ~registry ~file str
+        (fun ~prefix ~file_allow (vb : Parsetree.value_binding) ->
+          let name = binding_name anon vb in
+          let allow0 =
+            match
+              dom_allow_of_attrs registry ~file vb.pvb_attributes
+            with
+            | Some s -> Some s
+            | None -> file_allow
+          in
+          walk_binding ~world ~gidx ~mutable_fields ~registry
+            ~fn_key:(prefix ^ name) ~file ~rule_path
+            ~immediate:(not (is_function_rhs vb.pvb_expr))
+            ~allow0 vb.pvb_expr))
+    sources;
+  (* function index, for resolving recorded calls *)
+  let fidx_by_key = Hashtbl.create 256 and fidx_by_short = Hashtbl.create 256 in
+  let fidx_keys = ref [] in
+  List.iter
+    (fun (f : dfn) ->
+      if not (Hashtbl.mem fidx_by_key f.d_key) then begin
+        Hashtbl.replace fidx_by_key f.d_key f;
+        fidx_keys := f.d_key :: !fidx_keys
+      end;
+      let short =
+        match String.rindex_opt f.d_key '.' with
+        | Some i -> String.sub f.d_key (i + 1) (String.length f.d_key - i - 1)
+        | None -> f.d_key
+      in
+      Hashtbl.replace fidx_by_short (f.d_file, short) f)
+    world.fns;
+  let resolve_fn ~file p =
+    resolve_in ~by_key:fidx_by_key ~by_short:fidx_by_short
+      ~keys:(List.rev !fidx_keys) ~file p
+  in
+  (* findings, with [@dom.allow] accounting *)
+  let findings = ref [] and suppressed = ref 0 in
+  let report ?allow rule ~file ~(loc : Location.t) msg =
+    match (allow : Lint.allow_site option) with
+    | Some site ->
+      site.as_uses <- site.as_uses + 1;
+      incr suppressed
+    | None ->
+      findings :=
+        {
+          Lint.rule;
+          file;
+          line = loc.loc_start.pos_lnum;
+          col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+          msg;
+        }
+        :: !findings
+  in
+  let mentions = List.rev world.mentions in
+  (* D1: judge every module-level mutable binding *)
+  List.iter
+    (fun g ->
+      match g.g_kind with
+      | Sync _ | Imm -> ()
+      | Mut what ->
+        let ms = List.filter (fun m -> m.m_global = g.g_key) mentions in
+        let runtime = List.filter (fun m -> not m.m_init) ms in
+        let writes = List.filter (fun m -> m.m_write) runtime in
+        if writes = [] then g.g_status <- S_frozen
+        else begin
+          let common =
+            match runtime with
+            | [] -> SS.empty
+            | m :: tl ->
+              List.fold_left (fun acc m -> SS.inter acc m.m_held) m.m_held tl
+          in
+          if not (SS.is_empty common) then
+            g.g_status <- S_locked (SS.min_elt common)
+          else begin
+            g.g_status <- S_flagged;
+            let unheld =
+              List.filter (fun m -> SS.is_empty m.m_held) runtime
+            in
+            let offenders = if unheld <> [] then unheld else runtime in
+            let inconsistent = unheld = [] in
+            List.iter
+              (fun m ->
+                if in_reported_dir m.m_rule then
+                  report ?allow:m.m_allow "D1" ~file:m.m_file ~loc:m.m_loc
+                    (Printf.sprintf
+                       "%s of module-level mutable %s (%s) in %s %s; every \
+                        cross-domain access must hold one common mutex, or \
+                        the state must become Atomic, Domain.DLS or an \
+                        engine-instance field"
+                       (if m.m_write then "write" else "read")
+                       g.g_key what m.m_fn
+                       (if inconsistent then
+                          "holds no lock common to all accesses"
+                        else "holds no lock")))
+              offenders
+          end
+        end)
+    globals;
+  (* D2: mutable locals captured by Domain.spawn closures *)
+  let caps = List.rev world.caps in
+  let cap_groups = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let k = (c.c_fn, c.c_name) in
+      Hashtbl.replace cap_groups k
+        (c :: Option.value (Hashtbl.find_opt cap_groups k) ~default:[]))
+    caps;
+  Hashtbl.to_seq cap_groups |> List.of_seq
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  |> List.iter (fun ((_fn, name), group) ->
+      let group = List.rev group in
+      let unprotected_writes =
+        List.filter (fun c -> c.c_write && SS.is_empty c.c_held) group
+      in
+      if unprotected_writes <> [] then
+        List.iter
+          (fun c ->
+            if SS.is_empty c.c_held && in_reported_dir c.c_rule then
+              report ?allow:c.c_allow "D2" ~file:c.c_file ~loc:c.c_loc
+                (Printf.sprintf
+                   "mutable local %s (%s) is captured by a Domain.spawn \
+                    closure in %s and %s without holding a lock; workers \
+                    race on it — protect it with a mutex or give each \
+                    worker a disjoint slot ([@dom.allow \"reason\"] if \
+                    disjointness is provable)"
+                   name c.c_what c.c_fn
+                   (if c.c_write then "written" else
+                      "read while another access writes it")))
+          group);
+  (* D3: lock-order graph, direct and interprocedural *)
+  let acqs = List.rev world.acqs in
+  let dcalls = List.rev world.dcalls in
+  let acquires = Hashtbl.create 64 in
+  let get_acq k = Option.value (Hashtbl.find_opt acquires k) ~default:SS.empty in
+  List.iter
+    (fun a -> Hashtbl.replace acquires a.aq_fn (SS.add a.aq_lock (get_acq a.aq_fn)))
+    acqs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : dcall) ->
+        match resolve_fn ~file:c.dc_file c.dc_path with
+        | Some g ->
+          let mine = get_acq c.dc_fn and theirs = get_acq g.d_key in
+          if not (SS.subset theirs mine) then begin
+            Hashtbl.replace acquires c.dc_fn (SS.union mine theirs);
+            changed := true
+          end
+        | None -> ())
+      dcalls
+  done;
+  let graph = Lockgraph.create () in
+  List.iter
+    (fun a ->
+      Lockgraph.add_node graph a.aq_lock;
+      SS.iter
+        (fun h ->
+          Lockgraph.add_edge graph ~src:h ~dst:a.aq_lock ~file:a.aq_file
+            ~line:a.aq_loc.Location.loc_start.pos_lnum)
+        a.aq_held)
+    acqs;
+  List.iter
+    (fun (c : dcall) ->
+      if not (SS.is_empty c.dc_held) then
+        match resolve_fn ~file:c.dc_file c.dc_path with
+        | Some g ->
+          SS.iter
+            (fun h ->
+              SS.iter
+                (fun l ->
+                  Lockgraph.add_edge graph ~src:h ~dst:l ~file:c.dc_file
+                    ~line:c.dc_loc.Location.loc_start.pos_lnum)
+                (get_acq g.d_key))
+            c.dc_held
+        | None -> ())
+    dcalls;
+  List.iter
+    (fun cycle ->
+      let in_cycle n = List.mem n cycle in
+      let witness =
+        List.find_opt
+          (fun (s, d, _, _) -> in_cycle s && in_cycle d)
+          (Lockgraph.edges graph)
+      in
+      let file, line =
+        match witness with
+        | Some (_, _, f, l) -> (f, l)
+        | None -> ("<unknown>", 0)
+      in
+      findings :=
+        {
+          Lint.rule = "D3";
+          file;
+          line;
+          col = 0;
+          msg =
+            Printf.sprintf
+              "lock-order cycle %s (potential deadlock): acquisition order \
+               must be consistent across all domains"
+              (String.concat " -> " (cycle @ [ List.hd cycle ]));
+        }
+        :: !findings)
+    (Lockgraph.cycles graph);
+  (* D4: performs must stay under their handler's domain *)
+  let performs = List.rev world.performs in
+  let performers = Hashtbl.create 32 in
+  List.iter
+    (fun p -> if not p.pf_handled then Hashtbl.replace performers p.pf_fn ())
+    performs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : dcall) ->
+        if not (c.dc_handled || Hashtbl.mem performers c.dc_fn) then
+          match resolve_fn ~file:c.dc_file c.dc_path with
+          | Some g when Hashtbl.mem performers g.d_key ->
+            Hashtbl.replace performers c.dc_fn ();
+            changed := true
+          | _ -> ())
+      dcalls
+  done;
+  List.iter
+    (fun p ->
+      if p.pf_spawn && (not p.pf_handled) && in_reported_dir p.pf_rule then
+        report ?allow:p.pf_allow "D4" ~file:p.pf_file ~loc:p.pf_loc
+          (Printf.sprintf
+             "effect perform inside a Domain.spawn closure in %s has no \
+              handler on the spawned domain; effects must be handled \
+              (Simthread.spawn's match_with) in the domain that performs \
+              them"
+             p.pf_fn))
+    performs;
+  List.iter
+    (fun (c : dcall) ->
+      if c.dc_spawn && (not c.dc_handled) && in_reported_dir c.dc_rule then
+        match resolve_fn ~file:c.dc_file c.dc_path with
+        | Some g when Hashtbl.mem performers g.d_key ->
+          report ?allow:c.dc_allow "D4" ~file:c.dc_file ~loc:c.dc_loc
+            (Printf.sprintf
+               "call to %s inside a Domain.spawn closure in %s reaches an \
+                effect perform with no handler on the spawned domain; \
+                wrap the computation in Simthread.spawn (or another \
+                handler) before it performs"
+               g.d_key c.dc_fn)
+        | _ -> ())
+    dcalls;
+  {
+    findings = List.sort_uniq Lint.compare_finding !findings;
+    globals;
+    mutable_types;
+    suppressed = !suppressed;
+    graph;
+    allow_sites =
+      List.filter
+        (fun (s : Lint.allow_site) -> s.as_attr = "dom.allow")
+        (Lint.allow_sites registry);
+  }

@@ -50,10 +50,20 @@ open Lint.Internal
 (* ------------------------------------------------------------------ *)
 
 type ev =
-  | Call of { path : string; loc : Location.t; r2_ok : bool }
-      (** syntactic application of a named target *)
+  | Call of {
+      path : string;
+      loc : Location.t;
+      r2_allow : Lint.allow_site option option;
+          (** [Some _] = a covering [@lint.allow "R2"] is in force (its
+              site, when a registry tracks use counts) *)
+    }  (** syntactic application of a named target *)
   | Mention of string  (** bare reference: the target escapes as a closure *)
-  | Read of { field : string; what : string; loc : Location.t; r3_ok : bool }
+  | Read of {
+      field : string;
+      what : string;
+      loc : Location.t;
+      r3_allow : Lint.allow_site option option;
+    }
   | Open_lam of bool  (** [true] = transparent (runs inline exactly once) *)
   | Close_lam
 
@@ -84,22 +94,26 @@ let module_name_of_file file =
 (* ------------------------------------------------------------------ *)
 
 (* Walk one binding body, producing its event stream.  [allows0] carries
-   the binding- and file-level suppressions already in force. *)
-let extract_events ~allows0 (body : Parsetree.expression) =
+   the binding- and file-level suppression entries already in force. *)
+let extract_events ?registry ~file ~allows0 (body : Parsetree.expression) =
   let buf = ref [] in
   let allows = ref allows0 in
   let allowed r =
-    List.exists (fun s -> SS.mem r s || SS.mem "all" s) !allows
+    match
+      List.find_opt (fun (s, _) -> SS.mem r s || SS.mem "all" s) !allows
+    with
+    | Some (_, site) -> Some site
+    | None -> None
   in
   let emit e = buf := e :: !buf in
   let rec walk (e : Parsetree.expression) =
-    let att = allow_of_attrs e.pexp_attributes in
-    if SS.is_empty att then walk_desc e
-    else begin
-      allows := att :: !allows;
-      Fun.protect ~finally:(fun () -> allows := List.tl !allows) (fun () ->
+    match allow_entries ?registry ~file e.pexp_attributes with
+    | [] -> walk_desc e
+    | att ->
+      let saved = !allows in
+      allows := att @ !allows;
+      Fun.protect ~finally:(fun () -> allows := saved) (fun () ->
           walk_desc e)
-    end
   and walk_desc (e : Parsetree.expression) =
     match e.pexp_desc with
     | Pexp_fun (_, default, _, body) ->
@@ -131,21 +145,21 @@ let extract_events ~allows0 (body : Parsetree.expression) =
       let name = try Longident.last txt with _ -> "" in
       (match List.assoc_opt name shared_fields with
       | Some what ->
-        emit (Read { field = name; what; loc; r3_ok = allowed "R3" })
+        emit (Read { field = name; what; loc; r3_allow = allowed "R3" })
       | None -> ())
     | Pexp_ident { txt; _ } ->
       emit (Mention (strip_stdlib (path_of_lid txt)))
     | Pexp_let (_, vbs, body) ->
       List.iter
         (fun (vb : Parsetree.value_binding) ->
-          let att = allow_of_attrs vb.pvb_attributes in
-          if SS.is_empty att then walk vb.pvb_expr
-          else begin
-            allows := att :: !allows;
+          match allow_entries ?registry ~file vb.pvb_attributes with
+          | [] -> walk vb.pvb_expr
+          | att ->
+            let saved = !allows in
+            allows := att @ !allows;
             Fun.protect
-              ~finally:(fun () -> allows := List.tl !allows)
-              (fun () -> walk vb.pvb_expr)
-          end)
+              ~finally:(fun () -> allows := saved)
+              (fun () -> walk vb.pvb_expr))
         vbs;
       walk body
     | _ ->
@@ -194,7 +208,7 @@ let extract_events ~allows0 (body : Parsetree.expression) =
       args;
     (* the call itself comes after its arguments, mirroring the intra
        pass (commit_dominators runs after the argument traversal) *)
-    emit (Call { path; loc; r2_ok = allowed "R2" })
+    emit (Call { path; loc; r2_allow = allowed "R2" })
   in
   (* parameter chain of the binding is the function's own body: walk it
      transparently (no lambda frame) *)
@@ -212,7 +226,7 @@ let extract_events ~allows0 (body : Parsetree.expression) =
 
 (* Collect the top-level bindings of one parsed file (including bindings
    in nested [module X = struct ... end]), respecting [@@@lint.allow]. *)
-let extract_file ~file ~rule_path (str : Parsetree.structure) =
+let extract_file ?registry ~file ~rule_path (str : Parsetree.structure) =
   let modname = module_name_of_file file in
   let in_mem = in_dir "lib/mem" rule_path in
   let fns = ref [] in
@@ -223,7 +237,7 @@ let extract_file ~file ~rule_path (str : Parsetree.structure) =
       (fun (si : Parsetree.structure_item) ->
         match si.pstr_desc with
         | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
-          file_allows := allow_of_payload a.attr_payload :: !file_allows
+          file_allows := allow_entries ?registry ~file [ a ] @ !file_allows
         | Pstr_value (_, vbs) ->
           List.iter
             (fun (vb : Parsetree.value_binding) ->
@@ -238,15 +252,15 @@ let extract_file ~file ~rule_path (str : Parsetree.structure) =
                   Printf.sprintf "<toplevel:%d>" !anon
               in
               let allows0 =
-                let a = allow_of_attrs vb.pvb_attributes in
-                if SS.is_empty a then !file_allows else a :: !file_allows
+                allow_entries ?registry ~file vb.pvb_attributes
+                @ !file_allows
               in
               fns :=
                 {
                   key = prefix ^ name;
                   f_file = file;
                   f_rule = rule_path;
-                  events = extract_events ~allows0 vb.pvb_expr;
+                  events = extract_events ?registry ~file ~allows0 vb.pvb_expr;
                   in_mem;
                 }
                 :: !fns)
@@ -340,11 +354,12 @@ let replay ~call_commits fn ~on_call ~on_read ~on_mention =
           committed := c;
           decr depth
         | [] -> ())
-      | Read { field; what; loc; r3_ok } ->
-        on_read ~field ~what ~loc ~r3_ok ~dominated:!committed ~depth:!depth
+      | Read { field; what; loc; r3_allow } ->
+        on_read ~field ~what ~loc ~r3_allow ~dominated:!committed
+          ~depth:!depth
       | Mention p -> on_mention p
-      | Call { path; loc; r2_ok } ->
-        on_call ~path ~loc ~r2_ok ~dominated:!committed ~depth:!depth;
+      | Call { path; loc; r2_allow } ->
+        on_call ~path ~loc ~r2_allow ~dominated:!committed ~depth:!depth;
         if matches_any commit_family path || call_commits path then
           committed := true)
     fn.events
@@ -353,11 +368,12 @@ let replay ~call_commits fn ~on_call ~on_read ~on_mention =
 (* The analysis                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
+let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ()) ?registry
     (sources : (string * string * Parsetree.structure) list) =
   let fns =
     List.concat_map
-      (fun (file, rule_path, str) -> extract_file ~file ~rule_path str)
+      (fun (file, rule_path, str) ->
+        extract_file ?registry ~file ~rule_path str)
       sources
   in
   let idx = build_index fns in
@@ -376,7 +392,7 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
               match resolve idx ~file:fn.f_file path with
               | Some g -> SS.mem g.key !commits
               | None -> false)
-            ~on_call:(fun ~path ~loc:_ ~r2_ok:_ ~dominated:_ ~depth ->
+            ~on_call:(fun ~path ~loc:_ ~r2_allow:_ ~dominated:_ ~depth ->
               if
                 depth = 0
                 && (matches_any commit_family path
@@ -385,7 +401,7 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
                    | Some g -> SS.mem g.key !commits
                    | None -> false)
               then c := true)
-            ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_ok:_ ~dominated:_
+            ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_allow:_ ~dominated:_
                           ~depth:_ -> ())
             ~on_mention:ignore;
           if !c then begin
@@ -398,7 +414,7 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
   let commits = !commits in
   (* one replay per function with the final commit set: collect resolved
      call sites, shared-field reads and escaping mentions *)
-  let calls = Hashtbl.create 256 in (* caller key -> (callee, dominated, loc, r2_ok) list *)
+  let calls = Hashtbl.create 256 in (* caller key -> (callee, dominated, loc, r2_allow) list *)
   let reads = Hashtbl.create 256 in (* caller key -> (read, dominated) list *)
   let has_site = Hashtbl.create 256 in (* callee key -> unit *)
   let escapes = ref SS.empty in
@@ -414,14 +430,14 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
         | None -> false
       in
       replay fn ~call_commits
-        ~on_call:(fun ~path ~loc ~r2_ok ~dominated ~depth:_ ->
+        ~on_call:(fun ~path ~loc ~r2_allow ~dominated ~depth:_ ->
           match resolve idx ~file:fn.f_file path with
           | Some g ->
             Hashtbl.replace has_site g.key ();
-            push calls fn.key (g, dominated, loc, r2_ok)
+            push calls fn.key (g, dominated, loc, r2_allow)
           | None -> ())
-        ~on_read:(fun ~field ~what ~loc ~r3_ok ~dominated ~depth:_ ->
-          push reads fn.key (field, what, loc, r3_ok, dominated))
+        ~on_read:(fun ~field ~what ~loc ~r3_allow ~dominated ~depth:_ ->
+          push reads fn.key (field, what, loc, r3_allow, dominated))
         ~on_mention:(fun p ->
           match resolve idx ~file:fn.f_file p with
           | Some g -> escapes := SS.add g.key !escapes
@@ -468,10 +484,15 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
         | None -> ()
         | Some rs ->
           List.iter
-            (fun (field, what, loc, r3_ok, dominated) ->
-              if (not dominated) && r3_ok then
+            (fun (field, what, loc, r3_allow, dominated) ->
+              match (dominated, r3_allow) with
+              | true, _ -> ()
+              | false, Some site ->
+                Option.iter
+                  (fun (s : Lint.allow_site) -> s.as_uses <- s.as_uses + 1)
+                  site;
                 on_suppressed ~rule:"R3" ~loc
-              else if (not dominated) && not r3_ok then
+              | false, None ->
                 report "R3" fn loc
                   (Printf.sprintf
                        "read of shared-mutable field .%s (%s): %s can run \
@@ -490,10 +511,10 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
       if not fn.in_mem then
         replay fn
           ~call_commits:(fun _ -> false)
-          ~on_call:(fun ~path ~loc:_ ~r2_ok:_ ~dominated:_ ~depth:_ ->
+          ~on_call:(fun ~path ~loc:_ ~r2_allow:_ ~dominated:_ ~depth:_ ->
             if matches_any hierarchy_traffic path then
               reaches := SS.add fn.key !reaches)
-          ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_ok:_ ~dominated:_
+          ~on_read:(fun ~field:_ ~what:_ ~loc:_ ~r3_allow:_ ~dominated:_
                         ~depth:_ -> ())
           ~on_mention:ignore)
     fns;
@@ -524,10 +545,17 @@ let check_project ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
         | None -> ()
         | Some sites ->
           List.iter
-            (fun ((g : fn), _, loc, r2_ok) ->
-              if (not g.in_mem) && SS.mem g.key !reaches && r2_ok then
+            (fun ((g : fn), _, loc, r2_allow) ->
+              match
+                ((not g.in_mem) && SS.mem g.key !reaches, r2_allow)
+              with
+              | false, _ -> ()
+              | true, Some site ->
+                Option.iter
+                  (fun (s : Lint.allow_site) -> s.as_uses <- s.as_uses + 1)
+                  site;
                 on_suppressed ~rule:"R2" ~loc
-              else if (not g.in_mem) && SS.mem g.key !reaches && not r2_ok then
+              | true, None ->
                 report "R2" fn loc
                   (Printf.sprintf
                      "call to %s reaches uncharged Hierarchy traffic (a \

@@ -47,6 +47,51 @@ let compare_finding a b =
     (b.file, b.line, b.col, b.rule, b.msg)
 
 (* ------------------------------------------------------------------ *)
+(* Suppression sites                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every [@lint.allow] / [@dom.allow] attribute a pass walks registers one
+   site here, keyed by (attribute, file, line) so the intra and
+   interprocedural passes — which walk the same attributes — share a
+   single use counter.  A site whose counter stays zero suppresses
+   nothing: it is stale, and [--strict-suppressions] fails on it. *)
+type allow_site = {
+  as_attr : string;  (** attribute name, e.g. "lint.allow" *)
+  as_file : string;
+  as_line : int;
+  as_payload : string;  (** raw payload text (rule list or reason) *)
+  mutable as_uses : int;
+}
+
+type allow_registry = {
+  reg_tbl : (string * string * int, allow_site) Hashtbl.t;
+  mutable reg_order : allow_site list;  (** reverse registration order *)
+}
+
+let new_allow_registry () = { reg_tbl = Hashtbl.create 32; reg_order = [] }
+
+let register_allow reg ~attr ~file ~line ~payload =
+  let key = (attr, file, line) in
+  match Hashtbl.find_opt reg.reg_tbl key with
+  | Some s -> s
+  | None ->
+    let s =
+      { as_attr = attr; as_file = file; as_line = line;
+        as_payload = payload; as_uses = 0 }
+    in
+    Hashtbl.replace reg.reg_tbl key s;
+    reg.reg_order <- s :: reg.reg_order;
+    s
+
+let allow_sites reg =
+  List.sort
+    (fun a b -> compare (a.as_file, a.as_line) (b.as_file, b.as_line))
+    reg.reg_order
+
+let stale_allow_sites reg =
+  List.filter (fun s -> s.as_uses = 0) (allow_sites reg)
+
+(* ------------------------------------------------------------------ *)
 (* Rule tables                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -149,6 +194,41 @@ let allow_of_attrs (attrs : Parsetree.attributes) =
       else acc)
     SS.empty attrs
 
+(* Raw payload text, for registry bookkeeping. *)
+let payload_string (p : Parsetree.payload) =
+  match p with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+(* One suppression-stack entry per [@lint.allow] attribute, each carrying
+   its registry site (when a registry is attached) for use counting. *)
+let allow_entries ?registry ~file (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "lint.allow" then
+        let rules = allow_of_payload a.attr_payload in
+        let site =
+          Option.map
+            (fun reg ->
+              register_allow reg ~attr:"lint.allow" ~file
+                ~line:a.attr_loc.Location.loc_start.pos_lnum
+                ~payload:(Option.value (payload_string a.attr_payload)
+                            ~default:""))
+            registry
+        in
+        Some (rules, site)
+      else None)
+    attrs
+
 (* ------------------------------------------------------------------ *)
 (* The checker                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -164,9 +244,11 @@ type state = {
   on_suppressed : rule:string -> loc:Location.t -> unit;
       (** called instead of recording when a finding is [@lint.allow]ed;
           drivers use it for suppression accounting *)
+  registry : allow_registry option;
+      (** suppression-site registry for stale-attribute accounting *)
   mutable findings : finding list;
   mutable scopes : scope list;  (** innermost function first *)
-  mutable allows : SS.t list;  (** suppression stack *)
+  mutable allows : (SS.t * allow_site option) list;  (** suppression stack *)
   mutable force_sim : bool;
       (** the next lambda visited is a [Simthread.spawn] callback *)
 }
@@ -184,12 +266,15 @@ let in_dir dir st =
 let cur_scope st =
   match st.scopes with s :: _ -> s | [] -> assert false
 
-let allowed st rule =
-  List.exists (fun s -> SS.mem rule s || SS.mem "all" s) st.allows
+let find_allow st rule =
+  List.find_opt (fun (s, _) -> SS.mem rule s || SS.mem "all" s) st.allows
 
 let report st rule (loc : Location.t) msg =
-  if allowed st rule then st.on_suppressed ~rule ~loc
-  else
+  match find_allow st rule with
+  | Some (_, site) ->
+    Option.iter (fun s -> s.as_uses <- s.as_uses + 1) site;
+    st.on_suppressed ~rule ~loc
+  | None ->
     st.findings <-
       {
         rule;
@@ -312,11 +397,12 @@ let check_field_read st (loc : Location.t) lid =
 (* Traversal                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let with_allows st set f =
-  if SS.is_empty set then f ()
+let with_allows st entries f =
+  if entries = [] then f ()
   else begin
-    st.allows <- set :: st.allows;
-    Fun.protect ~finally:(fun () -> st.allows <- List.tl st.allows) f
+    let saved = st.allows in
+    st.allows <- entries @ st.allows;
+    Fun.protect ~finally:(fun () -> st.allows <- saved) f
   end
 
 let with_scope st scope f =
@@ -327,8 +413,9 @@ let is_spawn path = matches "Simthread.spawn" path
 
 let iterator st =
   let open Ast_iterator in
+  let entries attrs = allow_entries ?registry:st.registry ~file:st.file attrs in
   let expr it (e : Parsetree.expression) =
-    with_allows st (allow_of_attrs e.pexp_attributes) @@ fun () ->
+    with_allows st (entries e.pexp_attributes) @@ fun () ->
     match e.pexp_desc with
     | Pexp_ident { txt; loc } ->
       check_ident st loc (path_of_lid txt);
@@ -372,14 +459,14 @@ let iterator st =
     | _ -> default_iterator.expr it e
   in
   let value_binding it (vb : Parsetree.value_binding) =
-    with_allows st (allow_of_attrs vb.pvb_attributes) @@ fun () ->
+    with_allows st (entries vb.pvb_attributes) @@ fun () ->
     default_iterator.value_binding it vb
   in
   let structure_item it (si : Parsetree.structure_item) =
     match si.pstr_desc with
     | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
       (* [@@@lint.allow "..."] suppresses for the rest of the file *)
-      st.allows <- allow_of_payload a.attr_payload :: st.allows
+      st.allows <- entries [ a ] @ st.allows
     | Pstr_value _ ->
       (* each top-level binding gets a fresh dominance scope *)
       with_scope st { committed = false; sim = false } (fun () ->
@@ -402,7 +489,7 @@ let parse_implementation path =
       Parse.implementation lexbuf)
 
 let check_structure ?(file = "<string>") ?(rule_path = file)
-    ?(intra_r3 = true) ?(on_suppressed = fun ~rule:_ ~loc:_ -> ())
+    ?(intra_r3 = true) ?(on_suppressed = fun ~rule:_ ~loc:_ -> ()) ?registry
     (str : Parsetree.structure) =
   let st =
     {
@@ -410,6 +497,7 @@ let check_structure ?(file = "<string>") ?(rule_path = file)
       rule_path;
       intra_r3;
       on_suppressed;
+      registry;
       findings = [];
       scopes = [ { committed = false; sim = false } ];
       allows = [];
@@ -447,4 +535,6 @@ module Internal = struct
   let hierarchy_traffic = hierarchy_traffic
   let allow_of_attrs = allow_of_attrs
   let allow_of_payload = allow_of_payload
+  let allow_entries = allow_entries
+  let payload_string = payload_string
 end

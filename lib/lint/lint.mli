@@ -29,6 +29,43 @@ val pp_finding : Format.formatter -> finding -> unit
 val finding_to_string : finding -> string
 val compare_finding : finding -> finding -> int
 
+(** {1 Suppression sites}
+
+    Every suppression attribute ([[\@lint.allow]], [[\@dom.allow]]) a pass
+    walks registers one {!allow_site}, keyed by (attribute, file, line) so
+    that passes sharing the same source (intra + interprocedural) share a
+    single use counter.  A site whose [as_uses] stays [0] covered no
+    finding: it is stale and should be deleted
+    ([bin/lint_main --strict-suppressions] fails on it). *)
+
+type allow_site = {
+  as_attr : string;  (** attribute name, e.g. ["lint.allow"] *)
+  as_file : string;
+  as_line : int;
+  as_payload : string;  (** raw payload text (rule list or reason) *)
+  mutable as_uses : int;  (** findings this site suppressed *)
+}
+
+type allow_registry
+
+val new_allow_registry : unit -> allow_registry
+
+val register_allow :
+  allow_registry ->
+  attr:string ->
+  file:string ->
+  line:int ->
+  payload:string ->
+  allow_site
+(** Idempotent on (attr, file, line): re-registration returns the existing
+    site, so use counts accumulate across passes. *)
+
+val allow_sites : allow_registry -> allow_site list
+(** All registered sites, ordered by (file, line). *)
+
+val stale_allow_sites : allow_registry -> allow_site list
+(** Sites with zero uses. *)
+
 val check_file :
   ?rule_path:string -> ?intra_r3:bool -> string -> (finding list, string) result
 (** Lint one [.ml] file.  [rule_path] overrides the path used for
@@ -52,10 +89,13 @@ val check_structure :
   ?rule_path:string ->
   ?intra_r3:bool ->
   ?on_suppressed:(rule:string -> loc:Location.t -> unit) ->
+  ?registry:allow_registry ->
   Parsetree.structure ->
   finding list
 (** [on_suppressed] fires instead of a finding when an [[\@lint.allow]]
-    covers it — suppression accounting for drivers (default: ignore). *)
+    covers it — suppression accounting for drivers (default: ignore).
+    [registry] additionally tracks each suppression attribute as an
+    {!allow_site} with per-site use counts for stale reporting. *)
 
 val parse_implementation : string -> Parsetree.structure
 (** Parse one implementation file (raises [Syntaxerr.Error] / [Sys_error]);
@@ -74,6 +114,14 @@ module Internal : sig
   val hierarchy_traffic : string list
   val allow_of_attrs : Parsetree.attributes -> Set.Make(String).t
   val allow_of_payload : Parsetree.payload -> Set.Make(String).t
+
+  val allow_entries :
+    ?registry:allow_registry ->
+    file:string ->
+    Parsetree.attributes ->
+    (Set.Make(String).t * allow_site option) list
+
+  val payload_string : Parsetree.payload -> string option
 end
 
 (**/**)

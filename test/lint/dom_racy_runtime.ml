@@ -1,0 +1,50 @@
+(* Deliberately racy, both statically and dynamically, as the bridge
+   between the two race detectors: the module-level [shared_tally] is a
+   D1 violation for the static certifier (lib/lint/dom.ml), and the two
+   threads below overlap uncommitted windows on one line, which the
+   runtime sanitizer (lib/san) reports.  The [Env.tagged] site names are
+   chosen to equal this module's own function keys so test_lint.ml can
+   assert that every runtime race site is covered by a static D1/D2
+   finding naming the same function.  Lives in test/ — outside the
+   linted tree — precisely because it must stay racy. *)
+
+module Engine = Mutps_sim.Engine
+module Simthread = Mutps_sim.Simthread
+module Layout = Mutps_mem.Layout
+module Hierarchy = Mutps_mem.Hierarchy
+module Env = Mutps_mem.Env
+module San = Mutps_san.San
+
+(* D1 target: unprotected module-level mutable state, touched by both
+   thread bodies with no lock, no Atomic, no DLS. *)
+let shared_tally : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let writer env ~addr =
+  Env.tagged env "Dom_racy_runtime.writer" @@ fun () ->
+  Hashtbl.replace shared_tally "writes" 1;
+  Env.compute env 1_000;
+  Env.store env ~addr ~size:8;
+  Env.commit env
+
+let reader env ~addr =
+  Env.tagged env "Dom_racy_runtime.reader" @@ fun () ->
+  Hashtbl.replace shared_tally "reads" 1;
+  Simthread.delay env.Env.ctx 500;
+  Env.load env ~addr ~size:8;
+  Env.commit env
+
+(* Run the scenario under the sanitizer; returns its race reports. *)
+let run () =
+  Hashtbl.reset shared_tally;
+  San.sanitized (fun () ->
+      let engine = Engine.create () in
+      let layout = Layout.create () in
+      let hier = Hierarchy.create (Hierarchy.small_geometry ~cores:4) in
+      let region = Layout.region layout ~name:"shared" ~size:64 in
+      let addr = Layout.alloc region ~align:64 8 in
+      Simthread.spawn engine ~name:"writer" (fun ctx ->
+          writer (Env.make ~ctx ~hier ~core:0) ~addr);
+      Simthread.spawn engine ~name:"reader" (fun ctx ->
+          reader (Env.make ~ctx ~hier ~core:1) ~addr);
+      Engine.run_all engine)
+  |> snd

@@ -1,0 +1,13 @@
+(* [@dom.allow] accounting: the first attribute absorbs the D1 finding
+   on the unprotected write; the second covers a frozen ref that never
+   produces a finding, so it must read as stale (as_uses = 0). *)
+
+let counter = ref 0
+
+let bump () =
+  (incr counter) [@dom.allow "single-writer: only the main domain bumps"]
+
+let frozen = ref 0
+
+let read () =
+  !frozen [@@dom.allow "stale: reads of a frozen ref are already clean"]

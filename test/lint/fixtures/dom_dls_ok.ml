@@ -1,0 +1,6 @@
+(* D1 good: per-domain state behind a Domain.DLS key — a sync value, no
+   findings even though the payload is a mutable table. *)
+
+let slot = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+let put k v = Hashtbl.replace (Domain.DLS.get slot) k v
+let get k = Hashtbl.find_opt (Domain.DLS.get slot) k

@@ -1,0 +1,31 @@
+(* D4 bad: an effect performed inside a Domain.spawn closure with no
+   handler installed in that domain — the perform would raise
+   Effect.Unhandled at runtime.  [handled] installs match_with inside
+   the spawned domain and is clean; [indirect] reaches the perform
+   through a helper call and is still flagged. *)
+
+type _ Effect.t += Tick : unit Effect.t
+
+let cross () =
+  let d = Domain.spawn (fun () -> Effect.perform Tick) in
+  Domain.join d
+
+let tick_loop () = Effect.perform Tick
+
+let indirect () =
+  let d = Domain.spawn (fun () -> tick_loop ()) in
+  Domain.join d
+
+let handled () =
+  let d =
+    Domain.spawn (fun () ->
+        Effect.Deep.match_with
+          (fun () -> Effect.perform Tick)
+          ()
+          {
+            retc = (fun x -> x);
+            exnc = raise;
+            effc = (fun (type a) (_ : a Effect.t) -> None);
+          })
+  in
+  Domain.join d

@@ -1,0 +1,18 @@
+(* D3 bad: [forward] acquires a then b, [backward] acquires b then a —
+   the lock-order graph has the cycle a -> b -> a (classic ABBA
+   deadlock). *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let forward () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let backward () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b

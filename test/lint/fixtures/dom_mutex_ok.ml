@@ -1,0 +1,18 @@
+(* D1 good: every runtime access of the table holds the one common
+   mutex — certified S_locked.  Covers both the sequential lock/unlock
+   shape and the Fun.protect ~finally idiom (the unlock inside the
+   finally closure must not strip the lock from the protected body). *)
+
+let lock = Mutex.create ()
+let table = Hashtbl.create 16
+
+let put k v =
+  Mutex.lock lock;
+  Hashtbl.replace table k v;
+  Mutex.unlock lock
+
+let get k =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () -> Hashtbl.find_opt table k)

@@ -1,0 +1,13 @@
+(* D1 bad: module-level mutable state written at runtime with no lock,
+   no Atomic, no DLS — flagged on every unprotected access. *)
+
+let cache = Hashtbl.create 16
+let hits = ref 0
+
+let record k v =
+  Hashtbl.replace cache k v;
+  incr hits
+
+let lookup k =
+  incr hits;
+  Hashtbl.find_opt cache k

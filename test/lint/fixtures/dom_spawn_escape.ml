@@ -1,0 +1,25 @@
+(* D2 bad: a mutable local captured by a Domain.spawn closure and
+   written without a lock — two workers would race on [total].  The
+   second function shows the locked twin, which is clean. *)
+
+let racy () =
+  let total = ref 0 in
+  let d1 = Domain.spawn (fun () -> total := !total + 1) in
+  let d2 = Domain.spawn (fun () -> total := !total + 1) in
+  Domain.join d1;
+  Domain.join d2;
+  !total
+
+let locked () =
+  let total = ref 0 in
+  let lock = Mutex.create () in
+  let bump () =
+    Mutex.lock lock;
+    total := !total + 1;
+    Mutex.unlock lock
+  in
+  let d1 = Domain.spawn bump in
+  let d2 = Domain.spawn bump in
+  Domain.join d1;
+  Domain.join d2;
+  !total

@@ -281,6 +281,237 @@ let test_syntax_error () =
   | Ok _ -> Alcotest.fail "expected a parse error"
   | Error _ -> ()
 
+(* --- domain-safety certifier (rule family D) --- *)
+
+module Dom = Mutps_lint.Dom
+module San = Mutps_san.San
+
+let dom_check files =
+  Dom.check_project
+    (List.map
+       (fun file ->
+         let path = Filename.concat fixture_dir file in
+         (path, path, Lint.parse_implementation path))
+       files)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec scan i = i + n <= m && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let global_status r key =
+  match
+    List.find_opt (fun (g : Dom.global) -> g.Dom.g_key = key) r.Dom.globals
+  with
+  | Some g -> g.Dom.g_status
+  | None -> Alcotest.fail ("no global " ^ key)
+
+let test_dom_racy_global () =
+  let r = dom_check [ "dom_racy_global.ml" ] in
+  check_int "every unprotected access flagged" 4
+    (count "D1" r.Dom.findings);
+  check_int "only D1" 4 (List.length r.Dom.findings);
+  Alcotest.(check bool)
+    "cache flagged" true
+    (global_status r "Dom_racy_global.cache" = Dom.S_flagged);
+  Alcotest.(check bool)
+    "hits flagged" true
+    (global_status r "Dom_racy_global.hits" = Dom.S_flagged)
+
+let test_dom_dls_ok () =
+  let r = dom_check [ "dom_dls_ok.ml" ] in
+  check_int "clean" 0 (List.length r.Dom.findings);
+  Alcotest.(check bool)
+    "slot is a sync value" true
+    (match global_status r "Dom_dls_ok.slot" with
+    | Dom.S_sync _ -> true
+    | _ -> false)
+
+let test_dom_mutex_ok () =
+  (* both the sequential lock/unlock shape and Fun.protect ~finally must
+     certify; the unlock inside the finally closure is scoped and must
+     not strip the lock from the protected body *)
+  let r = dom_check [ "dom_mutex_ok.ml" ] in
+  check_int "clean" 0 (List.length r.Dom.findings);
+  Alcotest.(check bool)
+    "table certified lock-protected" true
+    (match global_status r "Dom_mutex_ok.table" with
+    | Dom.S_locked l -> contains l "lock"
+    | _ -> false)
+
+let test_dom_spawn_escape () =
+  let r = dom_check [ "dom_spawn_escape.ml" ] in
+  Alcotest.(check bool)
+    "unlocked spawn captures flagged" true
+    (count "D2" r.Dom.findings > 0);
+  check_int "only D2" (count "D2" r.Dom.findings)
+    (List.length r.Dom.findings);
+  (* every finding names the racy function, none the locked twin *)
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check bool) "names racy" true (contains f.Lint.msg ".racy"))
+    r.Dom.findings
+
+let test_dom_lock_cycle () =
+  let r = dom_check [ "dom_lock_cycle.ml" ] in
+  check_int "one deadlock cycle" 1 (count "D3" r.Dom.findings);
+  check_int "only D3" 1 (List.length r.Dom.findings);
+  Alcotest.(check (list (list string)))
+    "a <-> b cycle"
+    [ [ "Dom_lock_cycle.a"; "Dom_lock_cycle.b" ] ]
+    (Dom.Lockgraph.cycles r.Dom.graph);
+  check_int "both orders recorded as edges" 2
+    (List.length (Dom.Lockgraph.edges r.Dom.graph))
+
+let test_dom_effect_cross () =
+  let r = dom_check [ "dom_effect_cross.ml" ] in
+  check_int "direct + indirect cross-domain performs" 2
+    (count "D4" r.Dom.findings);
+  check_int "handled twin clean" 2 (List.length r.Dom.findings)
+
+let test_dom_allow_accounting () =
+  let r = dom_check [ "dom_allow.ml" ] in
+  check_int "suppressed clean" 0 (List.length r.Dom.findings);
+  check_int "one finding absorbed" 1 r.Dom.suppressed;
+  check_int "both allow sites recorded" 2 (List.length r.Dom.allow_sites);
+  let used, stale =
+    List.partition
+      (fun (s : Lint.allow_site) -> s.Lint.as_uses > 0)
+      r.Dom.allow_sites
+  in
+  check_int "one live site" 1 (List.length used);
+  check_int "one stale site" 1 (List.length stale)
+
+(* QCheck law: Tarjan-based cycle detection in Lockgraph agrees with a
+   Kahn's-algorithm reference (repeatedly strip zero-in-degree nodes;
+   anything left is cyclic) on random edge lists over a small node
+   universe — self-loops and dense graphs included. *)
+let lockgraph_cycle_law =
+  QCheck.Test.make ~name:"Lockgraph.cycles agrees with Kahn reference"
+    ~count:500
+    QCheck.(list (pair (int_bound 7) (int_bound 7)))
+    (fun raw ->
+      let g = Dom.Lockgraph.create () in
+      List.iter
+        (fun (a, b) ->
+          Dom.Lockgraph.add_edge g ~src:(string_of_int a)
+            ~dst:(string_of_int b) ~file:"t" ~line:1)
+        raw;
+      let tarjan_cyclic = Dom.Lockgraph.cycles g <> [] in
+      let nodes = Dom.Lockgraph.nodes g in
+      let edges =
+        List.sort_uniq compare
+          (List.map (fun (a, b) -> (string_of_int a, string_of_int b)) raw)
+      in
+      let alive = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace alive n ()) nodes;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun n ->
+            if
+              Hashtbl.mem alive n
+              && not
+                   (List.exists
+                      (fun (s, d) -> d = n && Hashtbl.mem alive s)
+                      edges)
+            then begin
+              Hashtbl.remove alive n;
+              changed := true
+            end)
+          nodes
+      done;
+      let kahn_cyclic = Hashtbl.length alive > 0 in
+      tarjan_cyclic = kahn_cyclic)
+
+(* cross-check against the runtime race sanitizer: every race site the
+   sanitizer reports on the deliberately racy module must be covered by
+   a static D1/D2 finding naming the same function — the static
+   certifier over-approximates the dynamic detector, never the other
+   way round.  The module's Env.tagged site names are its own function
+   keys, so coverage is a substring check on the finding messages. *)
+let test_dom_san_subset () =
+  let src =
+    List.find_opt Sys.file_exists
+      [ "dom_racy_runtime.ml"; "test/lint/dom_racy_runtime.ml" ]
+  in
+  match src with
+  | None -> ()
+  | Some src ->
+    let reports = Dom_racy_runtime.run () in
+    Alcotest.(check bool)
+      "sanitizer sees the race" true
+      (List.length reports >= 1);
+    let r = Dom.check_project [ (src, src, Lint.parse_implementation src) ] in
+    let msgs = List.map (fun (f : Lint.finding) -> f.Lint.msg) r.Dom.findings in
+    Alcotest.(check bool)
+      "static pass flags the module" true
+      (msgs <> []);
+    let sites =
+      List.concat_map
+        (fun (rep : San.report) ->
+          (rep.San.second.San.a_site
+          :: (match rep.San.first with Some a -> [ a.San.a_site ] | None -> []))
+          )
+        reports
+      |> List.filter (fun s -> s <> "?")
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check bool) "reports carry sites" true (sites <> []);
+    List.iter
+      (fun site ->
+        Alcotest.(check bool)
+          (site ^ " covered by a static finding")
+          true
+          (List.exists (fun m -> contains m site) msgs))
+      sites
+
+(* regression twin of [test_alloc_hot_tree_certified]: the real library
+   tree must certify domain-safe — zero unsuppressed findings, an
+   acyclic lock-order graph, every [@dom.allow] live, at most 5 of
+   them. *)
+let test_dom_tree_certified () =
+  let lib =
+    if Sys.file_exists "lib" then Some "lib"
+    else if Sys.file_exists "../../lib" then Some "../../lib"
+    else None
+  in
+  match lib with
+  | None -> ()
+  | Some lib ->
+    let files = List.sort compare (collect_ml [] lib) in
+    let r =
+      Dom.check_project
+        (List.map (fun f -> (f, f, Lint.parse_implementation f)) files)
+    in
+    List.iter
+      (fun (f : Lint.finding) -> print_endline (Lint.finding_to_string f))
+      r.Dom.findings;
+    check_int "library tree certifies domain-safe" 0
+      (List.length r.Dom.findings);
+    Alcotest.(check (list (list string)))
+      "lock-order graph acyclic" []
+      (Dom.Lockgraph.cycles r.Dom.graph);
+    Alcotest.(check bool)
+      "module-level mutable state is inventoried" true
+      (List.length r.Dom.globals >= 8);
+    Alcotest.(check bool)
+      "no flagged globals" true
+      (List.for_all
+         (fun (g : Dom.global) -> g.Dom.g_status <> Dom.S_flagged)
+         r.Dom.globals);
+    Alcotest.(check bool)
+      "at most 5 [@dom.allow] suppressions" true
+      (List.length r.Dom.allow_sites <= 5);
+    List.iter
+      (fun (s : Lint.allow_site) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "allow at %s:%d is live" s.Lint.as_file
+             s.Lint.as_line)
+          true (s.Lint.as_uses > 0))
+      r.Dom.allow_sites
+
 (* --- determinism regression: a small fig2a-style config (uniform gets),
    run twice with the same seed under debug_checks, must agree to the last
    bit --- *)
@@ -407,6 +638,23 @@ let () =
           Alcotest.test_case "exempt shapes clean" `Quick test_alloc_good;
           Alcotest.test_case "hot tree certifies" `Quick
             test_alloc_hot_tree_certified;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "D1 racy global" `Quick test_dom_racy_global;
+          Alcotest.test_case "D1 DLS ok" `Quick test_dom_dls_ok;
+          Alcotest.test_case "D1 mutex ok" `Quick test_dom_mutex_ok;
+          Alcotest.test_case "D2 spawn escape" `Quick test_dom_spawn_escape;
+          Alcotest.test_case "D3 lock cycle" `Quick test_dom_lock_cycle;
+          Alcotest.test_case "D4 effect cross-domain" `Quick
+            test_dom_effect_cross;
+          Alcotest.test_case "[@dom.allow] accounting" `Quick
+            test_dom_allow_accounting;
+          QCheck_alcotest.to_alcotest lockgraph_cycle_law;
+          Alcotest.test_case "san races subset of static" `Quick
+            test_dom_san_subset;
+          Alcotest.test_case "library tree certifies" `Quick
+            test_dom_tree_certified;
         ] );
       ( "determinism",
         [
