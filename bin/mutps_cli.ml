@@ -277,16 +277,141 @@ let bench_compare_cmd =
           (the CI bench-regression gate)")
     Term.(const run $ baseline $ current $ tolerance)
 
-(* --- serve: one ad-hoc measurement --- *)
+(* --- serve: one ad-hoc measurement (simulated or native) --- *)
+
+(* Explicit name validation (instead of Arg.enum) so an unknown system or
+   backend exits non-zero with a one-line diagnostic naming the
+   alternatives, rather than cmdliner's generic usage dump. *)
+let parse_system s =
+  match String.lowercase_ascii s with
+  | "mutps" | "utps" -> Some Harness.Mutps
+  | "basekv" -> Some Harness.Basekv
+  | "erpckv" -> Some Harness.Erpckv
+  | _ -> None
+
+let system_or_die s =
+  match parse_system s with
+  | Some sys -> sys
+  | None ->
+    Printf.eprintf
+      "serve: unknown system '%s' (expected mutps, basekv, or erpckv)\n%!" s;
+    exit 1
+
+let backend_or_die s =
+  match String.lowercase_ascii s with
+  | "sim" -> `Sim
+  | "native" -> `Native
+  | _ ->
+    Printf.eprintf "serve: unknown backend '%s' (expected sim or native)\n%!" s;
+    exit 1
+
+let host_port_or_die ~what s =
+  match String.rindex_opt s ':' with
+  | None ->
+    Printf.eprintf "%s: expected HOST:PORT, got '%s'\n%!" what s;
+    exit 1
+  | Some i -> (
+    let host = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when port > 0 && port < 65536 -> (host, port)
+    | _ ->
+      Printf.eprintf "%s: bad port in '%s'\n%!" what s;
+      exit 1)
+
+let listen_of ~what ~unix_path ~tcp =
+  match tcp with
+  | Some hp ->
+    let host, port = host_port_or_die ~what hp in
+    Mutps_native.Server.Tcp (host, port)
+  | None -> Mutps_native.Server.Unix_path unix_path
+
+(* Native-server knobs, shared between serve and loadgen where sensible. *)
+let native_term =
+  let listen =
+    Arg.(value & opt string "/tmp/mutps.sock"
+         & info [ "listen" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path (native backend).")
+  in
+  let listen_tcp =
+    Arg.(value & opt (some string) None
+         & info [ "listen-tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Listen on TCP instead of a Unix socket (native backend).")
+  in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Scheduler worker domains (native backend); 0 picks a \
+                   count matched to the machine's cores.")
+  in
+  let shards =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Share-nothing backend shards (native backend).")
+  in
+  let duration_s =
+    Arg.(value & opt (some float) None
+         & info [ "duration-s" ] ~docv:"SECONDS"
+             ~doc:"Stop the native server after this long (default: serve \
+                   until killed).")
+  in
+  let hot_cap =
+    Arg.(value & opt int 1024
+         & info [ "hot-cap" ] ~docv:"N"
+             ~doc:"CR hot-cache capacity per shard (native uTPS split).")
+  in
+  let combine listen listen_tcp domains shards duration_s hot_cap =
+    (listen, listen_tcp, domains, shards, duration_s, hot_cap)
+  in
+  Term.(
+    const combine $ listen $ listen_tcp $ domains $ shards $ duration_s
+    $ hot_cap)
+
+let serve_native scale system value_size
+    (listen, listen_tcp, domains, shards, duration_s, hot_cap) =
+  let module Server = Mutps_native.Server in
+  let mode =
+    match system with
+    | Harness.Mutps -> Server.Split
+    | Harness.Basekv -> Server.Rtc_pool Mutps_kvs.Exec.Locked
+    | Harness.Erpckv -> Server.Rtc_pool Mutps_kvs.Exec.Exclusive
+  in
+  let domains =
+    if domains > 0 then domains
+    else max 1 (min 3 (Domain.recommended_domain_count ()))
+  in
+  let cfg =
+    {
+      Server.mode;
+      listen = listen_of ~what:"serve" ~unix_path:listen ~tcp:listen_tcp;
+      domains;
+      shards;
+      keyspace = scale.Harness.keyspace;
+      value_size;
+      hot_cap;
+      duration_s;
+      (* through the Harness sink: on this control domain it reaches
+         stdout directly, while a capturing runner sees it in-buffer *)
+      log = (fun s -> Harness.printf "%s\n" s);
+    }
+  in
+  let s = Server.run cfg in
+  Harness.printf
+    "native %s done: %d responded (%d CR hits, %d forwarded, %d MR ops), \
+     %d conns, %d steals\n"
+    (Harness.system_name system) s.Server.responded s.Server.cr_hits
+    s.Server.forwarded s.Server.mr_ops s.Server.conns s.Server.steals
 
 let serve_cmd =
   let system =
-    let sys_conv =
-      Arg.enum
-        [ ("mutps", Harness.Mutps); ("basekv", Harness.Basekv);
-          ("erpckv", Harness.Erpckv) ]
-    in
-    Arg.(value & opt sys_conv Harness.Mutps & info [ "system" ] ~doc:"System to run.")
+    Arg.(value & opt string "mutps"
+         & info [ "system" ] ~doc:"System to run: mutps, basekv, or erpckv.")
+  in
+  let backend =
+    Arg.(value & opt string "sim"
+         & info [ "backend" ]
+             ~doc:"$(b,sim) runs one simulated measurement; $(b,native) \
+                   serves the RESP-like protocol on a real socket with the \
+                   effect-fiber runtime.")
   in
   let index =
     let index_conv =
@@ -306,7 +431,12 @@ let serve_cmd =
   let dlb =
     Arg.(value & flag & info [ "dlb" ] ~doc:"Offload the CR-MR queue to a DLB-style hardware queue (uTPS only).")
   in
-  let run scale sanitize obs system index value_size theta get_ratio dlb =
+  let run scale sanitize obs system backend native index value_size theta
+      get_ratio dlb =
+    let system = system_or_die system in
+    match backend_or_die backend with
+    | `Native -> serve_native scale system value_size native
+    | `Sim ->
     with_sanitizer sanitize @@ fun () ->
     with_observability obs @@ fun () ->
     let spec =
@@ -332,10 +462,106 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run one system under a custom workload and print its measurement")
+       ~doc:
+         "Run one system under a custom workload (simulated), or serve it \
+          for real over a socket ($(b,--backend native))")
     Term.(
-      const run $ scale_term $ sanitize_term $ obs_term $ system $ index
-      $ value_size $ theta $ get_ratio $ dlb)
+      const run $ scale_term $ sanitize_term $ obs_term $ system $ backend
+      $ native_term $ index $ value_size $ theta $ get_ratio $ dlb)
+
+(* --- loadgen: closed-loop client for the native server --- *)
+
+let loadgen_cmd =
+  let connect =
+    Arg.(value & opt string "/tmp/mutps.sock"
+         & info [ "connect" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the native server.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Connect over TCP instead of a Unix socket.")
+  in
+  let conns =
+    Arg.(value & opt int 8
+         & info [ "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let ops =
+    Arg.(value & opt int 100_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Total operations to complete.")
+  in
+  let keyspace =
+    Arg.(value & opt int 10_000
+         & info [ "keyspace" ] ~docv:"N" ~doc:"Keys drawn from [0, N).")
+  in
+  let value_size =
+    Arg.(value & opt int 64 & info [ "value-size" ] ~doc:"Put value bytes.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99
+         & info [ "theta" ] ~doc:"Zipfian theta (0 = uniform).")
+  in
+  let get_ratio =
+    Arg.(value & opt float 0.9 & info [ "get-ratio" ] ~doc:"Fraction of gets.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Op-stream seed.")
+  in
+  let run connect tcp conns ops keyspace value_size theta get_ratio seed =
+    let module Loadgen = Mutps_native.Loadgen in
+    let spec =
+      {
+        Mutps_workload.Opgen.name = "loadgen";
+        keyspace;
+        key_dist =
+          (if theta < 0.01 then Mutps_workload.Opgen.Uniform
+           else Mutps_workload.Opgen.Zipfian theta);
+        size_dist = Mutps_workload.Opgen.Fixed value_size;
+        mix =
+          { Mutps_workload.Opgen.get = get_ratio;
+            put = 1.0 -. get_ratio;
+            scan = 0.0 };
+        scan_len = 1;
+      }
+    in
+    let cfg =
+      {
+        Loadgen.connect =
+          listen_of ~what:"loadgen" ~unix_path:connect ~tcp;
+        conns;
+        ops;
+        spec;
+        seed;
+      }
+    in
+    match Loadgen.run cfg with
+    | r ->
+      let gets = r.Loadgen.get_hits + r.Loadgen.get_misses in
+      Printf.printf
+        "loadgen: %d ops in %.3f s = %.0f ops/s, P50 %.1f us, P99 %.1f us, \
+         %d errors, GET hit rate %.1f%%\n%!"
+        r.Loadgen.completed
+        (float_of_int r.Loadgen.elapsed_ns /. 1e9)
+        (Loadgen.ops_per_s r)
+        (Loadgen.percentile_us r 50.0)
+        (Loadgen.percentile_us r 99.0)
+        r.Loadgen.errors
+        (100.0 *. float_of_int r.Loadgen.get_hits
+        /. float_of_int (max 1 gets));
+      if r.Loadgen.errors > 0 then exit 5
+    | exception Loadgen.Protocol_error msg ->
+      Printf.eprintf "loadgen: protocol error: %s\n%!" msg;
+      exit 5
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "loadgen: %s(%s): %s\n%!" fn arg (Unix.error_message e);
+      exit 5
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running native server with closed-loop connections")
+    Term.(
+      const run $ connect $ tcp $ conns $ ops $ keyspace $ value_size $ theta
+      $ get_ratio $ seed)
 
 let () =
   let info =
@@ -344,4 +570,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; serve_cmd; bench_compare_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd ]))

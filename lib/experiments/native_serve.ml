@@ -1,0 +1,89 @@
+(* native_serve: the native-domains twin under real socket load.
+
+   Boots the effect-fiber server (lib/native) in uTPS Split mode on a
+   Unix-domain socket and drives it with the closed-loop load generator.
+   Unlike every other experiment this one runs on real cores and a real
+   clock, so its latency/throughput metrics are wall-clock numbers and
+   NOT bit-reproducible — the CI bench-regression gate deliberately
+   excludes this experiment.  The rendered text prints only op counts,
+   which ARE deterministic, so the parallel runner's per-experiment
+   output capture stays byte-identical across --jobs settings. *)
+
+module Server = Mutps_native.Server
+module Loadgen = Mutps_native.Loadgen
+module Opgen = Mutps_workload.Opgen
+
+(* Busy-polling workers time-slice badly when they outnumber real cores
+   (millisecond request latency on a 1-core box), so cap the pool at
+   what the machine actually offers. *)
+let domains () = max 1 (min 3 (Domain.recommended_domain_count ()))
+let shards = 2
+let conns = 8
+let value_size = 64
+
+let run (scale : Harness.scale) =
+  (* a fixed, non-random socket path keeps the server's lifecycle log
+     line deterministic (it goes through the Harness sink) *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "mutps-native-serve.sock"
+  in
+  let domains = domains () in
+  let keyspace = max 64 (min scale.Harness.keyspace 8_192) in
+  let ops = max 1_000 (min 40_000 (scale.Harness.measure / 1_000)) in
+  let cfg =
+    {
+      Server.mode = Server.Split;
+      listen = Server.Unix_path path;
+      domains;
+      shards;
+      keyspace;
+      value_size;
+      hot_cap = 512;
+      duration_s = None;
+      log = (fun s -> Harness.printf "%s\n" s);
+    }
+  in
+  let handle = Server.launch cfg in
+  let spec =
+    {
+      Opgen.name = "native";
+      keyspace;
+      key_dist = Opgen.Zipfian 0.9;
+      size_dist = Opgen.Fixed value_size;
+      mix = { Opgen.get = 0.9; put = 0.1; scan = 0.0 };
+      scan_len = 1;
+    }
+  in
+  let res =
+    Loadgen.run { Loadgen.connect = cfg.Server.listen; conns; ops; spec; seed = 42 }
+  in
+  Server.stop handle;
+  let summary = Server.wait handle in
+  Harness.section "native_serve";
+  Harness.printf
+    "native twin (Split, %d domains, %d shards, %d keys): %d ops over %d \
+     connections, %d protocol errors\n"
+    domains shards keyspace res.Loadgen.completed summary.Server.conns
+    res.Loadgen.errors;
+  let f = float_of_int in
+  let cr_hit_rate =
+    f summary.Server.cr_hits /. f (max 1 summary.Server.responded)
+  in
+  [
+    Report.row ~experiment:"native_serve" ~system:"uTPS-native"
+      ~axis:
+        [
+          ("mode", "split");
+          ("domains", string_of_int domains);
+          ("shards", string_of_int shards);
+        ]
+      [
+        ("completed", f res.Loadgen.completed);
+        ("errors", f res.Loadgen.errors);
+        ("ops_per_s", Loadgen.ops_per_s res);
+        ("p50_us", Loadgen.percentile_us res 50.0);
+        ("p99_us", Loadgen.percentile_us res 99.0);
+        ("cr_hit_rate", cr_hit_rate);
+        ("steals", f summary.Server.steals);
+      ];
+  ]

@@ -91,11 +91,14 @@ let create (config : Config.t) =
     simulation charges, like a load phase before measurement).  [size_of]
     overrides the per-key value size for mixed-size workloads (ETC,
     Twitter); default is the fixed [value_size]. *)
-let populate ?size_of t ~keyspace ~value_size =
+let populate ?size_of ?owned t ~keyspace ~value_size =
   let size_of = match size_of with Some f -> f | None -> fun _ -> value_size in
+  let owned = match owned with Some f -> f | None -> fun _ -> true in
   for k = 0 to keyspace - 1 do
     let key = Int64.of_int k in
-    let value = Mutps_net.Client.payload ~key ~size:(size_of key) in
-    let item = Item.create t.slab ~value in
-    t.index.Index.insert_silent key item
+    if owned key then begin
+      let value = Mutps_net.Client.payload ~key ~size:(size_of key) in
+      let item = Item.create t.slab ~value in
+      t.index.Index.insert_silent key item
+    end
   done

@@ -16,8 +16,11 @@ type t = {
 val create : Config.t -> t
 
 val populate :
-  ?size_of:(int64 -> int) -> t -> keyspace:int -> value_size:int -> unit
+  ?size_of:(int64 -> int) -> ?owned:(int64 -> bool) -> t -> keyspace:int ->
+  value_size:int -> unit
 (** Pre-populate the store with every key in [\[0, keyspace)] (silent: no
     simulation charges, like a load phase before measurement).  [size_of]
     overrides the per-key value size for mixed-size workloads (ETC,
-    Twitter); default is the fixed [value_size]. *)
+    Twitter); default is the fixed [value_size].  [owned] restricts the
+    load to a key subset — the native backend's share-nothing shards each
+    populate only the keys they route (default: everything). *)

@@ -17,10 +17,35 @@ module Index = Mutps_index.Index_intf
 
 type stats = { mutable ops : int; mutable batches : int }
 
-let worker_body (backend : Backend.t) (tr : Transport.t) ~lock ~worker
-    (stats : stats) ctx =
+(* How a worker behaves between requests — the execution-substrate seam.
+   Under the DES, idling advances the simulated clock and batch boundaries
+   flush the cycle accumulator.  The native backend substitutes fiber
+   yields (and a stop check) for both, so the very same loop serves real
+   sockets on real domains. *)
+type substrate = {
+  make_env : Mutps_sim.Simthread.ctx -> core:int -> Env.t;
+  idle : Mutps_sim.Simthread.ctx -> unit;  (** nothing polled *)
+  flush : Mutps_sim.Simthread.ctx -> unit;  (** end of a batch *)
+}
+
+let sim_substrate (cfg : Config.t) ~hier =
+  {
+    make_env = (fun ctx ~core -> Env.make ~ctx ~hier ~core);
+    idle = (fun ctx -> Simthread.delay ctx cfg.Config.poll_idle_cycles);
+    flush = (fun ctx -> Simthread.commit ctx);
+  }
+
+let make_stats () = { ops = 0; batches = 0 }
+
+let worker_body ?substrate (backend : Backend.t) (tr : Transport.t) ~lock
+    ~worker (stats : stats) ctx =
   let cfg = backend.Backend.config in
-  let env = Env.make ~ctx ~hier:backend.Backend.hier ~core:worker in
+  let sub =
+    match substrate with
+    | Some s -> s
+    | None -> sim_substrate cfg ~hier:backend.Backend.hier
+  in
+  let env = sub.make_env ctx ~core:worker in
   let index = backend.Backend.index in
   let polled = Array.make cfg.Config.batch None in
   while true do
@@ -35,7 +60,7 @@ let worker_body (backend : Backend.t) (tr : Transport.t) ~lock ~worker
         incr n
       | None -> continue := false
     done;
-    if !n = 0 then Simthread.delay ctx cfg.Config.poll_idle_cycles
+    if !n = 0 then sub.idle ctx
     else begin
       stats.batches <- stats.batches + 1;
       stats.ops <- stats.ops + !n;
@@ -83,12 +108,12 @@ let worker_body (backend : Backend.t) (tr : Transport.t) ~lock ~worker
             Exec.do_scan env tr ~index ~worker ~seq ~key
               ~count:req.Request.scan_count ())
       done;
-      Simthread.commit ctx
+      sub.flush ctx
     end
   done
 
 let start backend tr ~lock ~workers =
-  let stats = Array.init workers (fun _ -> { ops = 0; batches = 0 }) in
+  let stats = Array.init workers (fun _ -> make_stats ()) in
   for w = 0 to workers - 1 do
     Simthread.spawn backend.Backend.engine
       ~name:(Printf.sprintf "rtc-%d" w)

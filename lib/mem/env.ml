@@ -5,15 +5,27 @@ type t = {
   ctx : Simthread.ctx;
   hier : Hierarchy.t;
   core : int;
+  charged : bool;
   mutable tag : string;
   mutable path : string;
 }
 
-let make ~ctx ~hier ~core = { ctx; hier; core; tag = ""; path = "" }
+let make ~ctx ~hier ~core = { ctx; hier; core; charged = true; tag = ""; path = "" }
 
-let san t = Engine.sanitizer (Simthread.engine t.ctx)
+(* The native backend's clock seam: same Env surface, but the hardware
+   clock is the only clock — every charge, sanitizer record and tracer
+   emission collapses to one predictable branch on [charged].  This keeps
+   the whole store/index/kvs tree reusable on real domains: code written
+   against Env never reaches the engine's effect handlers natively
+   (accumulators stay at 0, so even [commit] is a no-op). *)
+let make_freerun ~ctx ~hier ~core =
+  { ctx; hier; core; charged = false; tag = ""; path = "" }
+
+let charged t = t.charged
+
+let san t = if t.charged then Engine.sanitizer (Simthread.engine t.ctx) else None
 let tid t = Simthread.san_id t.ctx
-let tr t = Engine.tracer (Simthread.engine t.ctx)
+let tr t = if t.charged then Engine.tracer (Simthread.engine t.ctx) else None
 let tr_tid t = Simthread.tr_id t.ctx
 
 let record t ~write ~addr ~size =
@@ -31,16 +43,20 @@ let trace_cycles t n =
   | Some tr -> tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:n
 
 let[@hot] load t ~addr ~size =
-  let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
-  Simthread.charge t.ctx c;
-  trace_cycles t c;
-  record t ~write:false ~addr ~size
+  if t.charged then begin
+    let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
+    Simthread.charge t.ctx c;
+    trace_cycles t c;
+    record t ~write:false ~addr ~size
+  end
 
 let[@hot] store t ~addr ~size =
-  let c = Hierarchy.store t.hier ~core:t.core ~addr ~size in
-  Simthread.charge t.ctx c;
-  trace_cycles t c;
-  record t ~write:true ~addr ~size
+  if t.charged then begin
+    let c = Hierarchy.store t.hier ~core:t.core ~addr ~size in
+    Simthread.charge t.ctx c;
+    trace_cycles t c;
+    record t ~write:true ~addr ~size
+  end
 
 (* Speculative-read support for seqlock-style validated reads: charge the
    load now, record it only once validation succeeds — a read that fails
@@ -48,9 +64,11 @@ let[@hot] store t ~addr ~size =
    concurrent write that bumped the version would flag the protocol's
    anticipated (and resolved) conflict as a race. *)
 let[@hot] load_speculative t ~addr ~size =
-  let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
-  Simthread.charge t.ctx c;
-  trace_cycles t c
+  if t.charged then begin
+    let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
+    Simthread.charge t.ctx c;
+    trace_cycles t c
+  end
 
 let[@hot] note_read t ~addr ~size = record t ~write:false ~addr ~size
 
@@ -58,15 +76,19 @@ let[@hot] note_read t ~addr ~size = record t ~write:false ~addr ~size
    warms is re-accessed through [load] under the owning structure's
    synchronization, so the sanitizer ignores them. *)
 let[@hot] prefetch_batch t addrs =
-  let c = Hierarchy.prefetch_batch t.hier ~core:t.core addrs in
-  Simthread.charge t.ctx c;
-  trace_cycles t c
+  if t.charged then begin
+    let c = Hierarchy.prefetch_batch t.hier ~core:t.core addrs in
+    Simthread.charge t.ctx c;
+    trace_cycles t c
+  end
 
 let[@hot] compute t n =
-  Simthread.charge t.ctx n;
-  trace_cycles t n
+  if t.charged then begin
+    Simthread.charge t.ctx n;
+    trace_cycles t n
+  end
 
-let[@hot] commit t = Simthread.commit t.ctx
+let[@hot] commit t = if t.charged then Simthread.commit t.ctx
 let now t = Simthread.now t.ctx
 
 (* With a tracer attached, [tagged] additionally maintains the
@@ -161,7 +183,8 @@ let sanitizing t = match san t with None -> false | Some _ -> true
 
 let assert_committed t what =
   if
-    Mutps_sim.Engine.debug_checks (Simthread.engine t.ctx)
+    t.charged
+    && Mutps_sim.Engine.debug_checks (Simthread.engine t.ctx)
     && Simthread.pending t.ctx > 0
   then
     failwith

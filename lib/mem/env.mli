@@ -9,6 +9,13 @@ type t = {
   ctx : Mutps_sim.Simthread.ctx;
   hier : Hierarchy.t;
   core : int;
+  charged : bool;
+      (** [true] for simulated environments: memory traffic is priced by
+          the hierarchy model and charged into the thread's accumulator.
+          [false] for the native backend's freerun environments, where the
+          hardware clock is the only clock: every charge, sanitizer record
+          and tracer emission collapses to one branch, and the engine's
+          effect handlers are never reached (accumulators stay at 0). *)
   mutable tag : string;  (** Current access-site label for sanitizer reports. *)
   mutable path : string;
       (** Semicolon-joined stack of enclosing {!tagged} sites, maintained
@@ -16,6 +23,15 @@ type t = {
 }
 
 val make : ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
+
+val make_freerun :
+  ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
+(** The native backend's clock seam: an environment whose charging helpers
+    are all no-ops.  Pair with {!Mutps_sim.Simthread.detached} contexts so
+    the store/index/kvs layers run unchanged on real domains — {!commit}
+    never performs a scheduling effect because nothing ever accumulates. *)
+
+val charged : t -> bool
 
 val load : t -> addr:int -> size:int -> unit
 (** Charge a read of [size] bytes at [addr]. *)

@@ -1,0 +1,27 @@
+(** Effect-based fibers: the native mirror of {!Mutps_sim.Simthread}'s
+    cooperative API (spawn/yield/park), scheduled by {!Sched} instead of
+    the DES engine.  Deep handlers travel with the captured continuation,
+    so a fiber stolen to another domain keeps yielding through the same
+    handler. *)
+
+exception Stop
+(** Cooperative-shutdown signal: fiber loops raise it from their idle path
+    when the server stops; {!run} treats it as a normal exit. *)
+
+val yield : unit -> unit
+(** Reschedule the calling fiber at the back of its worker's run queue.
+    Must be called from inside {!run}. *)
+
+val park : ((unit -> unit) -> unit) -> unit
+(** [park register] suspends the calling fiber; [register] receives a
+    [resume] closure that must be invoked exactly once — from any domain —
+    to reschedule it (the native [Simthread.suspend]). *)
+
+val run :
+  schedule:((unit -> unit) -> unit) ->
+  on_done:(exn option -> unit) -> (unit -> unit) -> unit
+(** [run ~schedule ~on_done body] starts [body] as a fiber under the
+    effect handler.  [schedule] is called with a ready thunk whenever the
+    fiber can continue; [on_done] fires exactly once when the body
+    returns ([None]), raises {!Stop} ([None]) or raises otherwise
+    ([Some exn]).  Returns as soon as the fiber first suspends. *)

@@ -1,0 +1,177 @@
+(* Closed-loop load generator for the native server.
+
+   Each connection keeps exactly one request outstanding: it draws the
+   next operation from its own deterministic {!Mutps_workload.Opgen}
+   stream, sends it, and measures the wall-clock time to the full reply.
+   Connections are multiplexed with [Unix.select], so one generator
+   thread drives many closed loops — the native analogue of the
+   simulator's {!Mutps_net.Client} pool.
+
+   Put payloads come from [Client.payload], the same deterministic
+   bytes-for-key function the simulated clients use, so a GET's reply is
+   checkable and the sim-vs-native equivalence test can compare byte
+   streams exactly. *)
+
+module Opgen = Mutps_workload.Opgen
+module Stats = Mutps_sim.Stats
+module Request = Mutps_queue.Request
+
+type config = {
+  connect : Server.listen;
+  conns : int;
+  ops : int;  (** total operations across every connection *)
+  spec : Opgen.spec;
+  seed : int;
+}
+
+type result = {
+  completed : int;
+  errors : int;  (** [-ERR] replies *)
+  get_hits : int;
+  get_misses : int;
+  elapsed_ns : int;
+  hist : Stats.Hist.t;  (** per-op latency in nanoseconds *)
+}
+
+type lg_conn = {
+  fd : Unix.file_descr;
+  gen : Opgen.t;
+  mutable rbuf : bytes;
+  mutable rlen : int;
+  mutable sent_ns : int;  (* when the outstanding request went out *)
+  mutable outstanding : bool;
+}
+
+let connect_fd (target : Server.listen) =
+  match target with
+  | Server.Unix_path path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Server.Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+
+(* Scans are not on the wire protocol; a spec that asks for one degrades
+   to a GET of the scan's start key. *)
+let command_of_op (op : Opgen.op) =
+  match op.Opgen.kind with
+  | Request.Get | Request.Scan -> Resp.Get op.Opgen.key
+  | Request.Put ->
+    Resp.Set
+      (op.Opgen.key,
+       Mutps_net.Client.payload ~key:op.Opgen.key ~size:(max 1 op.Opgen.size))
+  | Request.Delete -> Resp.Del op.Opgen.key
+
+let send_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send_next c =
+  let buf = Buffer.create 64 in
+  Resp.encode_command buf (command_of_op (Opgen.next c.gen));
+  c.sent_ns <- Clock.now_ns ();
+  c.outstanding <- true;
+  send_all c.fd (Buffer.contents buf)
+
+exception Protocol_error of string
+
+let run cfg =
+  if cfg.conns < 1 then invalid_arg "Loadgen: conns < 1";
+  (* a server winding down mid-write must surface as EPIPE, not kill the
+     process with SIGPIPE *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  Fun.protect ~finally:(fun () ->
+      match prev_sigpipe with
+      | Some h -> Sys.set_signal Sys.sigpipe h
+      | None -> ())
+  @@ fun () ->
+  let nconns = min cfg.conns (max 1 cfg.ops) in
+  let conns =
+    Array.init nconns (fun i ->
+        {
+          fd = connect_fd cfg.connect;
+          gen = Opgen.make cfg.spec ~seed:(cfg.seed + (1000 * i));
+          rbuf = Bytes.create 4096;
+          rlen = 0;
+          sent_ns = 0;
+          outstanding = false;
+        })
+  in
+  let hist = Stats.Hist.create () in
+  let completed = ref 0 and started = ref 0 in
+  let errors = ref 0 and get_hits = ref 0 and get_misses = ref 0 in
+  let t0 = Clock.now_ns () in
+  Array.iter
+    (fun c ->
+      if !started < cfg.ops then begin
+        incr started;
+        send_next c
+      end)
+    conns;
+  while !completed < !started do
+    let watched =
+      Array.to_list conns
+      |> List.filter_map (fun c -> if c.outstanding then Some c.fd else None)
+    in
+    let readable, _, _ = Unix.select watched [] [] 1.0 in
+    Array.iter
+      (fun c ->
+        if c.outstanding && List.mem c.fd readable then begin
+          if Bytes.length c.rbuf - c.rlen < 4096 then begin
+            let bigger = Bytes.create (2 * Bytes.length c.rbuf) in
+            Bytes.blit c.rbuf 0 bigger 0 c.rlen;
+            c.rbuf <- bigger
+          end;
+          (match Unix.read c.fd c.rbuf c.rlen 4096 with
+          | 0 -> raise (Protocol_error "server closed the connection")
+          | n -> c.rlen <- c.rlen + n
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ());
+          match Resp.parse_reply c.rbuf ~len:c.rlen with
+          | `Need_more -> ()
+          | `Bad reason -> raise (Protocol_error reason)
+          | `Ok (reply, consumed) ->
+            Bytes.blit c.rbuf consumed c.rbuf 0 (c.rlen - consumed);
+            c.rlen <- c.rlen - consumed;
+            Stats.Hist.add hist (Clock.now_ns () - c.sent_ns);
+            (match reply with
+            | Resp.Value _ -> incr get_hits
+            | Resp.Nil -> incr get_misses
+            | Resp.Ok_simple _ -> ()
+            | Resp.Error _ -> incr errors);
+            incr completed;
+            c.outstanding <- false;
+            if !started < cfg.ops then begin
+              incr started;
+              send_next c
+            end
+        end)
+      conns
+  done;
+  let elapsed_ns = Clock.now_ns () - t0 in
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  {
+    completed = !completed;
+    errors = !errors;
+    get_hits = !get_hits;
+    get_misses = !get_misses;
+    elapsed_ns;
+    hist;
+  }
+
+let ops_per_s r =
+  if r.elapsed_ns = 0 then 0.0
+  else float_of_int r.completed /. (float_of_int r.elapsed_ns /. 1e9)
+
+let percentile_us r p = float_of_int (Stats.Hist.percentile r.hist p) /. 1000.0

@@ -1,0 +1,32 @@
+(** Closed-loop load generator for the native server.
+
+    Each connection keeps exactly one request outstanding, drawing
+    operations from its own deterministic {!Mutps_workload.Opgen} stream;
+    connections are multiplexed over [Unix.select] from the calling
+    thread.  Put payloads come from {!Mutps_net.Client.payload}, the same
+    deterministic bytes the simulated clients write. *)
+
+type config = {
+  connect : Server.listen;
+  conns : int;
+  ops : int;  (** total operations across every connection *)
+  spec : Mutps_workload.Opgen.spec;
+  seed : int;
+}
+
+type result = {
+  completed : int;
+  errors : int;  (** [-ERR] replies *)
+  get_hits : int;
+  get_misses : int;
+  elapsed_ns : int;
+  hist : Mutps_sim.Stats.Hist.t;  (** per-op latency in nanoseconds *)
+}
+
+exception Protocol_error of string
+
+val run : config -> result
+(** Connect, drive the closed loops until [ops] replies, disconnect. *)
+
+val ops_per_s : result -> float
+val percentile_us : result -> float -> float

@@ -1,0 +1,65 @@
+(** Native socket server: the real-machine twin of the simulated KVS.
+
+    A TCP or Unix-domain listener speaking {!Resp} feeds share-nothing
+    backend shards (key mod shards).  Each shard runs the very same
+    per-operation code as the simulator — {!Mutps_kvs.Rtc.worker_body}
+    for the run-to-completion systems ([Rtc_pool]), or a CR/MR fiber
+    pair mirroring {!Mutps_kvs.Mutps}'s staged split ([Split]) — as
+    {!Fiber}s on the {!Sched} work-stealing pool, over free-running
+    memory environments ({!Mutps_mem.Env.make_freerun}) so no simulated
+    charge or DES effect is ever produced.
+
+    Per-connection replies are released in request order regardless of
+    which shard fiber completes them. *)
+
+type mode =
+  | Rtc_pool of Mutps_kvs.Exec.lock_mode
+      (** run-to-completion: [Locked] = BaseKV, [Exclusive] = eRPC-KV *)
+  | Split  (** CR/MR staged split with a write-through CR hot cache *)
+
+type listen = Unix_path of string | Tcp of string * int  (** host, port *)
+
+type config = {
+  mode : mode;
+  listen : listen;
+  domains : int;  (** scheduler worker domains *)
+  shards : int;  (** share-nothing backend shards (key mod shards) *)
+  keyspace : int;  (** keys preloaded before serving (0 = start empty) *)
+  value_size : int;  (** preloaded value bytes *)
+  hot_cap : int;  (** CR hot-cache capacity per shard ([Split] mode) *)
+  duration_s : float option;
+      (** stop after this long; [None] = run until {!stop} *)
+  log : string -> unit;
+      (** lifecycle lines; called only from the domain invoking
+          {!run}/{!launch} so a DLS-bound output sink sees them *)
+}
+
+val default_config : config
+(** [Split], [unix:/tmp/mutps.sock], 2 domains, 1 shard, empty store. *)
+
+type summary = {
+  responded : int;  (** replies posted by the KVS layers *)
+  cr_hits : int;  (** answered at the CR layer ([Split] mode) *)
+  forwarded : int;  (** forwarded CR→MR ([Split] mode) *)
+  mr_ops : int;
+  steals : int;  (** scheduler cross-worker steals *)
+  conns : int;  (** connections accepted *)
+}
+
+val run : config -> summary
+(** Bind, serve until the duration elapses (or forever), return the
+    tallies.  Blocks the calling domain. *)
+
+type handle
+
+val launch : config -> handle
+(** Bind the listener synchronously (connects succeed as soon as this
+    returns), then serve on a fresh domain. *)
+
+val stop : handle -> unit
+(** Ask the server to wind down; fibers exit at their next dispatch. *)
+
+val wait : handle -> summary
+(** Join the serving domain. *)
+
+val listen_to_string : listen -> string

@@ -13,6 +13,13 @@ type _ Effect.t +=
   | Delay : ctx * int -> unit Effect.t
   | Suspend : ctx * ((unit -> unit) -> unit) -> unit Effect.t
 
+(* A context for code that runs OUTSIDE the DES — the native twin's
+   fibers (lib/native).  It carries the engine handle so the Env plumbing
+   stays uniform, but it is never scheduled: no sanitizer/tracer ids, and
+   the accumulator must stay at 0 (a freerun Env never charges), so
+   [commit] on a detached ctx never performs an effect. *)
+let detached ?(name = "native") engine = { engine; name; acc = 0; san = -1; tr = -1 }
+
 let engine ctx = ctx.engine
 let name ctx = ctx.name
 let san_id ctx = ctx.san

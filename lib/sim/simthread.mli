@@ -20,6 +20,13 @@ val spawn : ?at:int -> ?name:string -> Engine.t -> (ctx -> unit) -> unit
 (** [spawn engine fn] schedules [fn] to start at time [at] (default: now).
     The thread ends when [fn] returns. *)
 
+val detached : ?name:string -> Engine.t -> ctx
+(** A context for code running outside the DES — the native backend's
+    fibers.  It is never scheduled by the engine: the simulated clock
+    stands still and no sanitizer/tracer track is attached.  Pair it with
+    a freerun {!Mutps_mem.Env} (which never charges) so {!commit} on a
+    detached context never performs a scheduling effect. *)
+
 val engine : ctx -> Engine.t
 val name : ctx -> string
 

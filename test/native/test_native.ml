@@ -1,0 +1,561 @@
+(* Tests for the native runtime (lib/native): the work-stealing deque and
+   scheduler, effect fibers, the RESP codec, the socket server — and the
+   sim-vs-native equivalence suite proving both backends answer the same
+   operation history with byte-identical replies. *)
+
+open Mutps_native
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_deque_fifo () =
+  let q = Deque.create ~capacity:128 () in
+  for i = 0 to 99 do
+    check_bool "push accepted" true (Deque.push q i)
+  done;
+  check_int "length" 100 (Deque.length q);
+  for i = 0 to 99 do
+    check_int "fifo order" i (Option.get (Deque.take q))
+  done;
+  check_bool "empty" true (Deque.take q = None)
+
+let test_deque_full () =
+  let q = Deque.create ~capacity:8 () in
+  for i = 0 to 7 do
+    check_bool "fits" true (Deque.push q i)
+  done;
+  check_bool "full rejects" false (Deque.push q 8);
+  check_int "oldest out" 0 (Option.get (Deque.take q));
+  check_bool "slot freed" true (Deque.push q 8)
+
+(* Concurrent exactly-once: one owner pushes N distinct items through a
+   small ring while several thief domains (and the owner) drain it; every
+   item must be taken exactly once. *)
+let test_deque_concurrent_exactly_once () =
+  let n = 20_000 and thieves = 3 in
+  let q = Deque.create ~capacity:64 () in
+  let taken = Array.init n (fun _ -> Atomic.make 0) in
+  let produced = Atomic.make false in
+  let thief () =
+    Domain.spawn (fun () ->
+        let continue = ref true in
+        while !continue do
+          match Deque.take q with
+          | Some i -> Atomic.incr taken.(i)
+          | None ->
+            if Atomic.get produced then continue := false
+            else Domain.cpu_relax ()
+        done)
+  in
+  let ds = Array.init thieves (fun _ -> thief ()) in
+  for i = 0 to n - 1 do
+    while not (Deque.push q i) do
+      (* ring full: help drain *)
+      match Deque.take q with
+      | Some j -> Atomic.incr taken.(j)
+      | None -> Domain.cpu_relax ()
+    done
+  done;
+  Atomic.set produced true;
+  Array.iter Domain.join ds;
+  (* drain the tail the thieves may have left *)
+  let continue = ref true in
+  while !continue do
+    match Deque.take q with
+    | Some j -> Atomic.incr taken.(j)
+    | None -> continue := false
+  done;
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "item %d exactly once" i) 1 (Atomic.get c))
+    taken
+
+(* ------------------------------------------------------------------ *)
+(* Fibers and scheduler                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_fifo_interleave () =
+  let log = ref [] in
+  let s = Sched.create ~workers:1 () in
+  let fiber name =
+    Sched.spawn s (fun () ->
+        for i = 1 to 3 do
+          log := Printf.sprintf "%s%d" name i :: !log;
+          Fiber.yield ()
+        done)
+  in
+  fiber "a";
+  fiber "b";
+  Sched.run s;
+  check_int "all done" 0 (Sched.live s);
+  (* single worker + FIFO queue: strict round-robin interleave *)
+  Alcotest.(check (list string))
+    "round robin"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_sched_spawn_from_fiber () =
+  let hits = Atomic.make 0 in
+  let s = Sched.create ~workers:2 () in
+  Sched.spawn s (fun () ->
+      for _ = 1 to 10 do
+        Sched.spawn s (fun () -> Atomic.incr hits)
+      done);
+  Sched.run s;
+  check_int "nested spawns all ran" 10 (Atomic.get hits)
+
+let test_sched_error_propagates () =
+  let s = Sched.create ~workers:2 () in
+  Sched.spawn s (fun () -> failwith "boom");
+  Alcotest.check_raises "fiber error re-raised" (Failure "boom") (fun () ->
+      Sched.run s)
+
+let test_fiber_stop_is_clean () =
+  let s = Sched.create ~workers:1 () in
+  Sched.spawn s (fun () -> raise Fiber.Stop);
+  Sched.run s;
+  check_int "stop = normal completion" 0 (Sched.live s)
+
+let test_fiber_park_resume () =
+  let log = ref [] in
+  let resume_cell = ref None in
+  let s = Sched.create ~workers:1 () in
+  Sched.spawn s (fun () ->
+      log := "parking" :: !log;
+      Fiber.park (fun resume -> resume_cell := Some resume);
+      log := "resumed" :: !log);
+  Sched.spawn s (fun () ->
+      log := "waking" :: !log;
+      (Option.get !resume_cell) ());
+  Sched.run s;
+  Alcotest.(check (list string))
+    "park then resume" [ "parking"; "waking"; "resumed" ] (List.rev !log)
+
+let test_fiber_double_resume_rejected () =
+  let caught = ref false in
+  let resume_cell = ref None in
+  let s = Sched.create ~workers:1 () in
+  Sched.spawn s (fun () -> Fiber.park (fun r -> resume_cell := Some r));
+  Sched.spawn s (fun () ->
+      let resume = Option.get !resume_cell in
+      resume ();
+      match resume () with
+      | () -> ()
+      | exception Invalid_argument _ -> caught := true);
+  Sched.run s;
+  check_bool "second resume rejected" true !caught
+
+(* QCheck law: for any worker count and fiber population (each yielding a
+   varying number of times), the work-stealing scheduler completes every
+   spawned fiber exactly once. *)
+let qcheck_sched_exactly_once =
+  QCheck.Test.make ~count:30 ~name:"sched completes every fiber exactly once"
+    QCheck.(pair (int_range 1 4) (int_range 1 120))
+    (fun (workers, nfibers) ->
+      let runs = Array.init nfibers (fun _ -> Atomic.make 0) in
+      let s = Sched.create ~workers () in
+      for i = 0 to nfibers - 1 do
+        Sched.spawn s (fun () ->
+            for _ = 1 to i mod 4 do
+              Fiber.yield ()
+            done;
+            Atomic.incr runs.(i))
+      done;
+      Sched.run s;
+      Sched.live s = 0
+      && Array.for_all (fun c -> Atomic.get c = 1) runs)
+
+(* ------------------------------------------------------------------ *)
+(* RESP codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let encode_cmd cmd =
+  let b = Buffer.create 64 in
+  Resp.encode_command b cmd;
+  Buffer.contents b
+
+let parse_cmd_exn s =
+  let b = Bytes.of_string s in
+  match Resp.parse_command b ~len:(Bytes.length b) with
+  | `Ok (cmd, consumed) ->
+    check_int "whole frame consumed" (String.length s) consumed;
+    cmd
+  | `Need_more -> Alcotest.fail "incomplete"
+  | `Bad m -> Alcotest.fail ("bad: " ^ m)
+
+let test_resp_command_roundtrip () =
+  (match parse_cmd_exn (encode_cmd (Resp.Get 42L)) with
+  | Resp.Get k -> check_bool "get key" true (Int64.equal k 42L)
+  | _ -> Alcotest.fail "not a get");
+  (match parse_cmd_exn (encode_cmd (Resp.Set (7L, Bytes.of_string "\x00\xffbin\r\n"))) with
+  | Resp.Set (k, v) ->
+    check_bool "set key" true (Int64.equal k 7L);
+    check_string "binary-safe value" "\x00\xffbin\r\n" (Bytes.to_string v)
+  | _ -> Alcotest.fail "not a set");
+  (match parse_cmd_exn (encode_cmd (Resp.Del (-3L))) with
+  | Resp.Del k -> check_bool "negative key" true (Int64.equal k (-3L))
+  | _ -> Alcotest.fail "not a del");
+  match parse_cmd_exn (encode_cmd Resp.Ping) with
+  | Resp.Ping -> ()
+  | _ -> Alcotest.fail "not a ping"
+
+let test_resp_incremental () =
+  let full = encode_cmd (Resp.Set (123L, Bytes.of_string "value")) in
+  (* every strict prefix must report Need_more, never Bad *)
+  for cut = 0 to String.length full - 1 do
+    let b = Bytes.of_string (String.sub full 0 cut) in
+    match Resp.parse_command b ~len:cut with
+    | `Need_more -> ()
+    | `Ok _ -> Alcotest.fail "accepted a strict prefix"
+    | `Bad m -> Alcotest.fail ("prefix rejected: " ^ m)
+  done
+
+let test_resp_bad_input () =
+  let bad s =
+    let b = Bytes.of_string s in
+    match Resp.parse_command b ~len:(Bytes.length b) with
+    | `Bad _ -> ()
+    | `Ok _ -> Alcotest.fail ("accepted: " ^ String.escaped s)
+    | `Need_more -> Alcotest.fail ("need-more: " ^ String.escaped s)
+  in
+  bad "*1\r\n$4\r\nNOPE\r\n";
+  bad "*2\r\n$3\r\nGET\r\n$3\r\nabc\r\n";
+  (* key not an int *)
+  bad "*1\r\n$3\r\nGET\r\n";
+  (* arity *)
+  bad "+hello\r\n" (* replies are not commands *)
+
+let test_resp_reply_roundtrip () =
+  let roundtrip r =
+    let s = Resp.reply_to_string r in
+    let b = Bytes.of_string s in
+    match Resp.parse_reply b ~len:(Bytes.length b) with
+    | `Ok (r', consumed) ->
+      check_int "consumed" (String.length s) consumed;
+      check_string "reply roundtrip" s (Resp.reply_to_string r')
+    | _ -> Alcotest.fail "reply did not roundtrip"
+  in
+  roundtrip (Resp.Value (Bytes.of_string "some\r\nbytes"));
+  roundtrip Resp.Nil;
+  roundtrip (Resp.Ok_simple "OK");
+  roundtrip (Resp.Ok_simple "PONG");
+  roundtrip (Resp.Error "ERR nope")
+
+(* ------------------------------------------------------------------ *)
+(* Sim-vs-native equivalence                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Kvs = Mutps_kvs
+module Engine = Mutps_sim.Engine
+module Request = Mutps_queue.Request
+module Message = Mutps_net.Message
+module Transport = Mutps_net.Transport
+module Opgen = Mutps_workload.Opgen
+
+type eq_op = Eget of int64 | Eput of int64 * int | Edel of int64
+
+let preload_keys = 32
+let eq_value_size = 16
+
+(* the shared deterministic reply-byte synthesis: operation outcome ->
+   wire bytes, used verbatim by the native server *)
+let op_request = function
+  | Eget key -> (Request.get ~key ~buf:0, None)
+  | Edel key -> (Request.delete ~key ~buf:0, None)
+  | Eput (key, size) ->
+    ( Request.put ~key ~size ~buf:0,
+      Some (Mutps_net.Client.payload ~key ~size) )
+
+(* Drive a simulated system one operation at a time: deliver, then step
+   the engine until the response callback fires, and synthesize the wire
+   bytes the native server would send for the same outcome. *)
+let sim_replies system ops =
+  let config = Kvs.Config.default ~cores:2 ~capacity:256 () in
+  let transport, engine =
+    match system with
+    | `Basekv ->
+      let kv = Kvs.Basekv.create config in
+      Kvs.Backend.populate (Kvs.Basekv.backend kv) ~keyspace:preload_keys
+        ~value_size:eq_value_size;
+      Kvs.Basekv.start kv;
+      (Kvs.Basekv.transport kv, (Kvs.Basekv.backend kv).Kvs.Backend.engine)
+    | `Mutps ->
+      let kv = Kvs.Mutps.create config in
+      Kvs.Backend.populate (Kvs.Mutps.backend kv) ~keyspace:preload_keys
+        ~value_size:eq_value_size;
+      Kvs.Mutps.start kv;
+      (Kvs.Mutps.transport kv, (Kvs.Mutps.backend kv).Kvs.Backend.engine)
+  in
+  let replies = ref [] in
+  transport.Transport.set_on_response (fun (msg : Message.t) value ->
+      replies :=
+        Resp.reply_to_string
+          (Resp.reply_for_op msg.Message.req.Request.kind value)
+        :: !replies);
+  List.iteri
+    (fun i op ->
+      let req, value = op_request op in
+      let before = List.length !replies in
+      transport.Transport.deliver
+        {
+          Message.id = i;
+          client = 0;
+          sent_at = Engine.now engine;
+          target = -1;
+          req;
+          value;
+        };
+      let guard = ref 0 in
+      while List.length !replies = before && !guard < 2_000 do
+        Engine.run engine ~until:(Engine.now engine + 100_000);
+        incr guard
+      done;
+      if List.length !replies = before then
+        Alcotest.fail (Printf.sprintf "sim reply %d never arrived" i))
+    ops;
+  List.rev !replies
+
+(* Drive the native server over a real socket, one operation at a time,
+   collecting the raw reply bytes. *)
+let native_replies mode ops =
+  let path = Filename.temp_file "mutps-eq" ".sock" in
+  Sys.remove path;
+  let handle =
+    Server.launch
+      {
+        Server.default_config with
+        Server.mode;
+        listen = Server.Unix_path path;
+        domains = 3;
+        shards = 2;
+        keyspace = preload_keys;
+        value_size = eq_value_size;
+        hot_cap = 8;
+      }
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let rbuf = Bytes.create 65536 in
+  let rlen = ref 0 in
+  let read_reply () =
+    let rec loop () =
+      match Resp.parse_reply rbuf ~len:!rlen with
+      | `Ok (r, consumed) ->
+        Bytes.blit rbuf consumed rbuf 0 (!rlen - consumed);
+        rlen := !rlen - consumed;
+        Resp.reply_to_string r
+      | `Bad m -> Alcotest.fail ("native protocol error: " ^ m)
+      | `Need_more ->
+        let n = Unix.read fd rbuf !rlen (Bytes.length rbuf - !rlen) in
+        if n = 0 then Alcotest.fail "native server closed early";
+        rlen := !rlen + n;
+        loop ()
+    in
+    loop ()
+  in
+  let send_op op =
+    let cmd =
+      match op with
+      | Eget k -> Resp.Get k
+      | Edel k -> Resp.Del k
+      | Eput (k, size) ->
+        Resp.Set (k, Mutps_net.Client.payload ~key:k ~size)
+    in
+    let b = Buffer.create 64 in
+    Resp.encode_command b cmd;
+    let s = Buffer.contents b in
+    ignore (Unix.write_substring fd s 0 (String.length s))
+  in
+  let replies = List.map (fun op -> send_op op; read_reply ()) ops in
+  Unix.close fd;
+  Server.stop handle;
+  ignore (Server.wait handle);
+  replies
+
+let scripted_ops =
+  [
+    Eget 1L;  (* preloaded hit *)
+    Eget 100L;  (* miss *)
+    Eput (100L, 24);
+    Eget 100L;  (* now a hit with the new value *)
+    Eget 100L;  (* repeat: exercises the CR hot cache *)
+    Eput (1L, 9);  (* overwrite a preloaded key *)
+    Eget 1L;
+    Edel 1L;
+    Eget 1L;  (* miss after delete *)
+    Edel 1L;  (* delete of a missing key still acks *)
+    Eput (1L, 5);
+    Eget 1L;
+  ]
+
+(* a longer generated history over a keyspace straddling the preload
+   boundary, so it mixes hits, misses, overwrites, and deletes *)
+let generated_ops n =
+  let spec =
+    {
+      Opgen.name = "equiv";
+      keyspace = preload_keys + 16;
+      key_dist = Opgen.Zipfian 0.9;
+      size_dist = Opgen.Fixed 24;
+      mix = { Opgen.get = 0.5; put = 0.4; scan = 0.0 };
+      scan_len = 1;
+    }
+  in
+  let gen = Opgen.make spec ~seed:33 in
+  List.init n (fun _ ->
+      let op = Opgen.next gen in
+      match op.Opgen.kind with
+      | Request.Get | Request.Scan -> Eget op.Opgen.key
+      | Request.Put -> Eput (op.Opgen.key, max 1 op.Opgen.size)
+      | Request.Delete -> Edel op.Opgen.key)
+
+let check_equivalence system mode ops =
+  let sim = sim_replies system ops in
+  let native = native_replies mode ops in
+  check_int "same reply count" (List.length sim) (List.length native);
+  List.iteri
+    (fun i (s, n) ->
+      check_string (Printf.sprintf "reply %d byte-identical" i) s n)
+    (List.combine sim native)
+
+let test_equivalence_basekv () =
+  check_equivalence `Basekv (Server.Rtc_pool Kvs.Exec.Locked)
+    (scripted_ops @ generated_ops 150)
+
+let test_equivalence_mutps () =
+  check_equivalence `Mutps Server.Split (scripted_ops @ generated_ops 150)
+
+(* ------------------------------------------------------------------ *)
+(* Server + loadgen smoke                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_loadgen () =
+  let path = Filename.temp_file "mutps-smoke" ".sock" in
+  Sys.remove path;
+  let handle =
+    Server.launch
+      {
+        Server.default_config with
+        Server.mode = Server.Split;
+        listen = Server.Unix_path path;
+        domains = 3;
+        shards = 2;
+        keyspace = 512;
+        value_size = 32;
+        hot_cap = 64;
+      }
+  in
+  let spec =
+    {
+      Opgen.name = "smoke";
+      keyspace = 512;
+      key_dist = Opgen.Zipfian 0.9;
+      size_dist = Opgen.Fixed 32;
+      mix = { Opgen.get = 0.7; put = 0.3; scan = 0.0 };
+      scan_len = 1;
+    }
+  in
+  let r =
+    Loadgen.run
+      {
+        Loadgen.connect = Server.Unix_path path;
+        conns = 4;
+        ops = 2_000;
+        spec;
+        seed = 5;
+      }
+  in
+  check_int "every op answered" 2_000 r.Loadgen.completed;
+  check_int "no errors" 0 r.Loadgen.errors;
+  check_bool "keyspace preloaded: gets mostly hit" true
+    (r.Loadgen.get_hits > r.Loadgen.get_misses);
+  Server.stop handle;
+  let s = Server.wait handle in
+  check_int "connections accepted" 4 s.Server.conns;
+  check_bool "KVS answered the non-ping traffic" true (s.Server.responded > 0);
+  check_int "split answered everything it was given" s.Server.responded
+    (s.Server.cr_hits + s.Server.mr_ops)
+
+let test_serve_ping_and_errors () =
+  let path = Filename.temp_file "mutps-ping" ".sock" in
+  Sys.remove path;
+  let handle =
+    Server.launch
+      {
+        Server.default_config with
+        Server.listen = Server.Unix_path path;
+        domains = 2;
+        shards = 1;
+      }
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  let buf = Bytes.create 4096 in
+  let read_some () =
+    let n = Unix.read fd buf 0 4096 in
+    Bytes.sub_string buf 0 n
+  in
+  send "*1\r\n$4\r\nPING\r\n";
+  check_string "pong" "+PONG\r\n" (read_some ());
+  (* unknown command: clear error, then the server closes the connection *)
+  send "*1\r\n$4\r\nNOPE\r\n";
+  let err = read_some () in
+  check_bool "error reply" true
+    (String.length err > 4 && String.sub err 0 4 = "-ERR");
+  check_string "connection closed after protocol error" "" (read_some ());
+  Unix.close fd;
+  Server.stop handle;
+  ignore (Server.wait handle)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "native"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_deque_fifo;
+          Alcotest.test_case "full" `Quick test_deque_full;
+          Alcotest.test_case "concurrent exactly-once" `Quick
+            test_deque_concurrent_exactly_once;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "fifo interleave" `Quick test_sched_fifo_interleave;
+          Alcotest.test_case "spawn from fiber" `Quick
+            test_sched_spawn_from_fiber;
+          Alcotest.test_case "error propagates" `Quick
+            test_sched_error_propagates;
+          Alcotest.test_case "Fiber.Stop is clean" `Quick
+            test_fiber_stop_is_clean;
+          Alcotest.test_case "park/resume" `Quick test_fiber_park_resume;
+          Alcotest.test_case "double resume rejected" `Quick
+            test_fiber_double_resume_rejected;
+          qt qcheck_sched_exactly_once;
+        ] );
+      ( "resp",
+        [
+          Alcotest.test_case "command roundtrip" `Quick
+            test_resp_command_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_resp_incremental;
+          Alcotest.test_case "bad input" `Quick test_resp_bad_input;
+          Alcotest.test_case "reply roundtrip" `Quick test_resp_reply_roundtrip;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "basekv sim = native" `Quick
+            test_equivalence_basekv;
+          Alcotest.test_case "uTPS sim = native split" `Quick
+            test_equivalence_mutps;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serve + loadgen" `Quick test_serve_loadgen;
+          Alcotest.test_case "ping and protocol errors" `Quick
+            test_serve_ping_and_errors;
+        ] );
+    ]
