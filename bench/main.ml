@@ -240,6 +240,69 @@ let engine_churn () =
   in
   (gate, perf)
 
+(* Scheduler stress with a far-future mix: most events reschedule within
+   a 64-cycle horizon (calendar-wheel territory), but a small standing
+   population jumps 64K-1M cycles ahead on every firing, so the overflow
+   heap and its migration back into the wheel stay on the measured path.
+   The sim_cycles/events metrics are pure functions of the schedule and
+   gate bit-exact in CI (test/golden/engine_sched_gate.json). *)
+let engine_sched () =
+  let events = 1_000_000 and near_pop = 1_024 and far_pop = 64 in
+  let open Mutps_sim in
+  let engine = Engine.create () in
+  let remaining = ref (events - near_pop - far_pop) in
+  let seq = ref 0 in
+  let rec fire_near () =
+    if !remaining > 0 then begin
+      decr remaining;
+      incr seq;
+      Engine.schedule_after engine ~delay:(1 + (!seq * 0x9E37 land 0x3F)) fire_near
+    end
+  in
+  let rec fire_far () =
+    if !remaining > 0 then begin
+      decr remaining;
+      incr seq;
+      (* always beyond any near-future horizon: exercises overflow + migration *)
+      Engine.schedule_after engine
+        ~delay:(65_536 + (!seq * 0x2545F49 land 0xFFFFF))
+        fire_far
+    end
+  in
+  for i = 1 to near_pop do
+    Engine.schedule_after engine ~delay:(i land 0x3F) fire_near
+  done;
+  for i = 1 to far_pop do
+    Engine.schedule_after engine ~delay:(65_536 + (i * 8_191)) fire_far
+  done;
+  let w0 = gc_words () and t0 = cpu_time () in
+  Engine.run_all engine;
+  let t1 = cpu_time () and w1 = gc_words () in
+  let dispatched = Engine.dispatched engine in
+  let sim_cycles = Engine.now engine in
+  let wall_s = t1 -. t0 in
+  let words_per_event = round2 ((w1 -. w0) /. float_of_int dispatched) in
+  let gate =
+    Report.row ~experiment:"engine_micro" ~system:""
+      ~axis:[ ("case", "sched_micro") ]
+      [
+        ("events", float_of_int dispatched);
+        ("minor_words_per_event", words_per_event);
+        ("sim_cycles", float_of_int sim_cycles);
+      ]
+  in
+  let perf =
+    Report.row ~experiment:"engine_micro" ~system:""
+      ~axis:[ ("case", "sched_micro_perf") ]
+      [
+        ("wall_s", wall_s);
+        ("events_per_sec", float_of_int dispatched /. wall_s);
+        ("sim_cycles_per_sec", float_of_int sim_cycles /. wall_s);
+        ("minor_words_per_event", words_per_event);
+      ]
+  in
+  (gate, perf)
+
 (* The fig2a hot loop (uniform gets against μTPS) with the harness's
    warmup excluded: deltas are taken across the measured window only, so
    populate/warmup allocations do not dilute words-per-event. *)
@@ -289,8 +352,11 @@ let engine_fig2a () =
 let run_engine_micro () =
   print_endline "\n=== Engine micro-benchmark (mutps.alloc trajectory) ===";
   let gate_churn, perf_churn = engine_churn () in
+  let gate_sched, perf_sched = engine_sched () in
   let gate_fig, perf_fig = engine_fig2a () in
-  let rows = [ gate_churn; perf_churn; gate_fig; perf_fig ] in
+  let rows =
+    [ gate_churn; perf_churn; gate_sched; perf_sched; gate_fig; perf_fig ]
+  in
   List.iter
     (fun (r : Report.row) ->
       Printf.printf "%-22s" (List.assoc "case" r.Report.axis);
@@ -299,7 +365,7 @@ let run_engine_micro () =
         r.Report.metrics;
       print_newline ())
     rows;
-  (rows, [ gate_churn; gate_fig ])
+  (rows, [ gate_churn; gate_fig ], [ gate_sched ])
 
 (* ------------------------------------------------------------------ *)
 (* Argument parsing and the parallel experiment pass                   *)
@@ -310,6 +376,7 @@ type opts = {
   json : string option;
   json_dir : string option;
   gate_json : string option;
+  sched_gate_json : string option;
   micro : bool;
   engine_micro : bool;
   names : string list;  (** [] = all *)
@@ -318,7 +385,8 @@ type opts = {
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--json FILE] [--json-dir DIR] \
-     [--gate-json FILE] [micro | engine-micro | EXPERIMENT...]";
+     [--gate-json FILE] [--sched-gate-json FILE] \
+     [micro | engine-micro | EXPERIMENT...]";
   exit 2
 
 let parse_args argv =
@@ -329,6 +397,7 @@ let parse_args argv =
         json = None;
         json_dir = None;
         gate_json = None;
+        sched_gate_json = None;
         micro = false;
         engine_micro = false;
         names = [];
@@ -349,6 +418,9 @@ let parse_args argv =
       go rest
     | "--gate-json" :: v :: rest ->
       opts := { !opts with gate_json = Some v };
+      go rest
+    | "--sched-gate-json" :: v :: rest ->
+      opts := { !opts with sched_gate_json = Some v };
       go rest
     | "micro" :: rest ->
       opts := { !opts with micro = true };
@@ -416,15 +488,21 @@ let () =
       Printf.eprintf "json: per-experiment files -> %s/BENCH_*.json\n%!" dir
     | None -> ()
   end;
-  let engine_rows, engine_gate_rows =
+  let engine_rows, engine_gate_rows, sched_gate_rows =
     if opts.engine_micro || run_everything then run_engine_micro ()
-    else ([], [])
+    else ([], [], [])
   in
   (match opts.gate_json with
   | Some path ->
     Report.write_file path engine_gate_rows;
     Printf.eprintf "json: %d gate row(s) -> %s\n%!"
       (List.length engine_gate_rows) path
+  | None -> ());
+  (match opts.sched_gate_json with
+  | Some path ->
+    Report.write_file path sched_gate_rows;
+    Printf.eprintf "json: %d sched gate row(s) -> %s\n%!"
+      (List.length sched_gate_rows) path
   | None -> ());
   (match opts.json with
   | Some path ->

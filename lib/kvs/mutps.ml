@@ -419,37 +419,63 @@ let mr_step t env w =
   | None -> false
   | Some (cr, batch) ->
     let index = t.backend.Backend.index in
-    (* batched prefetch-overlapped indexing over the point ops *)
-    let point_keys =
-      Array.to_list batch
-      |> List.filter_map (fun (fwd : Fwd.t) ->
-             let req = fwd.Fwd.msg.Message.req in
-             match req.Request.kind with
-             | Request.Get | Request.Put -> Some req.Request.key
-             | Request.Delete | Request.Scan -> None)
-      |> Array.of_list
+    (* batched prefetch-overlapped indexing over the point ops.  Point
+       ops keep their batch order, so lookup results align positionally
+       with a second walk over the batch — no per-batch key table.  (The
+       tree is not mutated between the lookups and the prepares, so a
+       key appearing twice locates the same item either way.) *)
+    let is_point (fwd : Fwd.t) =
+      match fwd.Fwd.msg.Message.req.Request.kind with
+      | Request.Get | Request.Put -> true
+      | Request.Delete | Request.Scan -> false
     in
+    let n_point =
+      Array.fold_left (fun c fwd -> if is_point fwd then c + 1 else c) 0 batch
+    in
+    let point_keys = Array.make n_point 0L in
+    let k = ref 0 in
+    Array.iter
+      (fun (fwd : Fwd.t) ->
+        if is_point fwd then begin
+          point_keys.(!k) <- fwd.Fwd.msg.Message.req.Request.key;
+          incr k
+        end)
+      batch;
     let located = index.Index.batch_lookup env point_keys in
-    let by_key = Hashtbl.create 16 in
-    Array.iteri (fun i key -> Hashtbl.replace by_key key located.(i)) point_keys;
     (* overlap the data-item fetches too (§3.3: batching covers the copy
        stage's cache misses as well) *)
-    let item_addrs =
-      Array.of_list
-        (List.filter_map
-           (fun item -> Option.map Item.addr item)
-           (Array.to_list located))
+    let n_addr =
+      Array.fold_left
+        (fun c item -> match item with Some _ -> c + 1 | None -> c)
+        0 located
     in
-    if Array.length item_addrs > 0 then Env.prefetch_batch env item_addrs;
+    if n_addr > 0 then begin
+      let item_addrs = Array.make n_addr 0 in
+      let k = ref 0 in
+      Array.iter
+        (fun item ->
+          match item with
+          | Some it ->
+            item_addrs.(!k) <- Item.addr it;
+            incr k
+          | None -> ())
+        located;
+      Env.prefetch_batch env item_addrs
+    end;
+    let k = ref 0 in
     Array.iter
       (fun (fwd : Fwd.t) ->
         let req = fwd.Fwd.msg.Message.req in
         let key = req.Request.key in
         match req.Request.kind with
         | Request.Get ->
-          mr_prepare_get t env ~mr:w fwd (Option.join (Hashtbl.find_opt by_key key))
+          let item = located.(!k) in
+          incr k;
+          mr_prepare_get t env ~mr:w fwd item
         | Request.Put ->
-          mr_prepare_put t env ~mr:w fwd (Option.join (Hashtbl.find_opt by_key key))
+          let item = located.(!k) in
+          incr k;
+          mr_prepare_put t env ~mr:w fwd item
         | Request.Delete ->
           ignore (index.Index.remove env key);
           mr_prepare_ack t env ~mr:w fwd
@@ -500,6 +526,9 @@ let worker_body t w ctx =
   let cfg = t.backend.Backend.config in
   let env = Env.make ~ctx ~hier:t.backend.Backend.hier ~core:w in
   let st = { pending = []; pending_n = 0; oldest_at = 0 } in
+  (* hoisted: the empty-poll path runs millions of times per worker and
+     must not allocate a fresh idle thunk each iteration *)
+  let idle_thunk () = Env.compute env cfg.Config.poll_idle_cycles in
   while true do
     let before = Simthread.now ctx in
     let progressed =
@@ -511,8 +540,7 @@ let worker_body t w ctx =
       if t.desired.(w) <> t.current.(w) then try_switch_when_idle t env w st;
       (* attribute the poll backoff to an "idle" site so the profile
          separates wasted polls from useful work *)
-      Env.tagged env "idle" (fun () ->
-          Env.compute env cfg.Config.poll_idle_cycles);
+      Env.tagged env "idle" idle_thunk;
       Simthread.commit ctx
     end
     else begin

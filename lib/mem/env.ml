@@ -8,9 +8,20 @@ type t = {
   charged : bool;
   mutable tag : string;
   mutable path : string;
+  (* Traced-mode charge batching: cycles charged under the current site
+     path accumulate here and reach the tracer as one [tr_cycles] call at
+     the next site boundary or commit, instead of one call per memory
+     access.  [tr_cycles] totals are keyed by (thread, site) with no
+     timestamp, so batching is observation-equivalent: the per-site sums
+     are identical, only the call count changes.  [batching] is a runtime
+     toggle so the equivalence is testable. *)
+  mutable batch : int;
+  mutable batching : bool;
 }
 
-let make ~ctx ~hier ~core = { ctx; hier; core; charged = true; tag = ""; path = "" }
+let make ~ctx ~hier ~core =
+  { ctx; hier; core; charged = true; tag = ""; path = ""; batch = 0;
+    batching = true }
 
 (* The native backend's clock seam: same Env surface, but the hardware
    clock is the only clock — every charge, sanitizer record and tracer
@@ -19,7 +30,8 @@ let make ~ctx ~hier ~core = { ctx; hier; core; charged = true; tag = ""; path = 
    against Env never reaches the engine's effect handlers natively
    (accumulators stay at 0, so even [commit] is a no-op). *)
 let make_freerun ~ctx ~hier ~core =
-  { ctx; hier; core; charged = false; tag = ""; path = "" }
+  { ctx; hier; core; charged = false; tag = ""; path = ""; batch = 0;
+    batching = true }
 
 let charged t = t.charged
 
@@ -36,26 +48,54 @@ let record t ~write ~addr ~size =
       ~write ~lo:addr ~hi:(addr + size)
 
 (* Attribute charged cycles to the current site path for the profiler.
-   One branch when no tracer is attached. *)
+   One branch when no tracer is attached.  With batching on, the cycles
+   only join the running sum for the current path; {!flush_batch} hands
+   them to the tracer at the next site boundary or commit. *)
+let flush_batch t =
+  if t.batch > 0 then begin
+    (match tr t with
+    | None -> ()
+    | Some tr -> tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:t.batch);
+    t.batch <- 0
+  end
+
 let trace_cycles t n =
   match tr t with
   | None -> ()
-  | Some tr -> tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:n
+  | Some tr ->
+    if t.batching then t.batch <- t.batch + n
+    else tr.Engine.tr_cycles ~tid:(tr_tid t) ~site:t.path ~cycles:n
 
+let set_trace_batching t b =
+  flush_batch t;
+  t.batching <- b
+
+let trace_batching t = t.batching
+
+(* The hot accessors split on {!Engine.instrumented}: one predictable
+   branch sends the common un-instrumented run down a straight line —
+   hierarchy model, unchecked accumulator add, done — and keeps every
+   tracer/sanitizer option match off that path.  The flag is live (the
+   setters maintain it), so attaching instrumentation mid-run reroutes
+   the very next access. *)
 let[@hot] load t ~addr ~size =
   if t.charged then begin
     let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
-    Simthread.charge t.ctx c;
-    trace_cycles t c;
-    record t ~write:false ~addr ~size
+    Simthread.charge_unchecked t.ctx c;
+    if Engine.instrumented (Simthread.engine t.ctx) then begin
+      trace_cycles t c;
+      record t ~write:false ~addr ~size
+    end
   end
 
 let[@hot] store t ~addr ~size =
   if t.charged then begin
     let c = Hierarchy.store t.hier ~core:t.core ~addr ~size in
-    Simthread.charge t.ctx c;
-    trace_cycles t c;
-    record t ~write:true ~addr ~size
+    Simthread.charge_unchecked t.ctx c;
+    if Engine.instrumented (Simthread.engine t.ctx) then begin
+      trace_cycles t c;
+      record t ~write:true ~addr ~size
+    end
   end
 
 (* Speculative-read support for seqlock-style validated reads: charge the
@@ -66,8 +106,8 @@ let[@hot] store t ~addr ~size =
 let[@hot] load_speculative t ~addr ~size =
   if t.charged then begin
     let c = Hierarchy.load t.hier ~core:t.core ~addr ~size in
-    Simthread.charge t.ctx c;
-    trace_cycles t c
+    Simthread.charge_unchecked t.ctx c;
+    if Engine.instrumented (Simthread.engine t.ctx) then trace_cycles t c
   end
 
 let[@hot] note_read t ~addr ~size = record t ~write:false ~addr ~size
@@ -78,17 +118,21 @@ let[@hot] note_read t ~addr ~size = record t ~write:false ~addr ~size
 let[@hot] prefetch_batch t addrs =
   if t.charged then begin
     let c = Hierarchy.prefetch_batch t.hier ~core:t.core addrs in
-    Simthread.charge t.ctx c;
-    trace_cycles t c
+    Simthread.charge_unchecked t.ctx c;
+    if Engine.instrumented (Simthread.engine t.ctx) then trace_cycles t c
   end
 
 let[@hot] compute t n =
   if t.charged then begin
     Simthread.charge t.ctx n;
-    trace_cycles t n
+    if Engine.instrumented (Simthread.engine t.ctx) then trace_cycles t n
   end
 
-let[@hot] commit t = if t.charged then Simthread.commit t.ctx
+let[@hot] commit t =
+  if t.charged then begin
+    if Engine.instrumented (Simthread.engine t.ctx) then flush_batch t;
+    Simthread.commit t.ctx
+  end
 let now t = Simthread.now t.ctx
 
 (* With a tracer attached, [tagged] additionally maintains the
@@ -112,11 +156,15 @@ let[@hot] tagged t site f =
       t.tag <- outer;
       raise e)
   | Some tr ->
+    (* batched cycles belong to the site path they were charged under:
+       settle them before the path changes, in both directions *)
+    flush_batch t;
     let outer_path = t.path in
     t.path <- (if outer_path = "" then site else outer_path ^ ";" ^ site);
     let t0 = Simthread.now t.ctx in
     Fun.protect
       ~finally:(fun () ->
+        flush_batch t;
         tr.Engine.tr_slice ~tid:(tr_tid t) ~t0 ~t1:(Simthread.now t.ctx)
           ~name:site;
         t.tag <- outer;

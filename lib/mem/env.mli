@@ -20,6 +20,10 @@ type t = {
   mutable path : string;
       (** Semicolon-joined stack of enclosing {!tagged} sites, maintained
           only while a tracer is attached; feeds the cycle profiler. *)
+  mutable batch : int;
+      (** Cycles charged under the current {!path} not yet handed to the
+          tracer; see {!set_trace_batching}. *)
+  mutable batching : bool;  (** Traced-mode charge batching toggle. *)
 }
 
 val make : ctx:Mutps_sim.Simthread.ctx -> hier:Hierarchy.t -> core:int -> t
@@ -91,6 +95,17 @@ val sanitizing : t -> bool
 val tracing : t -> bool
 (** Whether a tracer is attached.  Guard any event-argument formatting
     with this so the off path never allocates. *)
+
+val set_trace_batching : t -> bool -> unit
+(** Toggle traced-mode charge batching (default on).  With batching on,
+    cycles charged under one site path reach the tracer as a single
+    [tr_cycles] sum at the next site boundary or {!commit}; with it off,
+    every access reports individually.  Per-(thread, site) totals are
+    identical either way — [tr_cycles] carries no timestamp — which is
+    what the equivalence suite pins down.  Flushes any pending batch
+    before switching, so a mid-run toggle loses nothing. *)
+
+val trace_batching : t -> bool
 
 val instant : t -> name:string -> arg:string -> unit
 (** Emit a point event on this thread's track at the thread's current

@@ -52,10 +52,22 @@ type stats = {
   dirty_transfers : int;
 }
 
-(* Directory entry: which cores hold the line in a private cache, and which
-   (if any) holds it dirty. *)
-type dir_entry = { mutable sharers : int; mutable dirty : int }
-
+(* Directory: which cores hold the line in a private cache, and which (if
+   any) holds it dirty.  Stored as a DENSE array indexed by line number
+   with the entry packed into one int — [sharers lsl 7 lor (dirty + 1)],
+   0 = absent — rather than any keyed table.  Two reasons, both about the
+   HOST machine: a lookup is one bounds test and one indexed read (no
+   hashing, no probe chain, no key compare), and — decisive for a
+   simulator whose own tag/directory state is memory-bound — adjacent
+   simulated lines land in adjacent entries, so the under-test workload's
+   spatial locality (B-tree nodes, item payloads) carries over to the
+   simulator's directory traffic instead of being deliberately destroyed
+   by a hash.  Density is affordable because {!Layout} allocates regions
+   contiguously from a 1 MiB base: the array's length tracks the highest
+   line ever privately cached, which is bounded by total simulated
+   footprint / 64.  An entry packed as 0 (no sharers, no dirty owner) is
+   observationally identical to an absent line at every use site, so
+   "removal" just stores 0. *)
 type t = {
   geometry : geometry;
   costs : Costs.t;
@@ -64,7 +76,7 @@ type t = {
   llc : Cache.t;
   clos : int array;
   ddio_mask : int;
-  directory : (int, dir_entry) Hashtbl.t;
+  mutable dir : int array;  (* packed entry per line; 0 = absent *)
   stats : mutable_stats array;
   mutable nic_llc_hits : int;
   mutable nic_llc_misses : int;
@@ -96,7 +108,7 @@ let create ?(costs = Costs.default) geometry =
     llc = Cache.create ~name:"llc" ~sets:geometry.llc_sets ~ways:geometry.llc_ways;
     clos = Array.make geometry.cores full;
     ddio_mask = (1 lsl geometry.ddio_ways) - 1;
-    directory = Hashtbl.create 1024;
+    dir = Array.make 65_536 0;
     stats = Array.init geometry.cores (fun _ -> fresh_stats ());
     nic_llc_hits = 0;
     nic_llc_misses = 0;
@@ -112,48 +124,71 @@ let llc_ways t = t.geometry.llc_ways
 let set_clos t ~core mask = t.clos.(core) <- mask land full_llc_mask t
 let clos t ~core = t.clos.(core)
 
-(* Cold callers (DMA, probes) take the option; hot callers below match on
-   [Hashtbl.find]/[Not_found] instead, which allocates nothing ([Not_found]
-   is a constant constructor and [Hashtbl.find] of a missing key raises the
-   preallocated exception). *)
-let dir_find t line = Hashtbl.find_opt t.directory line
+(* The packed-entry accessors.  dirty = -1 means no dirty owner. *)
+let dir_sharers v = v lsr 7
+let dir_dirty v = (v land 127) - 1
+let dir_pack ~sharers ~dirty = (sharers lsl 7) lor (dirty + 1)
 
-let dir_entry t line =
-  match Hashtbl.find t.directory line with
-  | e -> e
-  | exception Not_found ->
-    (let e = { sharers = 0; dirty = -1 } in
-     Hashtbl.add t.directory line e;
-     e)
-    [@alloc.allow
-      "directory entry: first touch of a line; bounded by the working set, \
-       cold after warmup"]
+let[@inline] dir_val t i = Array.unsafe_get t.dir i
+let[@inline] dir_set_val t i v = Array.unsafe_set t.dir i v
+
+let dir_grow t line =
+  (let n = Array.length t.dir in
+   let n' =
+     let rec go n = if line < n then n else go (2 * n) in
+     go (2 * n)
+   in
+   let d = Array.make n' 0 in
+   Array.blit t.dir 0 d 0 n;
+   t.dir <- d)
+  [@alloc.allow
+    "directory growth: amortized doubling, bounded by the highest line \
+     ever privately cached (simulated footprint / 64); cold after warmup"]
+
+(* Slot of [line] — the line number itself — growing the array to cover
+   it if needed. *)
+let[@inline] dir_ensure t line =
+  if line >= Array.length t.dir then dir_grow t line;
+  line
 
 let dir_remove_sharer t line core =
-  match Hashtbl.find t.directory line with
-  | exception Not_found -> ()
-  | e ->
-    e.sharers <- e.sharers land lnot (1 lsl core);
-    if e.dirty = core then e.dirty <- -1;
-    if e.sharers = 0 && e.dirty = -1 then Hashtbl.remove t.directory line
+  if line < Array.length t.dir then begin
+    let v = dir_val t line in
+    if v <> 0 then begin
+      let sharers = dir_sharers v land lnot (1 lsl core) in
+      let dirty = dir_dirty v in
+      let dirty = if dirty = core then -1 else dirty in
+      dir_set_val t line (dir_pack ~sharers ~dirty)
+    end
+  end
 
 (* A line evicted from one private level may still live in the other; only
-   drop the directory bit when the core holds no copy at all.  [victim]
-   uses {!Cache.access_raw}'s encoding: negative = nothing evicted. *)
-let private_evicted t core victim =
-  if
-    victim >= 0
-    && (not (Cache.probe t.l1.(core) ~line:victim))
-    && not (Cache.probe t.l2.(core) ~line:victim)
-  then dir_remove_sharer t victim core
+   drop the directory bit when the core holds no copy at all.  The level
+   that just evicted the line cannot still hold it (a line occupies at
+   most one way of its set), so each helper probes only the sibling
+   level.  [victim] uses {!Cache.access_raw}'s encoding: negative =
+   nothing evicted. *)
+let evicted_from_l1 t core victim =
+  if victim >= 0 && not (Cache.probe t.l2.(core) ~line:victim) then
+    dir_remove_sharer t victim core
 
-let fill_private t core line =
-  private_evicted t core
+let evicted_from_l2 t core victim =
+  if victim >= 0 && not (Cache.probe t.l1.(core) ~line:victim) then
+    dir_remove_sharer t victim core
+
+(* Install [line] into the core's private levels and record the sharer
+   bit at directory slot [di] (already ensured by the caller).  Eviction
+   removals never insert or grow the table, so [di] stays valid across
+   them; and the victims cannot equal [line] (it just missed in both
+   levels), so their removal cannot touch [di]'s entry. *)
+let fill_private_at t core line di =
+  evicted_from_l2 t core
     (Cache.access_raw t.l2.(core) ~line ~way_mask:(Cache.full_mask t.l2.(core)));
-  private_evicted t core
+  evicted_from_l1 t core
     (Cache.access_raw t.l1.(core) ~line ~way_mask:(Cache.full_mask t.l1.(core)));
-  let e = dir_entry t line in
-  e.sharers <- e.sharers lor (1 lsl core)
+  let v = dir_val t di in
+  dir_set_val t di
+      (dir_pack ~sharers:(dir_sharers v lor (1 lsl core)) ~dirty:(dir_dirty v))
 
 let rec invalidate_core_loop t line remote c n =
   if c >= t.geometry.cores then n
@@ -164,21 +199,13 @@ let rec invalidate_core_loop t line remote c n =
   end
   else invalidate_core_loop t line remote (c + 1) n
 
-(* Invalidate every remote private copy; returns how many existed. *)
-let invalidate_remotes t core line =
-  match Hashtbl.find t.directory line with
-  | exception Not_found -> 0
-  | e ->
-    let remote = e.sharers land lnot (1 lsl core) in
-    if remote = 0 then 0
-    else begin
-      let n = invalidate_core_loop t line remote 0 0 in
-      e.sharers <- e.sharers land (1 lsl core);
-      if e.dirty <> core then e.dirty <- -1;
-      n
-    end
-
-(* One line, full path; returns latency in cycles. *)
+(* One line, full path; returns latency in cycles.  Directory traffic is
+   one probe per phase: the miss path ensures the slot once up front and
+   reuses the index through the dirty check and {!fill_private_at}; the
+   write tail folds the remote-invalidate bookkeeping and the owner
+   update into a single ensured slot (the sequential compose of
+   "drop remotes" then "set owner" collapses to sharers = just this
+   core, dirty = this core whenever remotes existed). *)
 let access_line t ~core ~line ~write =
   let c = t.costs in
   let st = t.stats.(core) in
@@ -190,23 +217,28 @@ let access_line t ~core ~line ~write =
     else if Cache.touch t.l2.(core) ~line then begin
       st.l2_hits <- st.l2_hits + 1;
       (* refresh L1 *)
-      private_evicted t core
+      evicted_from_l1 t core
         (Cache.access_raw t.l1.(core) ~line
            ~way_mask:(Cache.full_mask t.l1.(core)));
-      let e = dir_entry t line in
-      e.sharers <- e.sharers lor (1 lsl core);
+      let i = dir_ensure t line in
+      let v = dir_val t i in
+      dir_set_val t i
+          (dir_pack ~sharers:(dir_sharers v lor (1 lsl core)) ~dirty:(dir_dirty v));
       c.Costs.l2_hit
     end
     else begin
       (* remote-dirty check happens before the LLC lookup *)
+      let di = dir_ensure t line in
+      let v = dir_val t di in
+      let d = dir_dirty v in
       let dirty_penalty =
-        match Hashtbl.find t.directory line with
-        | exception Not_found -> 0
-        | e when e.dirty >= 0 && e.dirty <> core ->
+        if d >= 0 && d <> core then begin
           st.dirty_transfers <- st.dirty_transfers + 1;
-          e.dirty <- -1;
+          dir_set_val t di
+              (dir_pack ~sharers:(dir_sharers v) ~dirty:(-1));
           c.Costs.dirty_transfer
-        | _ -> 0
+        end
+        else 0
       in
       let fetch =
         if Cache.access_raw t.llc ~line ~way_mask:t.clos.(core) = -2 then begin
@@ -223,21 +255,28 @@ let access_line t ~core ~line ~write =
           c.Costs.dram
         end
       in
-      fill_private t core line;
+      fill_private_at t core line di;
       dirty_penalty + fetch
     end
   in
   if write then begin
-    let remotes = invalidate_remotes t core line in
-    let e = dir_entry t line in
-    e.sharers <- e.sharers lor (1 lsl core);
-    e.dirty <- core;
-    if remotes > 0 then begin
+    let di = dir_ensure t line in
+    let v = dir_val t di in
+    let sharers = dir_sharers v in
+    let bit = 1 lsl core in
+    let remote = sharers land lnot bit in
+    if remote = 0 then begin
+      dir_set_val t di
+          (dir_pack ~sharers:(sharers lor bit) ~dirty:core);
+      base_latency
+    end
+    else begin
+      let n = invalidate_core_loop t line remote 0 0 in
+      dir_set_val t di (dir_pack ~sharers:bit ~dirty:core);
       st.invalidations_sent <- st.invalidations_sent + 1;
       base_latency + c.Costs.invalidate
-      + ((remotes - 1) * c.Costs.invalidate_per_extra_sharer)
+      + ((n - 1) * c.Costs.invalidate_per_extra_sharer)
     end
-    else base_latency
   end
   else base_latency
 
@@ -294,17 +333,19 @@ let dma_write t ~addr ~size =
   for i = 0 to n - 1 do
     let line = first + i in
     (* DDIO snoops out any core-private copies. *)
-    (match dir_find t line with
-    | None -> ()
-    | Some e ->
-      for c = 0 to t.geometry.cores - 1 do
-        if e.sharers land (1 lsl c) <> 0 then begin
-          ignore (Cache.invalidate t.l1.(c) ~line);
-          ignore (Cache.invalidate t.l2.(c) ~line)
-        end
-      done;
-      e.sharers <- 0;
-      e.dirty <- -1);
+    (if line < Array.length t.dir then begin
+       let v = dir_val t line in
+       if v <> 0 then begin
+         let sharers = dir_sharers v in
+         for c = 0 to t.geometry.cores - 1 do
+           if sharers land (1 lsl c) <> 0 then begin
+             ignore (Cache.invalidate t.l1.(c) ~line);
+             ignore (Cache.invalidate t.l2.(c) ~line)
+           end
+         done;
+         dir_set_val t line 0
+       end
+     end);
     if Cache.probe t.llc ~line then begin
       t.nic_llc_hits <- t.nic_llc_hits + 1;
       ignore (Cache.touch t.llc ~line)

@@ -29,3 +29,21 @@ let log2_ceil n =
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 let lowest_set n = n land (-n)
+
+(* Index of the lowest set bit of [n <> 0], allocation-free (no ref
+   cells): the isolate [n land (-n)] is a power of two, located by four
+   immutable binary steps plus a final bit test.  Hot-path safe — used by
+   the engine's occupancy-bitmap scans. *)
+let ctz n =
+  let b = n land (-n) in
+  let p0 = if b land 0xFFFFFFFF = 0 then 32 else 0 in
+  let b0 = b lsr p0 in
+  let p1 = if b0 land 0xFFFF = 0 then 16 else 0 in
+  let b1 = b0 lsr p1 in
+  let p2 = if b1 land 0xFF = 0 then 8 else 0 in
+  let b2 = b1 lsr p2 in
+  let p3 = if b2 land 0xF = 0 then 4 else 0 in
+  let b3 = b2 lsr p3 in
+  let p4 = if b3 land 0x3 = 0 then 2 else 0 in
+  let b4 = b3 lsr p4 in
+  p0 + p1 + p2 + p3 + p4 + (if b4 land 0x1 = 0 then 1 else 0)

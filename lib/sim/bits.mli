@@ -14,3 +14,7 @@ val is_pow2 : int -> bool
 
 val lowest_set : int -> int
 (** The lowest set bit of [n] ([0] if [n = 0]). *)
+
+val ctz : int -> int
+(** Index of the lowest set bit of [n <> 0], counting from the LSB;
+    allocation-free. *)

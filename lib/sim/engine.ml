@@ -1,15 +1,38 @@
-(* Binary min-heap of (time, seq) keyed events.  The [seq] component gives
-   FIFO order among events scheduled for the same cycle, which is what makes
-   simulations deterministic and insensitive to heap internals.
+(* Calendar-queue scheduler: a flat near-future wheel plus an overflow
+   min-heap for far-future events.
 
-   The heap is a structure of arrays — unboxed [int] arrays for the keys, a
-   parallel array for the callbacks — rather than an array of event records:
-   scheduling an event writes three array slots and allocates nothing, and
-   the sift loops compare packed ints instead of chasing a record pointer
-   per comparison.  Together with the tail-recursive (int-argument) sift
-   helpers below, this keeps the whole push/pop/dispatch path off the OCaml
-   heap; the [mutps.alloc] certifier (lib/lint/alloc.ml) checks that it
-   stays that way. *)
+   Events are totally ordered by (time, seq), where [seq] is a global
+   monotone counter giving FIFO order among events scheduled for the same
+   cycle — this is what makes simulations deterministic and insensitive
+   to queue internals.  The wheel covers the window [base, base + W) at
+   one cycle per slot (W a power of two), so a time in the window maps to
+   the unique slot [time land (W - 1)] and a slot holds events of exactly
+   one time.  Within a bucket, plain FIFO order *is* seq order: direct
+   pushes arrive with globally increasing seqs, and events migrating out
+   of the overflow heap arrive in (time, seq) heap order at the moment
+   the window first reaches their time — before any later direct push
+   could target the same slot — so buckets store bare callbacks with a
+   head cursor and never compare keys.  Three invariants carry the
+   correctness argument (checked by the differential oracle and the
+   experiment-digest tests in test/sim):
+
+     1. base <= clock, and base advances only when a dispatch (or the
+        window jump preceding it) commits to a time — never in a peek —
+        so a push can never alias a slot below the window.
+     2. Every heap event's time is >= base + W: pushes inside the
+        horizon go to the wheel, and each base advance migrates the heap
+        events the new window has reached.  Hence whenever the wheel is
+        nonempty it holds the global minimum.
+     3. All pending times are >= clock >= base (schedule rejects the
+        past), so the window never needs to look backwards.
+
+   Push and pop are O(1) amortized: a push writes one bucket slot and two
+   occupancy-bitmap words; a pop finds the next occupied slot through a
+   two-level bitmap (32-bit words plus one summary level) in a handful of
+   word scans.  Everything stays off the OCaml heap on the steady state —
+   bucket and heap growth is the one amortized, cold allocation site —
+   and the [mutps.alloc] certifier (lib/lint/alloc.ml) checks it stays
+   that way. *)
 
 (* Hooks for an optional happens-before sanitizer (lib/san).  The engine
    only carries the closures; their semantics live with the implementor.
@@ -57,15 +80,42 @@ type tracer = {
       (* charged cycles attributed to an Env site path (profiler) *)
 }
 
+(* Wheel geometry: 8192 one-cycle slots comfortably cover the common
+   delays of the cost model (DRAM ~200, a link leg ~2500, ring flush
+   ~4000); rarer far-future timers (hot-set refresh at 50M cycles) take
+   the overflow heap.  Occupancy uses 32-bit bitmap words plus one
+   summary level: 256 slot words, 8 summary words. *)
+let wheel_bits = 13
+let wheel_size = 1 lsl wheel_bits
+let wheel_mask = wheel_size - 1
+let summary_words = wheel_size lsr 10 (* (W/32)/32 *)
+
 type t = {
   id : int;
   mutable clock : int;
-  (* heap slot [i] holds event [i]'s key in [times]/[seqs] and its
-     callback in [fns]; slots at or past [size] are free *)
-  mutable times : int array;
-  mutable seqs : int array;
-  mutable fns : (unit -> unit) array;
-  mutable size : int;
+  mutable base : int;  (* wheel window start; base <= clock *)
+  (* Wheel events live in one pooled structure of arrays: [p_fns.(i)] is
+     event [i]'s callback and [p_next.(i)] threads it into its slot's
+     FIFO (or into the free list once dispatched).  Slot [s]'s pending
+     events run from [b_head.(s)] to [b_tail.(s)] (-1 = empty).  Pooling
+     keeps the steady state allocation-free: dispatch recycles indices
+     through [free_head], and only pool doubling allocates. *)
+  mutable p_fns : (unit -> unit) array;
+  mutable p_next : int array;
+  mutable p_used : int;  (* bump high-water mark *)
+  mutable free_head : int;  (* head of the recycled-index list, -1 = none *)
+  b_head : int array;
+  b_tail : int array;
+  occ0 : int array;  (* bit s: slot s nonempty (32 bits per word) *)
+  occ1 : int array;  (* bit w: occ0.(w) <> 0 *)
+  mutable wheel_count : int;
+  (* overflow heap, (time, seq)-ordered structure of arrays: slot [i]
+     holds event [i]'s key in [h_times]/[h_seqs] and its callback in
+     [h_fns]; slots at or past [h_size] are free *)
+  mutable h_times : int array;
+  mutable h_seqs : int array;
+  mutable h_fns : (unit -> unit) array;
+  mutable h_size : int;
   mutable next_seq : int;
   mutable dispatched : int;
   mutable stopped : bool;
@@ -73,6 +123,10 @@ type t = {
   mutable parked : int;
   mutable sanitizer : sanitizer option;
   mutable tracer : tracer option;
+  (* [sanitizer <> None || tracer <> None], kept in sync by the setters:
+     one boolean the memory layer can branch on to skip all observability
+     plumbing per access instead of matching both options *)
+  mutable instrumented : bool;
 }
 
 (* top-level (statically allocated) placeholder for free callback slots *)
@@ -114,10 +168,20 @@ let create () =
     {
       id;
       clock = 0;
-      times = Array.make 256 0;
-      seqs = Array.make 256 0;
-      fns = Array.make 256 no_event;
-      size = 0;
+      base = 0;
+      p_fns = Array.make 256 no_event;
+      p_next = Array.make 256 (-1);
+      p_used = 0;
+      free_head = -1;
+      b_head = Array.make wheel_size (-1);
+      b_tail = Array.make wheel_size (-1);
+      occ0 = Array.make (wheel_size lsr 5) 0;
+      occ1 = Array.make summary_words 0;
+      wheel_count = 0;
+      h_times = Array.make 256 0;
+      h_seqs = Array.make 256 0;
+      h_fns = Array.make 256 no_event;
+      h_size = 0;
       next_seq = 0;
       dispatched = 0;
       stopped = false;
@@ -128,18 +192,29 @@ let create () =
         | None -> None
         | Some f -> Some (f ()));
       tracer = None;
+      instrumented = false;
     }
   in
   (match Domain.DLS.get tracer_factory with
   | None -> ()
   | Some f -> t.tracer <- Some (f t));
+  t.instrumented <- t.sanitizer <> None || t.tracer <> None;
   t
 
 let id t = t.id
-let set_sanitizer t s = t.sanitizer <- s
+
+let set_sanitizer t s =
+  t.sanitizer <- s;
+  t.instrumented <- t.sanitizer <> None || t.tracer <> None
+
 let sanitizer t = t.sanitizer
-let set_tracer t tr = t.tracer <- tr
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  t.instrumented <- t.sanitizer <> None || t.tracer <> None
+
 let tracer t = t.tracer
+let[@inline] instrumented t = t.instrumented
 
 let set_debug_checks t b = t.debug_checks <- b
 let debug_checks t = t.debug_checks
@@ -152,21 +227,108 @@ let note_resume t =
     invalid_arg "Engine: more resumes than parked threads"
 
 let now t = t.clock
-let pending t = t.size
+let pending t = t.wheel_count + t.h_size
 let dispatched t = t.dispatched
 
-(* Key order between heap slots [i] and [j]: earlier time wins, seq breaks
-   ties.  All indices handed to the helpers below are < size <= length of
-   every heap array (the binary-heap shape invariant), so the accesses are
-   bounds-check free. *)
+(* The one allocation site of the scheduler: amortized-doubling growth of
+   a bucket or heap array, off the steady-state path by construction. *)
+let grow src cap fill =
+  (let dst = Array.make cap fill in
+   Array.blit src 0 dst 0 (Array.length src);
+   dst)
+  [@alloc.allow "scheduler storage growth: amortized doubling, cold"]
+
+(* --- occupancy bitmap --- *)
+
+(* index of the lowest set bit; n <> 0 *)
+let tz n = Bits.ctz n
+
+let set_occ t s =
+  let w = s lsr 5 in
+  let old = Array.unsafe_get t.occ0 w in
+  Array.unsafe_set t.occ0 w (old lor (1 lsl (s land 31)));
+  if old = 0 then begin
+    let sw = w lsr 5 in
+    Array.unsafe_set t.occ1 sw
+      (Array.unsafe_get t.occ1 sw lor (1 lsl (w land 31)))
+  end
+
+let clear_occ t s =
+  let w = s lsr 5 in
+  let v = Array.unsafe_get t.occ0 w land lnot (1 lsl (s land 31)) in
+  Array.unsafe_set t.occ0 w v;
+  if v = 0 then begin
+    let sw = w lsr 5 in
+    Array.unsafe_set t.occ1 sw
+      (Array.unsafe_get t.occ1 sw land lnot (1 lsl (w land 31)))
+  end
+
+(* first summary word at or after [i] (circular) with events, continuing
+   a scan that already rejected the bits above the caller's word — the
+   wrapped-around low bits of the starting word are a valid answer.
+   Termination: the caller holds wheel_count > 0. *)
+let rec next_summary t i =
+  let i = if i = summary_words then 0 else i in
+  let m = Array.unsafe_get t.occ1 i in
+  if m <> 0 then (i lsl 5) lor tz m else next_summary t (i + 1)
+
+(* first occupied slot circularly at or after slot [bs]; requires
+   wheel_count > 0.  Pure — never advances the window (invariant 1). *)
+let find_from t bs =
+  let w0 = bs lsr 5 in
+  let m0 = Array.unsafe_get t.occ0 w0 land ((-1) lsl (bs land 31)) in
+  if m0 <> 0 then (w0 lsl 5) lor tz m0
+  else begin
+    let sw0 = w0 lsr 5 in
+    (* bits strictly above w0 in its summary word *)
+    let m1 = Array.unsafe_get t.occ1 sw0 land ((-2) lsl (w0 land 31)) in
+    let w =
+      if m1 <> 0 then (sw0 lsl 5) lor tz m1 else next_summary t (sw0 + 1)
+    in
+    (w lsl 5) lor tz (Array.unsafe_get t.occ0 w)
+  end
+
+(* --- wheel buckets --- *)
+
+(* a free pool index: recycled if available, else bump (growing the pool
+   when the high-water mark hits capacity) *)
+let pool_alloc t =
+  let i = t.free_head in
+  if i >= 0 then begin
+    t.free_head <- Array.unsafe_get t.p_next i;
+    i
+  end
+  else begin
+    if t.p_used = Array.length t.p_fns then begin
+      let cap = 2 * t.p_used in
+      t.p_fns <- grow t.p_fns cap no_event;
+      t.p_next <- grow t.p_next cap (-1)
+    end;
+    let i = t.p_used in
+    t.p_used <- i + 1;
+    i
+  end
+
+let bucket_push t s fn =
+  let i = pool_alloc t in
+  Array.unsafe_set t.p_fns i fn;
+  Array.unsafe_set t.p_next i (-1);
+  let tl = Array.unsafe_get t.b_tail s in
+  if tl < 0 then begin
+    Array.unsafe_set t.b_head s i;
+    set_occ t s
+  end
+  else Array.unsafe_set t.p_next tl i;
+  Array.unsafe_set t.b_tail s i;
+  t.wheel_count <- t.wheel_count + 1
+
+(* --- overflow heap (times >= base + W) --- *)
+
 (* Tail-recursive hole-based sifts: the moving element's key rides in
    (registerable) parameters while the hole walks the tree, so each level
    costs one key compare plus one triple move instead of a three-array
-   swap.  Dispatch order is unaffected by internal layout — [pop] always
-   returns the (time, seq)-minimum and seqs are unique, so the dispatch
-   sequence is exactly sorted order for any correct heap.  The [int]
-   ascriptions keep every comparison monomorphic (an unconstrained
-   parameter generalizes and [<] degrades to a C call). *)
+   swap.  The [int] ascriptions keep every comparison monomorphic (an
+   unconstrained parameter generalizes and [<] degrades to a C call). *)
 let rec sift_up times seqs fns i (time : int) (seq : int) fn =
   let parent = (i - 1) / 2 in
   if
@@ -222,72 +384,166 @@ let rec sift_down times seqs fns size i (time : int) (seq : int) fn =
     end
   end
 
-let[@hot] push t ~time ~seq fn =
-  (if t.size = Array.length t.times then begin
-     let cap = 2 * t.size in
-     let times = Array.make cap 0 in
-     let seqs = Array.make cap 0 in
-     let fns = Array.make cap no_event in
-     Array.blit t.times 0 times 0 t.size;
-     Array.blit t.seqs 0 seqs 0 t.size;
-     Array.blit t.fns 0 fns 0 t.size;
-     t.times <- times;
-     t.seqs <- seqs;
-     t.fns <- fns
-   end [@alloc.allow "scheduler heap growth: amortized doubling, cold"]);
-  let i = t.size in
-  t.size <- i + 1;
-  (* i < length after the growth check above *)
-  sift_up t.times t.seqs t.fns i time seq fn
+let heap_push t ~time ~seq fn =
+  if t.h_size = Array.length t.h_times then begin
+    let cap = 2 * t.h_size in
+    t.h_times <- grow t.h_times cap 0;
+    t.h_seqs <- grow t.h_seqs cap 0;
+    t.h_fns <- grow t.h_fns cap no_event
+  end;
+  let i = t.h_size in
+  t.h_size <- i + 1;
+  sift_up t.h_times t.h_seqs t.h_fns i time seq fn
 
-(* Remove and return the earliest callback.  The caller reads the event
-   time from [times.(0)] before popping (see [run]). *)
-let[@hot] pop t =
-  assert (t.size > 0);
-  let fns = t.fns in
+(* remove and return the (time, seq)-minimum callback; h_size > 0 *)
+let heap_pop t =
+  let fns = t.h_fns in
   let top = Array.unsafe_get fns 0 in
-  let n = t.size - 1 in
-  t.size <- n;
+  let n = t.h_size - 1 in
+  t.h_size <- n;
   if n > 0 then begin
-    let time : int = Array.unsafe_get t.times n in
-    let seq : int = Array.unsafe_get t.seqs n in
+    let time : int = Array.unsafe_get t.h_times n in
+    let seq : int = Array.unsafe_get t.h_seqs n in
     let fn = Array.unsafe_get fns n in
     (* free the slot so the engine never pins a dead closure *)
     Array.unsafe_set fns n no_event;
-    sift_down t.times t.seqs fns n 0 time seq fn
+    sift_down t.h_times t.h_seqs fns n 0 time seq fn
   end
   else Array.unsafe_set fns 0 no_event;
   top
+
+(* --- window advance --- *)
+
+(* Migrate the heap events the window has reached.  Popping in (time,
+   seq) order appends them to their buckets in exactly seq order, and any
+   later direct push to those buckets carries a larger seq — so bucket
+   FIFO order remains global (time, seq) order. *)
+let migrate t =
+  let horizon = t.base + wheel_size in
+  while t.h_size > 0 && Array.unsafe_get t.h_times 0 < horizon do
+    let time : int = Array.unsafe_get t.h_times 0 in
+    let fn = heap_pop t in
+    bucket_push t (time land wheel_mask) fn
+  done
+
+(* commit the window to [time] (a dispatch is about to happen there) *)
+let advance t time =
+  t.base <- time;
+  if t.h_size > 0 && Array.unsafe_get t.h_times 0 < time + wheel_size then
+    migrate t
+
+(* --- public scheduling API --- *)
+
+(* [at >= clock >= base] (checked by the public entry points), so the
+   window test is a single subtraction.  Only overflow-heap events draw a
+   seq: bucket FIFO order already is arrival order, and migration feeds
+   heap events into buckets before any later push can reach the same slot
+   (see the header), so relative seqs are only ever compared heap-to-heap. *)
+let[@hot] enqueue t at fn =
+  if at - t.base < wheel_size then bucket_push t (at land wheel_mask) fn
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    heap_push t ~time:at ~seq fn
+  end
 
 let[@hot] schedule t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  push t ~time:at ~seq fn
+  enqueue t at fn
 
 let[@hot] schedule_after t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.clock + delay) fn
+  enqueue t (t.clock + delay) fn
 
 let stop t = t.stopped <- true
 
+(* Dispatch every event of the bucket's one time, in FIFO (= seq) order;
+   callbacks appending same-time events lengthen the pass.  On completion
+   the bucket resets to its empty shape; a [stop] mid-bucket leaves the
+   cursor (and the occupancy bit) for a later resume. *)
+(* The drained prefix [first .. prev] (n nodes) stays chained through
+   [p_next] while the pass runs, so recycling it is one splice onto the
+   free list at the end of the pass instead of two stores per event; the
+   pending/dispatched counters batch the same way.  Nothing observes
+   either mid-pass: callbacks only schedule, and [pending]/[dispatched]
+   are read between runs. *)
+let rec drain_go t s first prev n =
+  if t.stopped then drain_finish t first prev n
+  else begin
+    let i = Array.unsafe_get t.b_head s in
+    if i >= 0 then begin
+      let fn = Array.unsafe_get t.p_fns i in
+      (* The slot's closure is NOT cleared here: the write barrier on
+         that store costs more than the rest of the drain step, and the
+         next push through the free list overwrites it anyway.  Dead
+         closures are thus pinned only until slot reuse — bounded by
+         pool capacity, i.e. the same order as peak pending — and the
+         quiescent sweep in [settle] releases them all once a run
+         completes with nothing pending. *)
+      let nx = Array.unsafe_get t.p_next i in
+      Array.unsafe_set t.b_head s nx;
+      if nx < 0 then Array.unsafe_set t.b_tail s (-1);
+      fn ();
+      drain_go t s (if first < 0 then i else first) i (n + 1)
+    end
+    else begin
+      clear_occ t s;
+      drain_finish t first prev n
+    end
+  end
+
+and drain_finish t first prev n =
+  if n > 0 then begin
+    Array.unsafe_set t.p_next prev t.free_head;
+    t.free_head <- first;
+    t.wheel_count <- t.wheel_count - n;
+    t.dispatched <- t.dispatched + n
+  end
+
+let[@hot] drain_bucket t s = drain_go t s (-1) (-1) 0
+
+let[@hot] rec loop t until =
+  if not t.stopped then
+    if t.wheel_count = 0 then begin
+      if t.h_size > 0 then begin
+        (* window jump: everything pending is past the horizon *)
+        let ht : int = Array.unsafe_get t.h_times 0 in
+        if ht <= until then begin
+          advance t ht;
+          loop t until
+        end
+      end
+    end
+    else begin
+      (* invariant 2: the wheel holds the global minimum *)
+      let bs = t.base land wheel_mask in
+      let s = find_from t bs in
+      let time = t.base + ((s - bs) land wheel_mask) in
+      if time <= until then begin
+        advance t time;
+        t.clock <- time;
+        drain_bucket t s;
+        loop t until
+      end
+    end
+
+(* Quiescent sweep: once a run ends with no pending events, every pool
+   slot is free, so release the dead closures the drain loop left behind
+   (see the note in [drain_go]).  O(pool) once per completed run, versus
+   a write barrier per event on the hot path. *)
+let settle t =
+  if t.wheel_count = 0 && t.h_size = 0 && t.p_used > 0 then
+    Array.fill t.p_fns 0 t.p_used no_event
+
 let[@hot] run t ~until =
   t.stopped <- false;
-  while
-    (not t.stopped) && t.size > 0 && Array.unsafe_get t.times 0 <= until
-  do
-    t.clock <- Array.unsafe_get t.times 0;
-    t.dispatched <- t.dispatched + 1;
-    (pop t) ()
-  done;
-  if (not t.stopped) && t.clock < until then t.clock <- until
+  loop t until;
+  if (not t.stopped) && t.clock < until then t.clock <- until;
+  settle t
 
 let[@hot] run_all t =
   t.stopped <- false;
-  while (not t.stopped) && t.size > 0 do
-    t.clock <- Array.unsafe_get t.times 0;
-    t.dispatched <- t.dispatched + 1;
-    (pop t) ()
-  done
+  loop t max_int;
+  settle t

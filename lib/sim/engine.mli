@@ -147,6 +147,12 @@ type tracer = {
 val set_tracer : t -> tracer option -> unit
 val tracer : t -> tracer option
 
+val instrumented : t -> bool
+(** [sanitizer t <> None || tracer t <> None], maintained by the setters.
+    Hot layers branch on this single boolean to bypass every
+    observability hook; attaching a sanitizer or tracer at any time
+    flips it, so the bypass can never go stale. *)
+
 val set_tracer_factory : (t -> tracer) option -> unit
 (** Domain-local: when set, {!create} attaches [f engine] to every new
     engine built in this domain (new domains inherit the parent's factory

@@ -30,6 +30,8 @@ let[@hot] charge ctx n =
   if n < 0 then invalid_arg "Simthread.charge: negative cycles";
   ctx.acc <- ctx.acc + n
 
+let[@hot] [@inline] charge_unchecked ctx n = ctx.acc <- ctx.acc + n
+
 let pending ctx = ctx.acc
 
 (* Sanitizer schedule edges: a thread releases just before giving up

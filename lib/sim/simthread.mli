@@ -46,6 +46,12 @@ val now : ctx -> int
 val charge : ctx -> int -> unit
 (** Accumulate [n] cycles locally without touching the event queue. *)
 
+val charge_unchecked : ctx -> int -> unit
+(** {!charge} minus the negative-argument guard, for callers whose cycle
+    counts are non-negative by construction (cache-model latencies).
+    A negative [n] here would silently rewind the thread's private
+    clock — only skip the guard where the invariant is structural. *)
+
 val pending : ctx -> int
 (** Cycles accumulated since the last commit. *)
 

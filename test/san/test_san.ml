@@ -20,6 +20,7 @@ module Layout = Mutps_mem.Layout
 module Item = Mutps_store.Item
 module Slab = Mutps_store.Slab
 module Ring = Mutps_queue.Ring
+module Trace = Mutps_trace.Trace
 
 let check_int = Alcotest.(check int)
 
@@ -100,22 +101,22 @@ let fixture f =
 
 (* two threads touch the same line inside overlapping uncommitted
    windows: exactly one race, reported once (deduplicated) *)
+let racy_body _engine layout spawn =
+  let region = Layout.region layout ~name:"shared" ~size:64 in
+  let addr = Layout.alloc region ~align:64 8 in
+  spawn "writer" 0 (fun env ->
+      Env.tagged env "fixture.writer" @@ fun () ->
+      Env.compute env 1_000;
+      Env.store env ~addr ~size:8;
+      Env.commit env);
+  spawn "reader" 1 (fun env ->
+      Env.tagged env "fixture.reader" @@ fun () ->
+      Simthread.delay env.Env.ctx 500;
+      Env.load env ~addr ~size:8;
+      Env.commit env)
+
 let test_racy_pair () =
-  let reports =
-    fixture (fun _engine layout spawn ->
-        let region = Layout.region layout ~name:"shared" ~size:64 in
-        let addr = Layout.alloc region ~align:64 8 in
-        spawn "writer" 0 (fun env ->
-            Env.tagged env "fixture.writer" @@ fun () ->
-            Env.compute env 1_000;
-            Env.store env ~addr ~size:8;
-            Env.commit env);
-        spawn "reader" 1 (fun env ->
-            Env.tagged env "fixture.reader" @@ fun () ->
-            Simthread.delay env.Env.ctx 500;
-            Env.load env ~addr ~size:8;
-            Env.commit env))
-  in
+  let reports = fixture racy_body in
   check_int "exactly one report" 1 (List.length reports);
   match reports with
   | [ r ] ->
@@ -132,21 +133,59 @@ let test_racy_pair () =
 
 (* same pair, but the reader starts long after the writer committed: the
    schedule edge orders them — no report *)
+let clean_body _engine layout spawn =
+  let region = Layout.region layout ~name:"shared" ~size:64 in
+  let addr = Layout.alloc region ~align:64 8 in
+  spawn "writer" 0 (fun env ->
+      Env.compute env 100;
+      Env.store env ~addr ~size:8;
+      Env.commit env);
+  spawn "reader" 1 (fun env ->
+      Simthread.delay env.Env.ctx 50_000;
+      Env.load env ~addr ~size:8;
+      Env.commit env)
+
 let test_time_separated () =
-  let reports =
-    fixture (fun _engine layout spawn ->
-        let region = Layout.region layout ~name:"shared" ~size:64 in
-        let addr = Layout.alloc region ~align:64 8 in
-        spawn "writer" 0 (fun env ->
-            Env.compute env 100;
-            Env.store env ~addr ~size:8;
-            Env.commit env);
-        spawn "reader" 1 (fun env ->
-            Simthread.delay env.Env.ctx 50_000;
-            Env.load env ~addr ~size:8;
-            Env.commit env))
-  in
+  let reports = fixture clean_body in
   check_int "no reports" 0 (List.length reports)
+
+(* --- findings invariant under traced-mode charge batching --- *)
+
+(* The engine's [instrumented] fast path and the Env's traced-mode charge
+   batching must not perturb what the sanitizer sees: batching defers
+   tracer emission only — sanitizer records are never deferred or
+   coalesced.  Re-run the racy and clean fixtures with a full tracer
+   attached, batching on and off, and demand byte-identical reports. *)
+
+let fixture_traced ~batching f =
+  let (_, reports), _traces =
+    Trace.traced (fun () ->
+        San.sanitized (fun () ->
+            let engine = Engine.create () in
+            let layout = Layout.create () in
+            let hier = Hierarchy.create (Hierarchy.small_geometry ~cores:4) in
+            let spawn name core body =
+              Simthread.spawn engine ~name (fun ctx ->
+                  let env = Env.make ~ctx ~hier ~core in
+                  Env.set_trace_batching env batching;
+                  body env)
+            in
+            f engine layout spawn;
+            Engine.run_all engine))
+  in
+  List.map San.report_to_string reports
+
+let test_batching_invariant_racy () =
+  let on = fixture_traced ~batching:true racy_body in
+  let off = fixture_traced ~batching:false racy_body in
+  check_int "one report either way" 1 (List.length on);
+  Alcotest.(check (list string)) "identical findings" off on
+
+let test_batching_invariant_clean () =
+  let on = fixture_traced ~batching:true clean_body in
+  let off = fixture_traced ~batching:false clean_body in
+  check_int "clean either way" 0 (List.length on);
+  Alcotest.(check (list string)) "identical (empty) findings" off on
 
 (* producer/consumer slot handoff through a Ring: the ring's object edges
    order the slot traffic even though the threads interleave — no report *)
@@ -244,6 +283,10 @@ let () =
           Alcotest.test_case "ring handoff clean" `Quick test_ring_handoff;
           Alcotest.test_case "unlocked payload write flagged" `Quick
             test_lockset_violation;
+          Alcotest.test_case "racy pair invariant under charge batching"
+            `Quick test_batching_invariant_racy;
+          Alcotest.test_case "clean pair invariant under charge batching"
+            `Quick test_batching_invariant_clean;
         ] );
       ( "experiments",
         List.map

@@ -368,6 +368,75 @@ let test_profile_folded () =
     (String.split_on_char '\n' (String.trim text))
 
 (* ------------------------------------------------------------------ *)
+(* Batched charge accounting: observation equivalence                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The Env batches traced-mode cycle charges per site path and flushes at
+   site boundaries and commits (lib/mem/env.ml).  [tr_cycles] carries no
+   timestamp, so per-(thread, site-stack) totals must be bit-identical
+   whether every access reports individually (batching off) or as summed
+   batches (batching on, the default).  These tests pin that down. *)
+
+let batching_sim set_mode () =
+  let engine = Engine.create () in
+  let hier = Hierarchy.create (Hierarchy.small_geometry ~cores:2) in
+  for core = 0 to 1 do
+    Simthread.spawn engine
+      ~name:(Printf.sprintf "worker-%d" core)
+      (fun ctx ->
+        let env = Env.make ~ctx ~hier ~core in
+        for i = 0 to 19 do
+          set_mode env i;
+          Env.tagged env "outer" (fun () ->
+              Env.compute env 75;
+              Env.load env ~addr:((core * 8192) + (i * 64)) ~size:64;
+              Env.tagged env "inner" (fun () ->
+                  Env.store env ~addr:((core * 8192) + (i * 64)) ~size:8;
+                  Env.load_speculative env ~addr:(core * 8192) ~size:64));
+          Env.commit env
+        done)
+  done;
+  Engine.run_all engine
+
+let profile_of set_mode =
+  let _, traces = Trace.traced (batching_sim set_mode) in
+  let t = List.hd traces in
+  (Trace.profile_total t, Trace.profile_entries t)
+
+let test_batching_totals_identical () =
+  let total_on, entries_on =
+    profile_of (fun env _ ->
+        check_bool "batching is the default" true (Env.trace_batching env);
+        Env.set_trace_batching env true)
+  in
+  let total_off, entries_off =
+    profile_of (fun env _ -> Env.set_trace_batching env false)
+  in
+  check_bool "cycles attributed" true (total_on > 0);
+  check_int "profile totals identical" total_off total_on;
+  check_int "same stack count" (List.length entries_off)
+    (List.length entries_on);
+  List.iter2
+    (fun (stack_off, cycles_off) (stack_on, cycles_on) ->
+      check_string "stack key" stack_off stack_on;
+      check_int
+        (Printf.sprintf "cycles under %s" stack_off)
+        cycles_off cycles_on)
+    entries_off entries_on
+
+let test_batching_midrun_toggle_lossless () =
+  (* flipping the mode mid-run flushes the pending batch at the switch:
+     nothing is lost or double-counted relative to either pure mode *)
+  let total_on, entries_on =
+    profile_of (fun env _ -> Env.set_trace_batching env true)
+  in
+  let total_mix, entries_mix =
+    profile_of (fun env i -> Env.set_trace_batching env (i mod 3 <> 0))
+  in
+  check_int "totals identical" total_on total_mix;
+  check_bool "per-site entries identical" true (entries_on = entries_mix)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: the tentpole guarantee                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,6 +528,13 @@ let () =
         ] );
       ( "profile",
         [ Alcotest.test_case "folded stacks" `Quick test_profile_folded ] );
+      ( "charge batching",
+        [
+          Alcotest.test_case "per-site totals identical on/off" `Quick
+            test_batching_totals_identical;
+          Alcotest.test_case "mid-run toggle lossless" `Quick
+            test_batching_midrun_toggle_lossless;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "fig2a traced = untraced" `Slow
