@@ -11,6 +11,11 @@
      --jobs N       worker domains (default: Domain.recommended_domain_count)
      --json FILE    write all experiment rows as one canonical JSON document
      --json-dir DIR write DIR/BENCH_<name>.json per experiment
+     --perf-json F  write the engine-micro wall-clock perf rows (the
+                    mutps-cli trajectory input)
+     --sample[=K[,INTERVAL]]  interval-sampled experiments: truncated
+                    detailed simulation + functional warming, rows carry
+                    *_err reconstruction bounds (paper-scale CI lane)
    Scale via MUTPS_BENCH_SCALE (e.g. 0.25 for a quick pass).  Exits
    non-zero if any experiment raises, so CI sees broken experiments. *)
 
@@ -365,7 +370,10 @@ let run_engine_micro () =
         r.Report.metrics;
       print_newline ())
     rows;
-  (rows, [ gate_churn; gate_fig ], [ gate_sched ])
+  ( rows,
+    [ gate_churn; gate_fig ],
+    [ gate_sched ],
+    [ perf_churn; perf_sched; perf_fig ] )
 
 (* ------------------------------------------------------------------ *)
 (* Argument parsing and the parallel experiment pass                   *)
@@ -377,6 +385,8 @@ type opts = {
   json_dir : string option;
   gate_json : string option;
   sched_gate_json : string option;
+  perf_json : string option;
+  sample : string option;  (** [Some spec] = interval-sampled experiments *)
   micro : bool;
   engine_micro : bool;
   names : string list;  (** [] = all *)
@@ -385,8 +395,8 @@ type opts = {
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--json FILE] [--json-dir DIR] \
-     [--gate-json FILE] [--sched-gate-json FILE] \
-     [micro | engine-micro | EXPERIMENT...]";
+     [--gate-json FILE] [--sched-gate-json FILE] [--perf-json FILE] \
+     [--sample[=K[,INTERVAL]]] [micro | engine-micro | EXPERIMENT...]";
   exit 2
 
 let parse_args argv =
@@ -398,6 +408,8 @@ let parse_args argv =
         json_dir = None;
         gate_json = None;
         sched_gate_json = None;
+        perf_json = None;
+        sample = None;
         micro = false;
         engine_micro = false;
         names = [];
@@ -421,6 +433,17 @@ let parse_args argv =
       go rest
     | "--sched-gate-json" :: v :: rest ->
       opts := { !opts with sched_gate_json = Some v };
+      go rest
+    | "--perf-json" :: v :: rest ->
+      opts := { !opts with perf_json = Some v };
+      go rest
+    | "--sample" :: rest ->
+      opts := { !opts with sample = Some "" };
+      go rest
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--sample=" ->
+      opts :=
+        { !opts with
+          sample = Some (String.sub arg 9 (String.length arg - 9)) };
       go rest
     | "micro" :: rest ->
       opts := { !opts with micro = true };
@@ -456,8 +479,20 @@ let () =
     exit 2);
   let failures = ref 0 in
   let experiment_rows = ref [] in
+  let sample_cfg =
+    match opts.sample with
+    | None -> None
+    | Some spec -> (
+      match Mutps_sample.Sample.parse spec with
+      | Ok cfg -> Some cfg
+      | Error msg ->
+        Printf.eprintf "--sample: %s\n%!" msg;
+        exit 2)
+  in
   if names <> [] then begin
-    let scale = Harness.scale_from_env () in
+    let scale =
+      { (Harness.scale_from_env ()) with Harness.sample = sample_cfg }
+    in
     let outcomes =
       Runner.run_all ~jobs:opts.jobs
         ~on_done:(fun o ->
@@ -488,9 +523,9 @@ let () =
       Printf.eprintf "json: per-experiment files -> %s/BENCH_*.json\n%!" dir
     | None -> ()
   end;
-  let engine_rows, engine_gate_rows, sched_gate_rows =
+  let engine_rows, engine_gate_rows, sched_gate_rows, perf_rows =
     if opts.engine_micro || run_everything then run_engine_micro ()
-    else ([], [], [])
+    else ([], [], [], [])
   in
   (match opts.gate_json with
   | Some path ->
@@ -503,6 +538,12 @@ let () =
     Report.write_file path sched_gate_rows;
     Printf.eprintf "json: %d sched gate row(s) -> %s\n%!"
       (List.length sched_gate_rows) path
+  | None -> ());
+  (match opts.perf_json with
+  | Some path ->
+    Report.write_file path perf_rows;
+    Printf.eprintf "json: %d perf row(s) -> %s\n%!" (List.length perf_rows)
+      path
   | None -> ());
   (match opts.json with
   | Some path ->

@@ -138,7 +138,29 @@ let scale_term =
     let doc = "Measured simulated milliseconds." in
     Arg.(value & opt float 10.0 & info [ "measure-ms" ] ~doc)
   in
-  let combine keyspace cores clients window measure_ms =
+  let sample =
+    let doc =
+      "Interval sampling (SimPoint-style): simulate a truncated set of \
+       fixed-length intervals, fast-forward the rest under functional \
+       warming, and reconstruct full-run estimates with per-metric error \
+       bounds ($(i,*_err) metrics in the rows).  $(docv) is \
+       $(i,K)[,$(i,INTERVAL)] — phase count and interval length in \
+       simulated cycles; bare $(b,--sample) uses the defaults."
+    in
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "sample" ] ~docv:"SPEC" ~doc)
+  in
+  let combine keyspace cores clients window measure_ms sample =
+    let sample =
+      match sample with
+      | None -> None
+      | Some spec -> (
+        match Mutps_sample.Sample.parse spec with
+        | Ok cfg -> Some cfg
+        | Error msg ->
+          Printf.eprintf "--sample: %s\n%!" msg;
+          exit 1)
+    in
     {
       Harness.keyspace;
       cores;
@@ -146,9 +168,11 @@ let scale_term =
       window;
       warmup = int_of_float (0.4 *. measure_ms *. 2_500_000.0);
       measure = int_of_float (measure_ms *. 2_500_000.0);
+      sample;
     }
   in
-  Term.(const combine $ keyspace $ cores $ clients $ window $ measure_ms)
+  Term.(
+    const combine $ keyspace $ cores $ clients $ window $ measure_ms $ sample)
 
 (* --- list --- *)
 
@@ -276,6 +300,136 @@ let bench_compare_cmd =
          "Diff two canonical JSON result files; exit non-zero on any drift \
           (the CI bench-regression gate)")
     Term.(const run $ baseline $ current $ tolerance)
+
+(* --- trajectory: append-only perf history + one-sided regression gate --- *)
+
+(* BENCH_trajectory.json is a canonical Report document accumulated across
+   PRs: every [append] adds one entry (a row per *_perf case carrying
+   events_per_sec and sim_cycles_per_wall_second), and [check] diffs the
+   current perf rows against the latest entry with a one-sided tolerance —
+   wall-clock noise within the band and improvements of any size pass. *)
+
+let traj_perf_cases rows =
+  List.filter_map
+    (fun (r : Report.row) ->
+      match List.assoc_opt "case" r.Report.axis with
+      | Some case
+        when String.length case > 5
+             && String.sub case (String.length case - 5) 5 = "_perf" -> (
+        match
+          (Report.metric r "events_per_sec", Report.metric r "sim_cycles_per_sec")
+        with
+        | Some eps, Some cps -> Some (case, r.Report.system, eps, cps)
+        | _ -> None)
+      | _ -> None)
+    rows
+
+let traj_row ?entry (case, system, eps, cps) =
+  let axis =
+    ("case", case)
+    :: (match entry with None -> [] | Some n -> [ ("entry", Printf.sprintf "%04d" n) ])
+  in
+  Report.row ~experiment:"trajectory" ~system ~axis
+    [ ("events_per_sec", eps); ("sim_cycles_per_wall_second", cps) ]
+
+let traj_entries rows =
+  List.filter_map
+    (fun (r : Report.row) ->
+      match List.assoc_opt "entry" r.Report.axis with
+      | Some e -> int_of_string_opt e
+      | None -> None)
+    rows
+
+let trajectory_cmd =
+  let action =
+    Arg.(required & pos 0 (some (enum [ ("append", `Append); ("check", `Check) ])) None
+         & info [] ~docv:"ACTION"
+             ~doc:"$(b,append) records the current perf rows as a new \
+                   entry; $(b,check) gates them against the latest entry.")
+  in
+  let file =
+    Arg.(value & opt string "BENCH_trajectory.json"
+         & info [ "file" ] ~docv:"FILE"
+             ~doc:"Append-only trajectory document (committed to the repo).")
+  in
+  let perf =
+    Arg.(required & opt (some file) None
+         & info [ "perf" ] ~docv:"FILE"
+             ~doc:"Current perf rows: bench/main.exe engine-micro \
+                   --perf-json output.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Allowed one-sided wall-clock regression; improvements \
+                   always pass.")
+  in
+  let run action file perf tolerance =
+    let load path =
+      try Report.read_file path
+      with
+      | Report.Parse_error msg ->
+        Printf.eprintf "%s: parse error: %s\n%!" path msg;
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "%s\n%!" msg;
+        exit 2
+    in
+    let cases = traj_perf_cases (load perf) in
+    if cases = [] then begin
+      Printf.eprintf "trajectory: no *_perf rows in %s\n%!" perf;
+      exit 2
+    end;
+    let history = if Sys.file_exists file then load file else [] in
+    let last = List.fold_left max (-1) (traj_entries history) in
+    match action with
+    | `Append ->
+      let entry = last + 1 in
+      let rows = history @ List.map (traj_row ~entry) cases in
+      Report.write_file file rows;
+      Printf.printf "trajectory: entry %04d (%d case(s)) -> %s\n%!" entry
+        (List.length cases) file
+    | `Check ->
+      if last < 0 then begin
+        Printf.printf
+          "trajectory: %s has no entries yet; nothing to gate against\n%!" file;
+        exit 0
+      end;
+      let baseline =
+        List.filter_map
+          (fun (r : Report.row) ->
+            if List.assoc_opt "entry" r.Report.axis
+               = Some (Printf.sprintf "%04d" last)
+            then
+              Some
+                (Report.row ~experiment:"trajectory" ~system:r.Report.system
+                   ~axis:(List.remove_assoc "entry" r.Report.axis)
+                   r.Report.metrics)
+            else None)
+          history
+      in
+      let current = List.map (fun c -> traj_row c) cases in
+      (match Report.diff ~one_sided:true ~tolerance ~baseline ~current () with
+      | [] ->
+        Printf.printf
+          "trajectory: current perf within %.0f%% of entry %04d (%d case(s))\n%!"
+          (100.0 *. tolerance) last (List.length baseline)
+      | drifts ->
+        List.iter
+          (fun d -> Printf.printf "regression: %s\n" (Report.drift_to_string d))
+          drifts;
+        Printf.printf
+          "trajectory: %d regression(s) vs entry %04d (tolerance %.0f%%)\n%!"
+          (List.length drifts) last (100.0 *. tolerance);
+        exit 4)
+  in
+  Cmd.v
+    (Cmd.info "trajectory"
+       ~doc:
+         "Append-only perf history: record bench wall-clock rates per PR \
+          and fail on a >tolerance one-sided regression (the CI \
+          perf-trajectory gate, separate from the bit-exact gate)")
+    Term.(const run $ action $ file $ perf $ tolerance)
 
 (* --- serve: one ad-hoc measurement (simulated or native) --- *)
 
@@ -571,4 +725,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd ]))
+          [
+            list_cmd; run_cmd; serve_cmd; loadgen_cmd; bench_compare_cmd;
+            trajectory_cmd;
+          ]))

@@ -33,11 +33,15 @@ let cat_customize (built : Harness.built) =
     Hierarchy.set_clos hier ~core no_ddio
   done
 
+module Sample = Mutps_sample.Sample
+module Signature = Mutps_sample.Signature
+
 (* NP-TPS via deterministic replay: stage-1 threads poll/parse/respond
    immediately; stage-2 threads regenerate the same key sequence and do the
    index + data work, with no queue between them.  Both stages share the
    machine, so their cache interference is real; system throughput is the
-   slower stage's rate. *)
+   slower stage's rate.  Returns [(mops, err)]; the error bound is 0 for
+   exact runs. *)
 let tps_replay (scale : Harness.scale) spec ~n1 =
   let config = Harness.mk_config ~index:Kvs.Config.Tree scale in
   let backend = Kvs.Backend.create config in
@@ -102,23 +106,82 @@ let tps_replay (scale : Harness.scale) spec ~n1 =
         dispatch = Client.uniform_dispatch;
       }
   in
-  Engine.run backend.Kvs.Backend.engine ~until:scale.Harness.warmup;
-  Client.reset_stats clients;
-  stage2_ops := 0;
-  Engine.run backend.Kvs.Backend.engine
-    ~until:(scale.Harness.warmup + scale.Harness.measure);
   let g = Harness.ghz config in
-  let r1 =
-    Stats.mops ~ops:(Client.completed clients) ~cycles:scale.Harness.measure
-      ~ghz:g
-  in
-  let r2 = Stats.mops ~ops:!stage2_ops ~cycles:scale.Harness.measure ~ghz:g in
-  Float.min r1 r2
+  let engine = backend.Kvs.Backend.engine in
+  match scale.Harness.sample with
+  | None ->
+    Engine.run engine ~until:scale.Harness.warmup;
+    Client.reset_stats clients;
+    stage2_ops := 0;
+    Engine.run engine ~until:(scale.Harness.warmup + scale.Harness.measure);
+    let r1 =
+      Stats.mops ~ops:(Client.completed clients) ~cycles:scale.Harness.measure
+        ~ghz:g
+    in
+    let r2 = Stats.mops ~ops:!stage2_ops ~cycles:scale.Harness.measure ~ghz:g in
+    (Float.min r1 r2, 0.0)
+  | Some cfg ->
+    let hier = backend.Kvs.Backend.hier in
+    Engine.run engine ~until:(Harness.sampled_warmup cfg scale);
+    let src =
+      Signature.of_counters
+        (Array.append
+           [|
+             (fun () -> float_of_int (Client.completed clients));
+             (fun () -> float_of_int !stage2_ops);
+           |]
+           (Harness.hier_signature_counters hier))
+    in
+    let probe =
+      {
+        Sample.set_warming =
+          (fun on ->
+            Hierarchy.set_warming hier on;
+            Client.set_recording clients (not on));
+        begin_interval =
+          (fun () ->
+            Client.reset_stats clients;
+            stage2_ops := 0);
+        end_interval =
+          (fun () ->
+            [
+              ("stage1", float_of_int (Client.completed clients));
+              ("stage2", float_of_int !stage2_ops);
+            ]);
+        signature = (fun () -> Signature.take src);
+      }
+    in
+    let o = Sample.run cfg ~engine ~probe ~measure:scale.Harness.measure in
+    let e1 = List.assoc "stage1" o.Sample.metrics in
+    let e2 = List.assoc "stage2" o.Sample.metrics in
+    (* system throughput is the slower stage's; carry that stage's bound *)
+    let slower = if e1.Sample.value <= e2.Sample.value then e1 else e2 in
+    ( Harness.sampled_mops cfg ~ghz:g slower.Sample.value,
+      Harness.sampled_mops cfg ~ghz:g slower.Sample.err )
 
 let sizes_2a = [ 64; 256; 1024 ]
 
+(* Comma-separated int list from the environment, falling back to
+   [default] when unset/empty/unparseable.  Lets the paper-scale CI lane
+   trim the grid (each 10M-item cell is minutes of host time). *)
+let env_ints name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match
+      String.split_on_char ',' s
+      |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+    with
+    | [] -> default
+    | vals -> vals)
+
 let run_2a scale =
   Harness.section "Figure 2a: NP-TPS vs NP-TPQ vs NP-TPQ+CAT (uniform gets)";
+  let sizes =
+    List.filter
+      (fun s -> List.mem s (env_ints "MUTPS_FIG2A_SIZES" sizes_2a))
+      sizes_2a
+  in
   let rows =
     List.concat_map
       (fun size ->
@@ -133,21 +196,32 @@ let run_2a scale =
         in
         (* sweep the stage split like the paper's manual tuning *)
         let cores = scale.Harness.cores in
-        let best = ref 0.0 in
+        let best = ref 0.0 and best_err = ref 0.0 in
         List.iter
           (fun n1 ->
-            if n1 >= 1 && n1 < cores then
-              let r = tps_replay scale spec ~n1 in
-              if r > !best then best := r)
-          [ cores / 4; cores / 3; cores / 2; 2 * cores / 3 ];
+            if n1 >= 1 && n1 < cores then begin
+              let r, err = tps_replay scale spec ~n1 in
+              if r > !best then begin
+                best := r;
+                best_err := err
+              end
+            end)
+          (env_ints "MUTPS_FIG2A_SPLITS"
+             [ cores / 4; cores / 3; cores / 2; 2 * cores / 3 ]);
+        let tps_metrics =
+          ("mops", !best)
+          ::
+          (match scale.Harness.sample with
+          | Some _ -> [ ("mops_err", !best_err) ]
+          | None -> [])
+        in
         [
           Report.of_measurement ~experiment:"fig2a" ~system:"NP-TPQ" ~axis tpq;
           Report.of_measurement ~experiment:"fig2a" ~system:"NP-TPQ+CAT" ~axis
             cat;
-          Report.row ~experiment:"fig2a" ~system:"NP-TPS" ~axis
-            [ ("mops", !best) ];
+          Report.row ~experiment:"fig2a" ~system:"NP-TPS" ~axis tps_metrics;
         ])
-      sizes_2a
+      sizes
   in
   let table =
     Table.create [ "item size"; "NP-TPQ"; "NP-TPQ+CAT"; "NP-TPS (replay)" ]
@@ -165,7 +239,7 @@ let run_2a scale =
           Table.cell_f (m "NP-TPQ+CAT");
           Table.cell_f (m "NP-TPS");
         ])
-    sizes_2a;
+    sizes;
   Harness.print_table table;
   rows
 
@@ -222,11 +296,35 @@ let lookup_rate scale ~threads ~separated =
           Simthread.commit ctx
         done)
   done;
-  Engine.run backend.Kvs.Backend.engine ~until:scale.Harness.warmup;
-  ops := 0;
-  Engine.run backend.Kvs.Backend.engine
-    ~until:(scale.Harness.warmup + scale.Harness.measure);
-  Stats.mops ~ops:!ops ~cycles:scale.Harness.measure ~ghz:(Harness.ghz config)
+  let engine = backend.Kvs.Backend.engine in
+  let g = Harness.ghz config in
+  match scale.Harness.sample with
+  | None ->
+    Engine.run engine ~until:scale.Harness.warmup;
+    ops := 0;
+    Engine.run engine ~until:(scale.Harness.warmup + scale.Harness.measure);
+    (Stats.mops ~ops:!ops ~cycles:scale.Harness.measure ~ghz:g, 0.0)
+  | Some cfg ->
+    let hier = backend.Kvs.Backend.hier in
+    Engine.run engine ~until:(Harness.sampled_warmup cfg scale);
+    let src =
+      Signature.of_counters
+        (Array.append
+           [| (fun () -> float_of_int !ops) |]
+           (Harness.hier_signature_counters hier))
+    in
+    let probe =
+      {
+        Sample.set_warming = (fun on -> Hierarchy.set_warming hier on);
+        begin_interval = (fun () -> ops := 0);
+        end_interval = (fun () -> [ ("ops", float_of_int !ops) ]);
+        signature = (fun () -> Signature.take src);
+      }
+    in
+    let o = Sample.run cfg ~engine ~probe ~measure:scale.Harness.measure in
+    let e = List.assoc "ops" o.Sample.metrics in
+    ( Harness.sampled_mops cfg ~ghz:g e.Sample.value,
+      Harness.sampled_mops cfg ~ghz:g e.Sample.err )
 
 let run_2b scale =
   Harness.section
@@ -236,13 +334,20 @@ let run_2b scale =
     List.concat_map
       (fun threads ->
         let axis = [ ("threads", string_of_int threads) ] in
-        let base = lookup_rate scale ~threads ~separated:false in
-        let sep = lookup_rate scale ~threads ~separated:true in
+        let base, base_err = lookup_rate scale ~threads ~separated:false in
+        let sep, sep_err = lookup_rate scale ~threads ~separated:true in
+        let metrics v err =
+          ("mops", v)
+          ::
+          (match scale.Harness.sample with
+          | Some _ -> [ ("mops_err", err) ]
+          | None -> [])
+        in
         [
           Report.row ~experiment:"fig2b" ~system:"unified" ~axis
-            [ ("mops", base) ];
+            (metrics base base_err);
           Report.row ~experiment:"fig2b" ~system:"separated" ~axis
-            [ ("mops", sep) ];
+            (metrics sep sep_err);
         ])
       points
   in

@@ -7,18 +7,39 @@ module Ycsb = Mutps_workload.Ycsb
 module Opgen = Mutps_workload.Opgen
 module Kvs = Mutps_kvs
 
+(* The paper-scale CI lane trims the 48-cell grid through environment
+   knobs (reading the environment is as deterministic as a CLI flag):
+     MUTPS_FIG7_SIZES  comma-separated item sizes (default 8,64,256,1024)
+     MUTPS_FIG7_MIXES  comma-separated mix names  (default all six)
+     MUTPS_FIG7_INDEX  tree | hash | both         (default both) *)
+let env_list name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s ->
+    (match
+       List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+     with
+    | [] -> default
+    | l -> l)
+
 let mixes (scale : Harness.scale) size =
   let keyspace = scale.Harness.keyspace in
-  [
-    ("YCSB-A", Ycsb.a ~keyspace ~value_size:size ());
-    ("YCSB-B", Ycsb.b ~keyspace ~value_size:size ());
-    ("YCSB-C", Ycsb.c ~keyspace ~value_size:size ());
-    ("PUT-S", Ycsb.put_only ~keyspace ~value_size:size ());
-    ("GET-U", Ycsb.get_only_uniform ~keyspace ~value_size:size ());
-    ("PUT-U", Ycsb.put_only_uniform ~keyspace ~value_size:size ());
-  ]
+  let all =
+    [
+      ("YCSB-A", Ycsb.a ~keyspace ~value_size:size ());
+      ("YCSB-B", Ycsb.b ~keyspace ~value_size:size ());
+      ("YCSB-C", Ycsb.c ~keyspace ~value_size:size ());
+      ("PUT-S", Ycsb.put_only ~keyspace ~value_size:size ());
+      ("GET-U", Ycsb.get_only_uniform ~keyspace ~value_size:size ());
+      ("PUT-U", Ycsb.put_only_uniform ~keyspace ~value_size:size ());
+    ]
+  in
+  let wanted = env_list "MUTPS_FIG7_MIXES" (List.map fst all) in
+  List.filter (fun (name, _) -> List.mem name wanted) all
 
-let item_sizes = [ 8; 64; 256; 1024 ]
+let item_sizes () =
+  List.filter_map int_of_string_opt
+    (env_list "MUTPS_FIG7_SIZES" [ "8"; "64"; "256"; "1024" ])
 
 let passive_for index =
   match index with
@@ -72,7 +93,7 @@ let run_half scale index =
                 [ ("mops", passive) ];
             ])
           (mixes scale size))
-      item_sizes
+      (item_sizes ())
   in
   Harness.printf "\n";
   let table =
@@ -99,9 +120,12 @@ let run_half scale index =
                 (m "uTPS" /. Float.max (m "BaseKV") 1e-9);
             ])
         (mixes scale size))
-    item_sizes;
+    (item_sizes ());
   Harness.print_table table;
   rows
 
 let run scale =
-  run_half scale Kvs.Config.Tree @ run_half scale Kvs.Config.Hash
+  match Sys.getenv_opt "MUTPS_FIG7_INDEX" with
+  | Some "tree" -> run_half scale Kvs.Config.Tree
+  | Some "hash" -> run_half scale Kvs.Config.Hash
+  | _ -> run_half scale Kvs.Config.Tree @ run_half scale Kvs.Config.Hash

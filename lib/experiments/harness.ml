@@ -10,6 +10,9 @@ module Engine = Mutps_sim.Engine
 module Stats = Mutps_sim.Stats
 module Opgen = Mutps_workload.Opgen
 module Client = Mutps_net.Client
+module Hierarchy = Mutps_mem.Hierarchy
+module Sample = Mutps_sample.Sample
+module Signature = Mutps_sample.Signature
 module Kvs = Mutps_kvs
 
 type scale = {
@@ -19,6 +22,10 @@ type scale = {
   window : int;
   warmup : int;  (** cycles before stats reset *)
   measure : int;  (** measured cycles *)
+  sample : Sample.cfg option;
+      (** interval sampling: simulate only representative intervals of
+          the measured window and reconstruct full-run estimates with
+          error bounds (paper-scale runs); [None] = exact *)
 }
 
 (* Default scale: 200K-item store (vs the paper's 10M — same
@@ -32,11 +39,12 @@ let default_scale =
     window = 4;
     warmup = 10_000_000;
     measure = 25_000_000;
+    sample = None;
   }
 
 let scale_from_env () =
   match Sys.getenv_opt "MUTPS_BENCH_SCALE" with
-  | None -> default_scale
+  | None | Some "" -> default_scale
   | Some s ->
     let f = float_of_string s in
     let scaled v = max 1 (int_of_float (float_of_int v *. f)) in
@@ -62,6 +70,11 @@ type measurement = {
   p99_us : float;
   completed : int;
   cr_hit_rate : float;  (** μTPS only; 0 otherwise *)
+  extra : (string * float) list;
+      (** additional metrics carried into the report row; sampled runs
+          put their per-metric error bounds ([mops_err], ...) and
+          sampling bookkeeping ([sample_phases], [sample_coverage], ...)
+          here.  Empty for exact runs. *)
 }
 
 let ghz config = config.Kvs.Config.costs.Mutps_mem.Costs.ghz
@@ -160,7 +173,7 @@ let start_clients built (scale : scale) spec =
 
 (* Probe candidate CR/MR splits over short windows and keep the best — the
    grid-cell stand-in for a full auto-tuner pass. *)
-let calibrate_split built (scale : scale) clients =
+let calibrate_split ?probe built (scale : scale) clients =
   match built.kv_mutps with
   | None -> ()
   | Some kv ->
@@ -170,7 +183,11 @@ let calibrate_split built (scale : scale) clients =
       List.sort_uniq compare
         [ frac 1 4; frac 3 8; frac 1 2; frac 2 3; frac 3 4 ]
     in
-    let probe = max 2_500_000 (scale.measure / 6) in
+    let probe =
+      match probe with
+      | Some p -> p
+      | None -> max 2_500_000 (scale.measure / 6)
+    in
     let best = ref (-1) and best_rate = ref (-1) in
     List.iter
       (fun ncr ->
@@ -212,7 +229,7 @@ let calibrate_split built (scale : scale) clients =
       done
     end
 
-let measure ?index ?ncr ?tweak ?(calibrate = true) ?customize system scale spec =
+let measure_exact ?index ?ncr ?tweak ~calibrate ?customize system scale spec =
   let built = build ?index ?ncr ?tweak system scale spec in
   (match customize with Some f -> f built | None -> ());
   let clients = start_clients built scale spec in
@@ -243,7 +260,149 @@ let measure ?index ?ncr ?tweak ?(calibrate = true) ?customize system scale spec 
     p99_us = cycles_to_us (Stats.Hist.percentile hist 99.0);
     completed;
     cr_hit_rate;
+    extra = [];
   }
+
+(* ---- interval sampling (lib/sample) ------------------------------- *)
+
+(* Warmup brings the caches and hot set to steady state; its length does
+   not need to track a paper-scale measured window. *)
+let sampled_warmup cfg (scale : scale) = min scale.warmup cfg.Sample.max_warmup
+
+(* Short calibration probes in sampled mode: the exact-mode formula
+   scales with the (possibly enormous) nominal window. *)
+let sampled_probe (scale : scale) =
+  max 100_000 (min 2_500_000 (scale.measure / 6))
+
+(* Aggregated hierarchy counters as ad-hoc signature features, for
+   drivers that run without a metrics registry (fig2a replay, fig2b). *)
+let hier_signature_counters hier =
+  let cores = Hierarchy.cores hier in
+  let agg f () =
+    let acc = ref 0 in
+    for core = 0 to cores - 1 do
+      acc := !acc + f (Hierarchy.core_stats hier ~core)
+    done;
+    float_of_int !acc
+  in
+  [|
+    agg (fun s -> s.Hierarchy.l1_hits);
+    agg (fun s -> s.Hierarchy.l2_hits);
+    agg (fun s -> s.Hierarchy.llc_hits);
+    agg (fun s -> s.Hierarchy.dram_fetches);
+    agg (fun s -> s.Hierarchy.invalidations_sent);
+    agg (fun s -> s.Hierarchy.dirty_transfers);
+  |]
+
+(* Per-interval estimates scale to full-run numbers: ops in an interval
+   of [cfg.interval] cycles -> Mops, and -> a completed count over the
+   nominal window. *)
+let sampled_mops cfg ~ghz v = v /. float_of_int cfg.Sample.interval *. ghz *. 1000.0
+
+let measure_sampled ?index ?ncr ?tweak ~calibrate ?customize cfg system
+    (scale : scale) spec =
+  (* a private registry so the build's subsystem constructors register
+     this system's signature sources, whatever the ambient observability
+     setup; restored right after the build *)
+  let outer = Mutps_trace.Metrics.current () in
+  let reg = Mutps_trace.Metrics.create () in
+  Mutps_trace.Metrics.set_current (Some reg);
+  let built =
+    Fun.protect
+      ~finally:(fun () -> Mutps_trace.Metrics.set_current outer)
+      (fun () -> build ?index ?ncr ?tweak system scale spec)
+  in
+  (match customize with Some f -> f built | None -> ());
+  let clients = start_clients built scale spec in
+  Engine.run built.engine ~until:(sampled_warmup cfg scale);
+  if system = Mutps && calibrate then
+    calibrate_split ~probe:(sampled_probe scale) built scale clients;
+  (match built.kv_mutps with
+  | Some kv -> Kvs.Mutps.refresh_now kv
+  | None -> ());
+  let hier = built.backend.Kvs.Backend.hier in
+  let src =
+    Signature.of_metrics ~engine_id:(Engine.id built.engine) reg
+  in
+  let hits0 = ref 0 in
+  let probe =
+    {
+      Sample.set_warming =
+        (fun on ->
+          Hierarchy.set_warming hier on;
+          Client.set_recording clients (not on));
+      begin_interval =
+        (fun () ->
+          Client.reset_stats clients;
+          hits0 :=
+            (match built.kv_mutps with
+            | Some kv -> Kvs.Mutps.cr_hits kv
+            | None -> 0));
+      end_interval =
+        (fun () ->
+          let completed = Client.completed clients in
+          let hist = Client.latency clients in
+          let hits =
+            (match built.kv_mutps with
+            | Some kv -> Kvs.Mutps.cr_hits kv
+            | None -> 0)
+            - !hits0
+          in
+          [
+            ("ops", float_of_int completed);
+            ("p50", float_of_int (Stats.Hist.percentile hist 50.0));
+            ("p99", float_of_int (Stats.Hist.percentile hist 99.0));
+            ("cr_hits", float_of_int hits);
+          ]);
+      signature = (fun () -> Signature.take src);
+    }
+  in
+  let o = Sample.run cfg ~engine:built.engine ~probe ~measure:scale.measure in
+  let g = ghz (mk_config scale) in
+  let est name = List.assoc name o.Sample.metrics in
+  let ops = est "ops" and p50 = est "p50" and p99 = est "p99" in
+  let crh = est "cr_hits" in
+  let cycles_to_us c = c /. g /. 1000.0 in
+  let full v = v *. float_of_int scale.measure /. float_of_int cfg.Sample.interval in
+  let safe_ops = Float.max ops.Sample.value 1.0 in
+  let cr_hit_rate =
+    match built.kv_mutps with
+    | Some _ -> Float.max 0.0 (crh.Sample.value /. safe_ops)
+    | None -> 0.0
+  in
+  (* ratio error: relative errors of numerator and denominator add *)
+  let cr_hit_rate_err =
+    cr_hit_rate
+    *. ((crh.Sample.err /. Float.max crh.Sample.value 1.0)
+        +. (ops.Sample.err /. safe_ops))
+  in
+  {
+    mops = sampled_mops cfg ~ghz:g ops.Sample.value;
+    p50_us = cycles_to_us p50.Sample.value;
+    p99_us = cycles_to_us p99.Sample.value;
+    completed = int_of_float (Float.round (full ops.Sample.value));
+    cr_hit_rate;
+    extra =
+      [
+        ("mops_err", sampled_mops cfg ~ghz:g ops.Sample.err);
+        ("p50_us_err", cycles_to_us p50.Sample.err);
+        ("p99_us_err", cycles_to_us p99.Sample.err);
+        ("completed_err", Float.round (full ops.Sample.err));
+        ("cr_hit_rate_err", cr_hit_rate_err);
+        ("sample_phases", float_of_int o.Sample.phases);
+        ("sample_intervals", float_of_int o.Sample.intervals);
+        ("sample_detailed", float_of_int o.Sample.detailed);
+        ("sample_coverage", o.Sample.coverage);
+      ];
+  }
+
+let measure ?index ?ncr ?tweak ?(calibrate = true) ?customize system scale spec =
+  match scale.sample with
+  | None ->
+    measure_exact ?index ?ncr ?tweak ~calibrate ?customize system scale spec
+  | Some cfg ->
+    measure_sampled ?index ?ncr ?tweak ~calibrate ?customize cfg system scale
+      spec
 
 (* Domain-local output sink.  Experiments never print to stdout directly;
    they write through [printf]/[print_table], which the parallel runner

@@ -28,13 +28,14 @@ let row ~experiment ?(system = "") ~axis metrics =
 
 let of_measurement ~experiment ~system ~axis (m : Harness.measurement) =
   row ~experiment ~system ~axis
-    [
-      ("completed", float_of_int m.Harness.completed);
-      ("cr_hit_rate", m.Harness.cr_hit_rate);
-      ("mops", m.Harness.mops);
-      ("p50_us", m.Harness.p50_us);
-      ("p99_us", m.Harness.p99_us);
-    ]
+    ([
+       ("completed", float_of_int m.Harness.completed);
+       ("cr_hit_rate", m.Harness.cr_hit_rate);
+       ("mops", m.Harness.mops);
+       ("p50_us", m.Harness.p50_us);
+       ("p99_us", m.Harness.p99_us);
+     ]
+    @ m.Harness.extra)
 
 let metric r name = List.assoc_opt name r.metrics
 
@@ -360,14 +361,18 @@ let row_label r =
    comparison is performed on the canonical rendering: a baseline loaded
    from disk and a freshly measured value agree iff their canonical
    strings do. *)
-let within ~tolerance expected actual =
+let within ?(one_sided = false) ~tolerance expected actual =
   if tolerance <= 0.0 then
     float_to_string expected = float_to_string actual
+  else if one_sided then
+    (* regression gate: only a drop below the tolerated fraction of the
+       baseline is drift; improvements always pass *)
+    actual >= expected *. (1.0 -. tolerance)
   else
     Float.abs (expected -. actual)
     <= tolerance *. Float.max (Float.abs expected) (Float.abs actual)
 
-let diff ?(tolerance = 0.0) ~baseline ~current () =
+let diff ?(one_sided = false) ?(tolerance = 0.0) ~baseline ~current () =
   let index rows = List.map (fun r -> (row_key r, r)) rows in
   let bidx = index baseline and cidx = index current in
   let drifts = ref [] in
@@ -383,7 +388,7 @@ let diff ?(tolerance = 0.0) ~baseline ~current () =
             | None ->
               push (Metric_drift { base; name; expected; actual = None })
             | Some actual ->
-              if not (within ~tolerance expected actual) then
+              if not (within ~one_sided ~tolerance expected actual) then
                 push
                   (Metric_drift { base; name; expected; actual = Some actual }))
           base.metrics;

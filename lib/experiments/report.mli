@@ -21,7 +21,9 @@ val of_measurement :
   experiment:string -> system:string -> axis:(string * string) list ->
   Harness.measurement -> row
 (** A row carrying the harness's standard metrics: completed,
-    cr_hit_rate, mops, p50_us, p99_us. *)
+    cr_hit_rate, mops, p50_us, p99_us — plus the measurement's [extra]
+    metrics (sampled runs: [*_err] error bounds and [sample_*]
+    bookkeeping). *)
 
 val metric : row -> string -> float option
 val metric_exn : row -> string -> float
@@ -72,12 +74,14 @@ type drift =
     }
 
 val diff :
-  ?tolerance:float -> baseline:row list -> current:row list -> unit ->
-  drift list
+  ?one_sided:bool -> ?tolerance:float -> baseline:row list ->
+  current:row list -> unit -> drift list
 (** Rows are keyed by (experiment, system, axis).  With [tolerance] 0
     (the default) metric values must agree exactly (canonical renderings
     equal); otherwise a relative tolerance
-    [|e - a| <= tolerance * max |e| |a|] applies. *)
+    [|e - a| <= tolerance * max |e| |a|] applies.  With [one_sided]
+    (the perf-trajectory gate) only [actual < expected * (1 - tolerance)]
+    counts as drift — higher-is-better metrics may improve freely. *)
 
 val drift_to_string : drift -> string
 val row_label : row -> string

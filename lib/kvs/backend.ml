@@ -71,7 +71,13 @@ let create (config : Config.t) =
   in
   let hier = Hierarchy.create ~costs:config.Config.costs geometry in
   let layout = Layout.create () in
-  let slab = Slab.create layout () in
+  (* paper-scale keyspaces (10M items) overflow the 1 GiB default region
+     of their item class; tell the slab the expected item count so it can
+     size that class's region as it is created.  Classes the run never
+     allocates from cost no simulated address space at all. *)
+  let slab =
+    Slab.create layout ~expected_items:config.Config.capacity ()
+  in
   let index =
     match config.Config.index with
     | Config.Hash ->

@@ -80,6 +80,19 @@ type t = {
   stats : mutable_stats array;
   mutable nic_llc_hits : int;
   mutable nic_llc_misses : int;
+  (* Functional-warming regime (interval sampling, lib/sample): when on,
+     CPU accesses bypass the cache arrays and pay a flat per-line cost
+     calibrated from the hit mix observed so far; the hit-mix statistics
+     continue deterministically at the calibrated ratios so interval
+     signatures stay comparable across regimes.  NIC DMA stays detailed
+     (it keeps LLC/DDIO state live). *)
+  mutable warming : bool;
+  mutable warm_load_cost : int;
+  mutable warm_store_cost : int;
+  mutable warm_l1 : int;  (* cumulative mix thresholds out of 1024 *)
+  mutable warm_l2 : int;
+  mutable warm_llc : int;
+  mutable warm_tick : int;
 }
 
 let fresh_stats () : mutable_stats =
@@ -112,6 +125,13 @@ let create ?(costs = Costs.default) geometry =
     stats = Array.init geometry.cores (fun _ -> fresh_stats ());
     nic_llc_hits = 0;
     nic_llc_misses = 0;
+    warming = false;
+    warm_load_cost = costs.Costs.l2_hit;
+    warm_store_cost = costs.Costs.l2_hit + 1;
+    warm_l1 = 720;
+    warm_l2 = 920;
+    warm_llc = 990;
+    warm_tick = 0;
   }
 
 let geometry t = t.geometry
@@ -280,6 +300,56 @@ let access_line t ~core ~line ~write =
   end
   else base_latency
 
+(* Synthesize the calibrated hit mix during warming: a rotating residue
+   mod 1024 (odd stride, full period) is compared against the cumulative
+   thresholds, so the generated mix converges on the calibrated ratios
+   deterministically and without allocation. *)
+let rec warm_account t (st : mutable_stats) n =
+  if n > 0 then begin
+    let r = t.warm_tick land 1023 in
+    t.warm_tick <- t.warm_tick + 421;
+    if r < t.warm_l1 then st.l1_hits <- st.l1_hits + 1
+    else if r < t.warm_l2 then st.l2_hits <- st.l2_hits + 1
+    else if r < t.warm_llc then st.llc_hits <- st.llc_hits + 1
+    else st.dram_fetches <- st.dram_fetches + 1;
+    warm_account t st (n - 1)
+  end
+
+let set_warming t on =
+  if on && not t.warming then begin
+    (* calibrate the flat per-line costs and the synthetic mix from the
+       traffic observed so far (warmup + detailed intervals) *)
+    let l1 = ref 0 and l2 = ref 0 and llc = ref 0 and dram = ref 0
+    and dirty = ref 0 and inv = ref 0 in
+    Array.iter
+      (fun (s : mutable_stats) ->
+        l1 := !l1 + s.l1_hits;
+        l2 := !l2 + s.l2_hits;
+        llc := !llc + s.llc_hits;
+        dram := !dram + s.dram_fetches;
+        dirty := !dirty + s.dirty_transfers;
+        inv := !inv + s.invalidations_sent)
+      t.stats;
+    let acc = !l1 + !l2 + !llc + !dram in
+    if acc > 0 then begin
+      let c = t.costs in
+      let cyc =
+        (!l1 * c.Costs.l1_hit) + (!l2 * c.Costs.l2_hit)
+        + (!llc * c.Costs.llc_hit) + (!dram * c.Costs.dram)
+        + (!dirty * c.Costs.dirty_transfer)
+      in
+      t.warm_load_cost <- max 1 (cyc / acc);
+      t.warm_store_cost <- max 1 ((cyc + (!inv * c.Costs.invalidate)) / acc);
+      t.warm_l1 <- !l1 * 1024 / acc;
+      t.warm_l2 <- t.warm_l1 + (!l2 * 1024 / acc);
+      t.warm_llc <- t.warm_l2 + (!llc * 1024 / acc)
+    end
+    (* no traffic yet: keep the constructor's L2-ish defaults *)
+  end;
+  t.warming <- on
+
+let warming t = t.warming
+
 let rec multi_line_loop t ~core ~write first n sf i total =
   if i >= n then total
   else begin
@@ -296,9 +366,16 @@ let rec multi_line_loop t ~core ~write first n sf i total =
   end
 
 let multi_line t ~core ~addr ~size ~write =
-  let first = Layout.line_of_addr addr in
-  let n = Layout.lines_spanned ~addr ~size in
-  multi_line_loop t ~core ~write first n t.costs.Costs.stream_factor 0 0
+  if t.warming then begin
+    let n = Layout.lines_spanned ~addr ~size in
+    warm_account t (Array.unsafe_get t.stats core) n;
+    n * (if write then t.warm_store_cost else t.warm_load_cost)
+  end
+  else begin
+    let first = Layout.line_of_addr addr in
+    let n = Layout.lines_spanned ~addr ~size in
+    multi_line_loop t ~core ~write first n t.costs.Costs.stream_factor 0 0
+  end
 
 let[@hot] load t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:false
 let[@hot] store t ~core ~addr ~size = multi_line t ~core ~addr ~size ~write:true
@@ -321,6 +398,13 @@ let rec prefetch_loop t ~core addrs n mlp i total group_max in_group =
 let[@hot] prefetch_batch t ~core addrs =
   let n = Array.length addrs in
   if n = 0 then 0
+  else if t.warming then begin
+    let c = t.costs in
+    warm_account t (Array.unsafe_get t.stats core) n;
+    (* each MLP group pays one flat fetch, plus the issue slots *)
+    (((n + c.Costs.mlp - 1) / c.Costs.mlp) * t.warm_load_cost)
+    + (n * c.Costs.prefetch_issue)
+  end
   else begin
     let c = t.costs in
     prefetch_loop t ~core addrs n c.Costs.mlp 0 0 0 0

@@ -65,6 +65,23 @@ val ddio_mask : t -> int
 val full_llc_mask : t -> int
 val llc_ways : t -> int
 
+(** {1 Functional warming (interval sampling)} *)
+
+val set_warming : t -> bool -> unit
+(** Switch the CPU-side cost model into (or out of) the functional-warming
+    regime used by [mutps.sample] to fast-forward between detailed
+    intervals.  While on, {!load}/{!store}/{!prefetch_batch} bypass the
+    cache arrays and charge a flat per-line cost calibrated — at the
+    moment of switching on — from the hit mix observed so far; the
+    per-core hit statistics continue deterministically at the calibrated
+    ratios so interval signatures remain comparable across regimes.  The
+    under-test state machines (store, index, hot set, queues) still run
+    for real; only cache-array contents go stale, which is why the
+    sampler re-runs a short detailed prefix before each measured
+    interval.  NIC DMA ({!dma_write}/{!dma_read}) stays detailed. *)
+
+val warming : t -> bool
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -29,6 +29,7 @@ type t = {
   monitor : Stats.Monitor.t;
   mutable completed : int;
   mutable sent : int;
+  mutable recording : bool;
   mutable hook : (Opgen.op -> bytes option -> unit) option;
 }
 
@@ -80,8 +81,10 @@ let issue t client =
 
 let on_response t (msg : Message.t) value =
   let now = Engine.now t.engine in
-  Stats.Hist.add t.latency (now - msg.Message.sent_at);
-  Stats.Monitor.record t.monitor ~now 1;
+  if t.recording then begin
+    Stats.Hist.add t.latency (now - msg.Message.sent_at);
+    Stats.Monitor.record t.monitor ~now 1
+  end;
   t.completed <- t.completed + 1;
   (match Hashtbl.find_opt t.in_flight msg.Message.id with
   | Some op ->
@@ -109,6 +112,7 @@ let start ~engine ~link ~transport cfg =
       monitor = Stats.Monitor.create ~window:2_500_000;
       completed = 0;
       sent = 0;
+      recording = true;
       hook = None;
     }
   in
@@ -142,4 +146,5 @@ let reset_stats t =
   t.completed <- 0;
   t.sent <- 0
 
+let set_recording t on = t.recording <- on
 let on_completion t f = t.hook <- Some f

@@ -48,6 +48,12 @@ val monitor : t -> Mutps_sim.Stats.Monitor.t
 
 val reset_stats : t -> unit
 
+val set_recording : t -> bool -> unit
+(** While off, responses still drive the closed loop and count towards
+    {!completed}, but skip the latency histogram and throughput monitor —
+    used by the interval sampler's functional-warming regime.  On by
+    default. *)
+
 val payload : key:int64 -> size:int -> bytes
 (** Deterministic put payload for a key — lets tests verify end-to-end
     value integrity. *)

@@ -1,0 +1,106 @@
+module Rng = Mutps_sim.Rng
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Weighted choice for k-means++: pick the first index whose cumulative
+   weight reaches [target].  Falls back to the last index (rounding). *)
+let weighted_pick weights target =
+  let n = Array.length weights in
+  let acc = ref 0.0 and chosen = ref (n - 1) and i = ref 0 in
+  let searching = ref true in
+  while !searching && !i < n do
+    acc := !acc +. weights.(!i);
+    if !acc >= target then begin
+      chosen := !i;
+      searching := false
+    end;
+    incr i
+  done;
+  !chosen
+
+let cluster ~k ~seed ?(iters = 30) points =
+  let n = Array.length points in
+  if n = 0 then ([||], [||])
+  else begin
+    let k = max 1 (min k n) in
+    let dim = Array.length points.(0) in
+    let rng = Rng.create seed in
+    (* k-means++ seeding: each next center drawn proportionally to the
+       squared distance from the nearest already-chosen center *)
+    let centers = Array.make k [||] in
+    centers.(0) <- Array.copy points.(Rng.int rng n);
+    let d2 = Array.map (fun p -> sq_dist p centers.(0)) points in
+    for c = 1 to k - 1 do
+      let total = Array.fold_left ( +. ) 0.0 d2 in
+      let idx =
+        if total <= 0.0 then Rng.int rng n
+        else weighted_pick d2 (Rng.float rng *. total)
+      in
+      centers.(c) <- Array.copy points.(idx);
+      Array.iteri
+        (fun i p ->
+          let d = sq_dist p centers.(c) in
+          if d < d2.(i) then d2.(i) <- d)
+        points
+    done;
+    let assign = Array.make n (-1) in
+    let nearest p =
+      let best = ref 0 and bestd = ref (sq_dist p centers.(0)) in
+      for c = 1 to k - 1 do
+        let d = sq_dist p centers.(c) in
+        (* strict <: ties keep the lowest index *)
+        if d < !bestd then begin
+          bestd := d;
+          best := c
+        end
+      done;
+      !best
+    in
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let counts = Array.make k 0 in
+    let changed = ref true in
+    let round = ref 0 in
+    while !changed && !round < iters do
+      incr round;
+      changed := false;
+      Array.iteri
+        (fun i p ->
+          let c = nearest p in
+          if c <> assign.(i) then changed := true;
+          assign.(i) <- c)
+        points;
+      if !changed then begin
+        Array.iter (fun s -> Array.fill s 0 dim 0.0) sums;
+        Array.fill counts 0 k 0;
+        Array.iteri
+          (fun i p ->
+            let c = assign.(i) in
+            counts.(c) <- counts.(c) + 1;
+            let s = sums.(c) in
+            for j = 0 to dim - 1 do
+              s.(j) <- s.(j) +. p.(j)
+            done)
+          points;
+        for c = 0 to k - 1 do
+          (* an empty cluster keeps its previous centroid *)
+          if counts.(c) > 0 then begin
+            let s = sums.(c) and m = float_of_int counts.(c) in
+            let ctr = Array.make dim 0.0 in
+            for j = 0 to dim - 1 do
+              ctr.(j) <- s.(j) /. m
+            done;
+            centers.(c) <- ctr
+          end
+        done
+      end
+    done;
+    (* final assignment against the final centroids *)
+    Array.iteri (fun i p -> assign.(i) <- nearest p) points;
+    (assign, centers)
+  end

@@ -1,0 +1,19 @@
+(** Deterministic k-means for interval signatures.
+
+    Seeded k-means++ initialization over {!Mutps_sim.Rng} (no ambient
+    randomness — R1 clean), a fixed number of Lloyd iterations with an
+    early exit when the assignment stabilizes, and index-order tie-breaks
+    everywhere, so the clustering is a pure function of
+    [(points, k, seed)]. *)
+
+val sq_dist : float array -> float array -> float
+(** Squared Euclidean distance (vectors must have equal length). *)
+
+val cluster :
+  k:int -> seed:int -> ?iters:int -> float array array ->
+  int array * float array array
+(** [cluster ~k ~seed points] returns [(assignment, centroids)] where
+    [assignment.(i)] is the centroid index of [points.(i)].  [k] is
+    clamped to [1 .. Array.length points]; empty input yields
+    [([||], [||])].  Empty clusters keep their previous centroid.  On
+    distance ties the lowest centroid index wins. *)

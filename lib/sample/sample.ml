@@ -1,0 +1,196 @@
+module Engine = Mutps_sim.Engine
+
+type cfg = {
+  k : int;
+  interval : int;
+  stride : int;
+  max_intervals : int;
+  max_warmup : int;
+  rewarm_frac : float;
+  err_z : float;
+  rel_floor : float;
+  seed : int;
+}
+
+let default =
+  {
+    k = 6;
+    interval = 2_000_000;
+    stride = 4;
+    max_intervals = 64;
+    max_warmup = 12_500_000;
+    rewarm_frac = 0.25;
+    err_z = 1.96;
+    rel_floor = 0.03;
+    seed = 42;
+  }
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok default
+  else
+    match String.split_on_char ',' s with
+    | [ k ] -> (
+      match int_of_string_opt (String.trim k) with
+      | Some k when k >= 1 -> Ok { default with k }
+      | _ -> Error (Printf.sprintf "bad phase count %S (expected K >= 1)" k))
+    | [ k; interval ] -> (
+      match
+        (int_of_string_opt (String.trim k), int_of_string_opt (String.trim interval))
+      with
+      | Some k, Some interval when k >= 1 && interval >= 10_000 ->
+        Ok { default with k; interval }
+      | _ ->
+        Error
+          (Printf.sprintf "bad spec %S (expected K,INTERVAL with K >= 1, INTERVAL >= 10000)"
+             s))
+    | _ -> Error (Printf.sprintf "bad spec %S (expected K or K,INTERVAL)" s)
+
+let to_string cfg = Printf.sprintf "%d,%d" cfg.k cfg.interval
+
+type probe = {
+  set_warming : bool -> unit;
+  begin_interval : unit -> unit;
+  end_interval : unit -> (string * float) list;
+  signature : unit -> float array;
+}
+
+type estimate = { value : float; err : float }
+
+type outcome = {
+  metrics : (string * estimate) list;
+  phases : int;
+  nominal : int;
+  intervals : int;
+  detailed : int;
+  coverage : float;
+}
+
+let run cfg ~engine ~probe ~measure =
+  let l = cfg.interval in
+  let nominal = max 1 ((measure + l - 1) / l) in
+  let nsim = min nominal (max 1 cfg.max_intervals) in
+  let rewarm =
+    max 0 (int_of_float (cfg.rewarm_frac *. float_of_int l))
+  in
+  let sigs = Array.make nsim [||] in
+  let observed = Array.make nsim None in
+  let simulated = ref 0 in
+  let run_for cycles =
+    Engine.run engine ~until:(Engine.now engine + cycles);
+    simulated := !simulated + cycles
+  in
+  (* baseline: the next [signature] covers exactly interval 0 *)
+  ignore (probe.signature ());
+  let warming = ref false in
+  for i = 0 to nsim - 1 do
+    if i mod cfg.stride = 0 then begin
+      (* detailed interval *)
+      if !warming then begin
+        probe.set_warming false;
+        warming := false;
+        if rewarm > 0 then begin
+          (* re-warm the cache arrays after the frozen regime; excluded
+             from both the metrics window and this interval's signature *)
+          run_for rewarm;
+          ignore (probe.signature ())
+        end
+      end;
+      probe.begin_interval ();
+      run_for l;
+      sigs.(i) <- probe.signature ();
+      observed.(i) <- Some (probe.end_interval ())
+    end
+    else begin
+      if not !warming then begin
+        probe.set_warming true;
+        warming := true
+      end;
+      run_for l;
+      sigs.(i) <- probe.signature ()
+    end
+  done;
+  if !warming then probe.set_warming false;
+  (* ---- phase detection ---- *)
+  let k = max 1 (min cfg.k nsim) in
+  let assign, centers = Kmeans.cluster ~k ~seed:cfg.seed sigs in
+  let counts = Array.make k 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) assign;
+  let has_detail = Array.make k false in
+  Array.iteri
+    (fun i c -> if observed.(i) <> None then has_detail.(c) <- true)
+    assign;
+  (* a phase seen only while warming borrows the nearest phase that has a
+     detailed member (interval 0 is always detailed, so one exists) *)
+  let source =
+    Array.init k (fun c ->
+        if has_detail.(c) || counts.(c) = 0 then c
+        else begin
+          let best = ref c and bestd = ref infinity in
+          for c' = 0 to k - 1 do
+            if has_detail.(c') then begin
+              let d = Kmeans.sq_dist centers.(c) centers.(c') in
+              if d < !bestd then begin
+                bestd := d;
+                best := c'
+              end
+            end
+          done;
+          !best
+        end)
+  in
+  (* ---- weighted reconstruction ---- *)
+  let names =
+    match observed.(0) with Some m -> List.map fst m | None -> []
+  in
+  let total = float_of_int nsim in
+  let estimate name =
+    let est = ref 0.0 and var_term = ref 0.0 in
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then begin
+        let src = source.(c) in
+        let sum = ref 0.0 and sumsq = ref 0.0 and m = ref 0 in
+        Array.iteri
+          (fun i c' ->
+            if c' = src then
+              match observed.(i) with
+              | Some ms -> (
+                match List.assoc_opt name ms with
+                | Some v ->
+                  sum := !sum +. v;
+                  sumsq := !sumsq +. (v *. v);
+                  incr m
+                | None -> ())
+              | None -> ())
+          assign;
+        if !m > 0 then begin
+          let w = float_of_int counts.(c) /. total in
+          let fm = float_of_int !m in
+          let mean = !sum /. fm in
+          let var =
+            if !m > 1 then
+              Float.max 0.0 ((!sumsq -. (!sum *. !sum /. fm)) /. (fm -. 1.0))
+            else 0.0
+          in
+          est := !est +. (w *. mean);
+          var_term := !var_term +. (w *. w *. var /. fm)
+        end
+      end
+    done;
+    let err =
+      (cfg.err_z *. sqrt !var_term) +. (cfg.rel_floor *. Float.abs !est)
+    in
+    (name, { value = !est; err })
+  in
+  let phases = Array.fold_left (fun a n -> if n > 0 then a + 1 else a) 0 counts in
+  let detailed =
+    Array.fold_left (fun a o -> if o <> None then a + 1 else a) 0 observed
+  in
+  {
+    metrics = List.map estimate names;
+    phases;
+    nominal;
+    intervals = nsim;
+    detailed;
+    coverage = Float.min 1.0 (float_of_int !simulated /. float_of_int measure);
+  }

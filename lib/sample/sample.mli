@@ -1,0 +1,77 @@
+(** Interval sampling for paper-scale runs (SimPoint-style).
+
+    A measured window is cut into fixed-length intervals.  A strided
+    subset runs *detailed* (full cost model, metrics collected); the rest
+    run in the cheap *functional warming* regime (the event loop,
+    store/index/hot-set state and schedules all advance for real; only
+    the cache-latency model is flattened — see
+    {!Mutps_mem.Hierarchy.set_warming}).  Every interval yields a
+    {!Signature} feature vector; seeded k-means clusters them into
+    phases, and each metric is reconstructed as the phase-weighted mean
+    of its detailed observations, with a per-metric error bound
+    (z × weighted standard error across phases + a relative floor for
+    the warming/truncation bias).
+
+    Long windows are additionally truncated: at most [max_intervals]
+    intervals are simulated and the phase weights extrapolate to the
+    nominal window, which is what makes 10M-item runs land in CI-budget
+    minutes.
+
+    Everything is deterministic — seeded clustering, no wall clock — so
+    sampled runs are bit-identical across [--jobs] and tracing on/off. *)
+
+type cfg = {
+  k : int;  (** phase count (clamped to the interval count) *)
+  interval : int;  (** interval length in simulated cycles *)
+  stride : int;  (** every [stride]-th interval runs detailed *)
+  max_intervals : int;  (** truncation cap on simulated intervals *)
+  max_warmup : int;
+      (** warmup cap in cycles — cache/hot-set warmup does not need to
+          scale with the measured window *)
+  rewarm_frac : float;
+      (** fraction of an interval re-run detailed (and excluded from
+          stats) after warming, to refresh the cache arrays *)
+  err_z : float;  (** multiplier on the weighted standard error *)
+  rel_floor : float;  (** relative bias allowance added to every bound *)
+  seed : int;  (** k-means seed *)
+}
+
+val default : cfg
+
+val parse : string -> (cfg, string) result
+(** CLI spec: [""] is {!default}, ["K"] overrides the phase count,
+    ["K,INTERVAL"] also overrides the interval length. *)
+
+val to_string : cfg -> string
+
+type probe = {
+  set_warming : bool -> unit;  (** switch the cost-model regime *)
+  begin_interval : unit -> unit;  (** reset per-window stats *)
+  end_interval : unit -> (string * float) list;
+      (** per-interval metric observations; the name set must be the
+          same for every detailed interval *)
+  signature : unit -> float array;
+      (** features accumulated since the last call
+          (e.g. {!Signature.take}) *)
+}
+
+type estimate = { value : float; err : float }
+(** A reconstructed per-interval metric and its error bound: the true
+    per-interval mean is estimated to lie within [value ± err]. *)
+
+type outcome = {
+  metrics : (string * estimate) list;
+  phases : int;  (** non-empty clusters *)
+  nominal : int;  (** intervals a full run would have *)
+  intervals : int;  (** intervals actually simulated *)
+  detailed : int;  (** of which detailed *)
+  coverage : float;  (** simulated cycles / nominal window, capped at 1 *)
+}
+
+val run :
+  cfg -> engine:Mutps_sim.Engine.t -> probe:probe -> measure:int -> outcome
+(** Drive [engine] over [measure] cycles (truncated per [cfg]), starting
+    at the engine's current time.  Interval 0 is always detailed.  The
+    caller must have called [probe.signature] semantics in mind: [run]
+    takes one baseline signature before the first interval and one per
+    interval (plus one discarded after each re-warm prefix). *)

@@ -1,0 +1,56 @@
+module Metrics = Mutps_trace.Metrics
+
+type feature = { read : unit -> float; counter : bool }
+type source = { feats : feature array; prev : float array }
+
+let make feats =
+  {
+    feats;
+    prev =
+      Array.map (fun f -> if f.counter then f.read () else 0.0) feats;
+  }
+
+let of_counters reads =
+  make (Array.map (fun read -> { read; counter = true }) reads)
+
+let of_metrics ?(extra = [||]) ~engine_id reg =
+  let entries =
+    List.filter
+      (fun (e : Metrics.entry) ->
+        engine_id < 0 || e.engine_id = engine_id || e.engine_id = -1)
+      (Metrics.entries reg)
+  in
+  let of_entry (e : Metrics.entry) =
+    { read = e.Metrics.read; counter = e.Metrics.kind = Metrics.Counter }
+  in
+  make
+    (Array.append
+       (Array.of_list (List.map of_entry entries))
+       (Array.map (fun read -> { read; counter = true }) extra))
+
+let dim t = Array.length t.feats
+
+let take t =
+  let n = Array.length t.feats in
+  let v = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let f = t.feats.(i) in
+    let raw = f.read () in
+    let x =
+      if f.counter then begin
+        let d = raw -. t.prev.(i) in
+        t.prev.(i) <- raw;
+        (* counter reset mid-span (e.g. client stats cleared at an
+           interval start): the raw value is the best lower bound *)
+        if d < 0.0 then raw else d
+      end
+      else raw
+    in
+    v.(i) <- x
+  done;
+  let norm = Array.fold_left (fun a x -> a +. Float.abs x) 0.0 v in
+  if norm > 0.0 then
+    for i = 0 to n - 1 do
+      v.(i) <- v.(i) /. norm
+    done;
+  v

@@ -1,0 +1,31 @@
+(** Interval signatures — the basic-block-vector analog.
+
+    A {!source} is a fixed set of numeric features read from existing
+    accounting (the pull-based {!Mutps_trace.Metrics} registry, or ad-hoc
+    counter closures).  [take] returns the features accumulated since the
+    previous [take] — counters are differenced, gauges read absolutely —
+    L1-normalized so intervals with different op volumes but the same
+    behavior mix land on the same point.  Reads never mutate simulation
+    state, so taking signatures cannot perturb a run. *)
+
+type source
+
+val of_metrics :
+  ?extra:(unit -> float) array -> engine_id:int -> Mutps_trace.Metrics.t ->
+  source
+(** Features from every registry entry owned by [engine_id] (or
+    registered engine-agnostic with id [-1]), in registration order, plus
+    the [extra] closures (treated as counters).  The current values are
+    snapshotted at creation, so the first [take] covers exactly the span
+    since [of_metrics]. *)
+
+val of_counters : (unit -> float) array -> source
+(** All features are cumulative counters. *)
+
+val dim : source -> int
+
+val take : source -> float array
+(** Delta-and-normalize since the previous [take] (or since creation).
+    A counter that went backwards — the harness resets client stats at
+    interval starts — contributes its current raw value instead of the
+    negative delta.  Returns the zero vector when all features are 0. *)

@@ -20,14 +20,16 @@ type klass = {
 type t = {
   layout : Layout.t;
   class_bytes : int;
+  expected_items : int;
   classes : klass option array;
   mutable live : int;
 }
 
-let create layout ?(class_bytes = 1 lsl 30) () =
+let create layout ?(class_bytes = 1 lsl 30) ?(expected_items = 0) () =
   {
     layout;
     class_bytes;
+    expected_items;
     classes = Array.make (max_class_shift + 1) None;
     live = 0;
   }
@@ -37,12 +39,18 @@ let get_class t shift =
   | Some k -> k
   | None ->
     let block = 1 lsl shift in
+    (* regions are created lazily per class, so only classes actually
+       allocated from consume simulated address space (which is bounded:
+       the packed cache tags cover 32 GiB — see Cache).  Paper-scale
+       stores overflow the 1 GiB default for their item class; size it
+       for [expected_items] blocks plus 25% slack instead. *)
+    let size = max t.class_bytes (t.expected_items * block / 4 * 5) in
     let k =
       {
         region =
           Layout.region t.layout
             ~name:(Printf.sprintf "slab-%dB" block)
-            ~size:t.class_bytes;
+            ~size;
         block;
         freelist = [];
       }

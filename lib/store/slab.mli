@@ -6,9 +6,14 @@
 
 type t
 
-val create : Mutps_mem.Layout.t -> ?class_bytes:int -> unit -> t
-(** [class_bytes] is the per-size-class region capacity (default 1 GB of
-    simulated space — address space is free). *)
+val create :
+  Mutps_mem.Layout.t -> ?class_bytes:int -> ?expected_items:int -> unit -> t
+(** [class_bytes] is the per-size-class region floor (default 1 GB of
+    simulated space).  A class whose blocks cannot hold [expected_items]
+    items within that floor gets a larger region ([expected_items] blocks
+    plus 25% slack) when it is first used — paper-scale stores need this;
+    simulated address space is otherwise cheap but bounded by the packed
+    cache tags (32 GiB). *)
 
 val alloc : t -> int -> int
 (** [alloc t size] returns the simulated address of a block that fits

@@ -2,6 +2,12 @@
 cd /root/repo
 dune runtest --force --no-buffer > /root/repo/test_output.txt 2>&1
 echo "TESTS_EXIT=$?" >> /root/repo/test_output.txt
-dune exec bench/main.exe > /root/repo/bench_output.txt 2>&1
+# MUTPS_BENCH_SCALE is propagated explicitly so a caller-chosen scale
+# survives any sudo/env-scrubbing indirection; MUTPS_SAMPLE=K[,INTERVAL]
+# (or empty for the defaults) switches the experiments to interval
+# sampling with reconstruction error bounds in the rows.
+env ${MUTPS_BENCH_SCALE:+MUTPS_BENCH_SCALE="$MUTPS_BENCH_SCALE"} \
+  dune exec bench/main.exe -- ${MUTPS_SAMPLE+--sample=$MUTPS_SAMPLE} \
+  > /root/repo/bench_output.txt 2>&1
 echo "BENCH_EXIT=$?" >> /root/repo/bench_output.txt
 touch /root/repo/.final_done

@@ -180,6 +180,7 @@ let runner_scale =
     window = 2;
     warmup = 50_000;
     measure = 150_000;
+    sample = None;
   }
 
 let test_runner_jobs_deterministic () =

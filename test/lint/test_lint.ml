@@ -524,6 +524,7 @@ let tiny_scale =
     window = 2;
     warmup = 200_000;
     measure = 600_000;
+    sample = None;
   }
 
 let digest_of (m : Harness.measurement) =

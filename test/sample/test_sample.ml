@@ -1,0 +1,337 @@
+(* Interval sampling (lib/sample): clustering and signature unit tests,
+   the reconstruction-accuracy contract against full exact runs, and the
+   determinism regressions (jobs fan-out, tracing on/off) that license
+   using --sample in the bit-reproducible CI lanes. *)
+
+open Mutps_experiments
+module Sample = Mutps_sample.Sample
+module Signature = Mutps_sample.Signature
+module Kmeans = Mutps_sample.Kmeans
+
+(* ------------------------------------------------------------------ *)
+(* k-means                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let points_gen =
+  QCheck.Gen.(
+    let point = array_size (return 3) (float_bound_inclusive 10.0) in
+    array_size (int_range 1 40) point)
+
+let arbitrary_points =
+  QCheck.make points_gen ~print:(fun pts ->
+      String.concat ";"
+        (Array.to_list
+           (Array.map
+              (fun p ->
+                String.concat ","
+                  (Array.to_list (Array.map string_of_float p)))
+              pts)))
+
+let qcheck_kmeans_deterministic =
+  QCheck.Test.make ~name:"cluster is a pure function of (points, k, seed)"
+    ~count:50
+    (QCheck.pair arbitrary_points (QCheck.int_range 1 8))
+    (fun (pts, k) ->
+      let a1, c1 = Kmeans.cluster ~k ~seed:7 pts in
+      let a2, c2 = Kmeans.cluster ~k ~seed:7 pts in
+      a1 = a2 && c1 = c2)
+
+let qcheck_kmeans_nearest =
+  QCheck.Test.make
+    ~name:"every point is assigned to a nearest final centroid" ~count:50
+    (QCheck.pair arbitrary_points (QCheck.int_range 1 8))
+    (fun (pts, k) ->
+      let assign, centers = Kmeans.cluster ~k ~seed:11 pts in
+      Array.length assign = Array.length pts
+      && Array.for_all
+           (fun c -> c >= 0 && c < Array.length centers)
+           assign
+      && Array.for_all
+           (fun i ->
+             let d = Kmeans.sq_dist pts.(i) centers.(assign.(i)) in
+             Array.for_all
+               (fun c -> d <= Kmeans.sq_dist pts.(i) c +. 1e-9)
+               centers)
+           (Array.init (Array.length pts) Fun.id))
+
+let test_kmeans_edges () =
+  let assign, centers = Kmeans.cluster ~k:4 ~seed:1 [||] in
+  Alcotest.(check int) "empty input: no assignment" 0 (Array.length assign);
+  Alcotest.(check int) "empty input: no centroids" 0 (Array.length centers);
+  (* k larger than the point count clamps *)
+  let pts = [| [| 0.0; 1.0 |]; [| 5.0; 5.0 |] |] in
+  let assign, centers = Kmeans.cluster ~k:10 ~seed:1 pts in
+  Alcotest.(check int) "k clamped to n" 2 (Array.length centers);
+  Alcotest.(check bool) "separated points get distinct clusters" true
+    (assign.(0) <> assign.(1));
+  (* two well-separated blobs recover the blobs for k = 2 *)
+  let blob cx n = Array.init n (fun i -> [| cx +. (0.01 *. float_of_int i) |]) in
+  let pts = Array.append (blob 0.0 10) (blob 100.0 10) in
+  let assign, _ = Kmeans.cluster ~k:2 ~seed:3 pts in
+  for i = 1 to 9 do
+    Alcotest.(check int) "blob 1 coherent" assign.(0) assign.(i);
+    Alcotest.(check int) "blob 2 coherent" assign.(10) assign.(10 + i)
+  done;
+  Alcotest.(check bool) "blobs separated" true (assign.(0) <> assign.(10))
+
+(* ------------------------------------------------------------------ *)
+(* signatures                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_signature_deltas () =
+  let a = ref 0.0 and b = ref 0.0 in
+  let src = Signature.of_counters [| (fun () -> !a); (fun () -> !b) |] in
+  Alcotest.(check int) "dim" 2 (Signature.dim src);
+  a := 30.0;
+  b := 10.0;
+  let v = Signature.take src in
+  Alcotest.(check (float 1e-9)) "L1-normalized delta (a)" 0.75 v.(0);
+  Alcotest.(check (float 1e-9)) "L1-normalized delta (b)" 0.25 v.(1);
+  (* second window: only the increments count *)
+  a := 30.0;
+  b := 40.0;
+  let v = Signature.take src in
+  Alcotest.(check (float 1e-9)) "window 2 is delta-only (a)" 0.0 v.(0);
+  Alcotest.(check (float 1e-9)) "window 2 is delta-only (b)" 1.0 v.(1);
+  (* a counter reset mid-run (Client.reset_stats) must contribute its raw
+     value, not a negative delta *)
+  a := 5.0;
+  b := 45.0;
+  let v = Signature.take src in
+  Alcotest.(check (float 1e-9)) "reset counter uses raw value" 0.5 v.(0);
+  Alcotest.(check (float 1e-9)) "live counter still differenced" 0.5 v.(1);
+  (* an idle window is the zero vector, not NaN *)
+  let v = Signature.take src in
+  Alcotest.(check (float 1e-9)) "idle window is zero (a)" 0.0 v.(0);
+  Alcotest.(check (float 1e-9)) "idle window is zero (b)" 0.0 v.(1)
+
+(* ------------------------------------------------------------------ *)
+(* spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  (match Sample.parse "" with
+  | Ok cfg -> Alcotest.(check int) "bare --sample = defaults" Sample.default.Sample.k cfg.Sample.k
+  | Error e -> Alcotest.fail e);
+  (match Sample.parse "9" with
+  | Ok cfg ->
+    Alcotest.(check int) "K override" 9 cfg.Sample.k;
+    Alcotest.(check int) "interval untouched"
+      Sample.default.Sample.interval cfg.Sample.interval
+  | Error e -> Alcotest.fail e);
+  (match Sample.parse " 4 , 500000 " with
+  | Ok cfg ->
+    Alcotest.(check int) "K,INTERVAL (k)" 4 cfg.Sample.k;
+    Alcotest.(check int) "K,INTERVAL (interval)" 500_000 cfg.Sample.interval
+  | Error e -> Alcotest.fail e);
+  let rejected s =
+    match Sample.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "k = 0 rejected" true (rejected "0");
+  Alcotest.(check bool) "garbage rejected" true (rejected "phases");
+  Alcotest.(check bool) "tiny interval rejected" true (rejected "4,5");
+  Alcotest.(check bool) "three fields rejected" true (rejected "4,20000,1")
+
+(* ------------------------------------------------------------------ *)
+(* reconstruction accuracy vs exact runs                               *)
+(* ------------------------------------------------------------------ *)
+
+let scale_with ?(keyspace = 2_000) ?(measure = 400_000) ?sample () =
+  {
+    Harness.keyspace;
+    cores = 4;
+    clients = 8;
+    window = 2;
+    warmup = 100_000;
+    measure;
+    sample;
+  }
+
+let spec_for keyspace =
+  Mutps_workload.Ycsb.get_only_uniform ~keyspace ~value_size:64 ()
+
+(* The acceptance contract: at the repo's default 200K scale the sampled
+   throughput estimate must land within 5% of the exact run AND within
+   its own declared error bound.  Uses BaseKV (no CR/MR calibration
+   phase) so exact and sampled runs share every pre-measurement cycle. *)
+let test_accuracy_200k () =
+  let keyspace = 200_000 in
+  let exact_scale =
+    {
+      Harness.default_scale with
+      Harness.keyspace;
+      sample = None;
+    }
+  in
+  let spec = spec_for keyspace in
+  let exact = Harness.measure Harness.Basekv exact_scale spec in
+  let sampled_scale =
+    { exact_scale with Harness.sample = Some Sample.default }
+  in
+  let sampled = Harness.measure Harness.Basekv sampled_scale spec in
+  let err = List.assoc "mops_err" sampled.Harness.extra in
+  let rel =
+    Float.abs (sampled.Harness.mops -. exact.Harness.mops)
+    /. Float.max exact.Harness.mops 1e-9
+  in
+  Printf.printf
+    "200K accuracy: exact %.3f Mops, sampled %.3f ± %.3f (rel err %.2f%%)\n%!"
+    exact.Harness.mops sampled.Harness.mops err (100.0 *. rel);
+  Alcotest.(check bool)
+    (Printf.sprintf "within 5%% of exact (got %.2f%%)" (100.0 *. rel))
+    true (rel <= 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "within declared bound (|Δ| %.4f ≤ err %.4f)"
+       (Float.abs (sampled.Harness.mops -. exact.Harness.mops))
+       err)
+    true
+    (Float.abs (sampled.Harness.mops -. exact.Harness.mops) <= err);
+  Alcotest.(check bool) "declared bound is positive" true (err > 0.0);
+  let coverage = List.assoc "sample_coverage" sampled.Harness.extra in
+  Alcotest.(check bool) "coverage in (0, 1]" true
+    (coverage > 0.0 && coverage <= 1.0)
+
+(* QCheck law: across sampling configurations, the exact value falls
+   within the estimate's own declared bound.  Small scales keep the
+   simulations cheap; the workload is stationary, which is the regime
+   the bound's phase-weighted standard error models. *)
+let qcheck_bound_law =
+  QCheck.Test.make ~name:"exact ops/interval lies within declared bound"
+    ~count:6
+    (QCheck.triple (QCheck.int_range 1 5) (QCheck.int_range 2 5)
+       (QCheck.int_range 0 1000))
+    (fun (k, stride, seed) ->
+      let keyspace = 2_000 in
+      let spec = spec_for keyspace in
+      let exact = Harness.measure Harness.Basekv (scale_with ()) spec in
+      let cfg =
+        {
+          Sample.default with
+          Sample.k;
+          interval = 50_000;
+          stride;
+          max_intervals = 16;
+          seed;
+        }
+      in
+      let sampled =
+        Harness.measure Harness.Basekv (scale_with ~sample:cfg ()) spec
+      in
+      let err = List.assoc "mops_err" sampled.Harness.extra in
+      Float.abs (sampled.Harness.mops -. exact.Harness.mops) <= err)
+
+(* Truncation: with max_intervals below the nominal interval count the
+   run must cover proportionally fewer cycles yet still reconstruct a
+   full-window estimate (completed scales to the nominal window). *)
+let test_truncation () =
+  let keyspace = 2_000 in
+  let spec = spec_for keyspace in
+  let cfg =
+    {
+      Sample.default with
+      Sample.k = 3;
+      interval = 50_000;
+      stride = 2;
+      max_intervals = 4;
+    }
+  in
+  let scale = scale_with ~measure:800_000 ~sample:cfg () in
+  let m = Harness.measure Harness.Basekv scale spec in
+  let coverage = List.assoc "sample_coverage" m.Harness.extra in
+  Alcotest.(check bool)
+    (Printf.sprintf "truncated coverage (%.2f) well below 1" coverage)
+    true
+    (coverage < 0.5);
+  Alcotest.(check int) "simulated interval count respects the cap" 4
+    (int_of_float (List.assoc "sample_intervals" m.Harness.extra));
+  let exact = Harness.measure Harness.Basekv (scale_with ~measure:800_000 ()) spec in
+  let rel =
+    Float.abs
+      (float_of_int m.Harness.completed -. float_of_int exact.Harness.completed)
+    /. Float.max (float_of_int exact.Harness.completed) 1.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "extrapolated completed within 15%% (got %.1f%%)"
+       (100.0 *. rel))
+    true (rel <= 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sampled_scale_small () =
+  scale_with
+    ~sample:
+      {
+        Sample.default with
+        Sample.k = 3;
+        interval = 50_000;
+        stride = 2;
+        max_intervals = 8;
+      }
+    ()
+
+(* Sampled experiment rows must be byte-identical for any --jobs count:
+   the runner fans experiments over domains and nothing in the sampling
+   layer (registry capture, clustering, warming) may observe it. *)
+let test_jobs_determinism () =
+  let scale = sampled_scale_small () in
+  let names = [ "fig2b"; "fig12" ] in
+  let json jobs =
+    Runner.run_all ~jobs names scale |> Runner.rows |> Report.to_json
+  in
+  let j1 = json 1 and j4 = json 4 in
+  Alcotest.(check string) "sampled rows identical for --jobs 1 vs 4" j1 j4
+
+(* Tracing must not perturb sampled results: signatures come from a
+   private registry and probe reads, so an ambient tracer (slice hooks,
+   counter sampling) changes neither interval boundaries nor estimates. *)
+let test_tracing_determinism () =
+  let scale = sampled_scale_small () in
+  let spec = spec_for scale.Harness.keyspace in
+  let run () = Harness.measure Harness.Mutps scale spec in
+  let plain = run () in
+  let traced, _collectors =
+    Mutps_trace.Trace.traced ~keep_events:false (fun () -> run ())
+  in
+  Alcotest.(check (float 1e-9)) "mops identical under tracing"
+    plain.Harness.mops traced.Harness.mops;
+  Alcotest.(check int) "completed identical under tracing"
+    plain.Harness.completed traced.Harness.completed;
+  List.iter2
+    (fun (k1, v1) (k2, v2) ->
+      Alcotest.(check string) "extra metric name" k1 k2;
+      Alcotest.(check (float 1e-9)) ("extra metric " ^ k1) v1 v2)
+    plain.Harness.extra traced.Harness.extra;
+  (* and run-to-run determinism of the sampled path itself *)
+  let again = run () in
+  Alcotest.(check (float 1e-9)) "mops identical run to run"
+    plain.Harness.mops again.Harness.mops
+
+let () =
+  Alcotest.run "sample"
+    [
+      ( "kmeans",
+        [
+          QCheck_alcotest.to_alcotest qcheck_kmeans_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_kmeans_nearest;
+          Alcotest.test_case "edge cases" `Quick test_kmeans_edges;
+        ] );
+      ( "signature",
+        [ Alcotest.test_case "deltas, resets, normalization" `Quick
+            test_signature_deltas ] );
+      ("parse", [ Alcotest.test_case "CLI specs" `Quick test_parse ]);
+      ( "reconstruction",
+        [
+          Alcotest.test_case "200K exact-vs-sampled contract" `Slow
+            test_accuracy_200k;
+          QCheck_alcotest.to_alcotest qcheck_bound_law;
+          Alcotest.test_case "truncation extrapolates" `Quick test_truncation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 vs 4" `Quick test_jobs_determinism;
+          Alcotest.test_case "tracing on vs off" `Quick
+            test_tracing_determinism;
+        ] );
+    ]

@@ -255,6 +255,7 @@ let smoke_scale =
     window = 2;
     warmup = 100_000;
     measure = 250_000;
+    sample = None;
   }
 
 let test_experiment_clean (e : Mutps_experiments.Registry.entry) () =

@@ -26,6 +26,7 @@ let scale =
     window = 2;
     warmup = 100_000;
     measure = 250_000;
+    sample = None;
   }
 
 let deterministic =

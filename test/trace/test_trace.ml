@@ -468,6 +468,7 @@ let tiny_scale =
     window = 2;
     warmup = 150_000;
     measure = 400_000;
+    sample = None;
   }
 
 let test_fig2a_traced_untraced_identical () =
